@@ -1,0 +1,100 @@
+"""Ablation: alternating optimization vs the naive alternatives.
+
+Section 4.1 motivates the alternating loop against two extremes:
+(i) topology-oblivious -- search the strategy on a full mesh and run it
+on a default (+1 ring) topology; (ii) naive sequential -- search once,
+then build the topology once.  The alternating loop should match or
+beat both.
+"""
+
+from benchmarks.harness import GBPS, emit, format_table
+from repro.core.alternating import AlternatingOptimizer
+from repro.core.topology_finder import topology_finder
+from repro.models import build_dlrm
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.mcmc import IterationCostModel, MCMCSearch
+
+N = 16
+DEGREE = 4
+LINK_GBPS = 100.0
+
+
+def _model():
+    return build_dlrm(
+        num_embedding_tables=8,
+        embedding_rows=500_000,
+        embedding_dim=128,
+        num_dense_layers=4,
+        dense_layer_size=1024,
+        num_feature_layers=4,
+        feature_layer_size=1024,
+        batch_per_gpu=32,
+    )
+
+
+def _cost_on_default_ring(search, strategy_traffic):
+    """Cost of a strategy on the +1-ring-only default topology."""
+    from repro.core.topology_finder import AllReduceGroup
+
+    ring_only = topology_finder(
+        N,
+        DEGREE,
+        [AllReduceGroup(members=tuple(range(N)), total_bytes=1.0)],
+        None,
+    )
+    fabric = TopoOptFabric(ring_only, LINK_GBPS * GBPS)
+    return IterationCostModel(fabric, search.compute_s).cost(
+        strategy_traffic
+    )
+
+
+def run_experiment():
+    model = _model()
+
+    def fresh_optimizer(rounds):
+        search = MCMCSearch(model, num_servers=N, seed=1)
+        return search, AlternatingOptimizer(
+            num_servers=N,
+            degree=DEGREE,
+            link_bandwidth_bps=LINK_GBPS * GBPS,
+            search=search,
+            max_rounds=rounds,
+            mcmc_iterations=120,
+        )
+
+    # (i) topology-oblivious: full-mesh search, default ring topology.
+    search, optimizer = fresh_optimizer(1)
+    mesh_result = search.search(
+        optimizer._initial_fabric(), iterations=120
+    )
+    oblivious_cost = _cost_on_default_ring(search, mesh_result.traffic)
+
+    # (ii) naive sequential: one search round + one TopologyFinder pass.
+    _, optimizer = fresh_optimizer(1)
+    sequential = optimizer.run()
+
+    # (iii) full alternating loop.
+    _, optimizer = fresh_optimizer(4)
+    alternating = optimizer.run()
+
+    return oblivious_cost, sequential.cost_s, alternating.cost_s
+
+
+def bench_ablation_alternating(benchmark):
+    oblivious, sequential, alternating = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    rows = [
+        ("topology-oblivious (ring)", f"{oblivious * 1e3:.2f}"),
+        ("naive sequential (1 round)", f"{sequential * 1e3:.2f}"),
+        ("alternating (<=4 rounds)", f"{alternating * 1e3:.2f}"),
+    ]
+    lines = ["Ablation: optimization scheme vs estimated iteration (ms)"]
+    lines += format_table(("scheme", "iteration ms"), rows)
+    lines.append(
+        f"alternating vs oblivious: {oblivious / alternating:.2f}x "
+        f"(section 4.1's motivation)"
+    )
+    emit("ablation_alternating", lines)
+    assert alternating <= sequential + 1e-12
+    assert alternating < oblivious

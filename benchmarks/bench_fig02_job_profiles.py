@@ -1,0 +1,60 @@
+"""Figure 2: CDFs of worker counts and job durations (synthetic trace).
+
+Paper: most jobs use 32-700 workers; most run > 10 h and the top 10%
+exceed 96 h.  The synthetic generator is calibrated to those statements.
+"""
+
+from benchmarks.harness import emit, format_table
+from repro.analysis.cdf import empirical_cdf
+from repro.traces.generator import WORKLOAD_MIX, ProductionTraceGenerator
+
+POPULATION = 2000
+
+
+def run_experiment():
+    gen = ProductionTraceGenerator(seed=42)
+    per_family = {
+        family: gen.sample_population(POPULATION // 4, family)
+        for family in sorted(WORKLOAD_MIX)
+    }
+    all_jobs = [job for jobs in per_family.values() for job in jobs]
+    return per_family, all_jobs
+
+
+def bench_fig02(benchmark):
+    per_family, all_jobs = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    lines = ["Figure 2a: number of workers per job (CDF percentiles)"]
+    rows = []
+    for family, jobs in per_family.items():
+        cdf = empirical_cdf([j.num_workers for j in jobs])
+        rows.append(
+            (
+                family,
+                int(cdf.percentile(0.10)),
+                int(cdf.percentile(0.50)),
+                int(cdf.percentile(0.90)),
+            )
+        )
+    lines += format_table(("family", "p10", "p50", "p90"), rows)
+
+    duration_cdf = empirical_cdf([j.duration_hours for j in all_jobs])
+    lines.append("")
+    lines.append("Figure 2b: training job duration (hours)")
+    lines += format_table(
+        ("p10", "p50", "p90", "p99"),
+        [
+            tuple(
+                f"{duration_cdf.percentile(q):.1f}"
+                for q in (0.10, 0.50, 0.90, 0.99)
+            )
+        ],
+    )
+    lines.append(
+        f"median > 10 h: {duration_cdf.median > 10}; "
+        f"p90 > 96 h: {duration_cdf.percentile(0.9) > 96} (paper: both true)"
+    )
+    emit("fig02_job_profiles", lines)
+    assert duration_cdf.median > 10
+    assert duration_cdf.percentile(0.90) > 96

@@ -1,0 +1,65 @@
+"""Figure 9: TopoOpt's combined topology and balanced traffic matrix.
+
+Paper: overlapping the selected ring permutations balances the traffic
+matrix (vs a single +1 ring) and bounds the diameter for MP transfers.
+"""
+
+from benchmarks.harness import emit, format_table
+from repro.analysis.heatmap import heatmap_summary
+from repro.core.topology_finder import topology_finder
+from repro.models import build_dlrm
+from repro.parallel.strategy import hybrid_strategy
+from repro.parallel.traffic import extract_traffic
+
+N = 16
+DEGREE = 3
+
+
+def run_experiment():
+    model = build_dlrm(
+        num_embedding_tables=4,
+        embedding_dim=512,
+        embedding_rows=1_000_000,
+        num_dense_layers=2,
+        dense_layer_size=512,
+        num_feature_layers=2,
+        feature_layer_size=512,
+    )
+    traffic = extract_traffic(model, hybrid_strategy(model, N), 8)
+    result = topology_finder(
+        N, DEGREE, traffic.allreduce_groups, traffic.mp_matrix
+    )
+    return traffic, result
+
+
+def bench_fig09(benchmark):
+    traffic, result = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    strides = result.group_plans[0].strides
+    single = heatmap_summary(traffic.heatmap(strides=[1]))
+    multi = heatmap_summary(traffic.heatmap(strides=strides))
+    rows = [
+        (
+            "single +1 ring",
+            f"{single['max_bytes'] / 1e9:.3f}",
+            f"{single['balance']:.3f}",
+        ),
+        (
+            f"TopoOpt rings {strides}",
+            f"{multi['max_bytes'] / 1e9:.3f}",
+            f"{multi['balance']:.3f}",
+        ),
+    ]
+    lines = ["Figure 9: TopoOpt topology and traffic matrix"]
+    lines += format_table(
+        ("configuration", "max transfer GB", "min/max balance"), rows
+    )
+    lines.append(
+        f"topology: {result.topology.num_links()} links, "
+        f"diameter {result.topology.diameter()} "
+        f"(paper: Chord-like, O(d * n^(1/d)))"
+    )
+    emit("fig09_topoopt_topology", lines)
+    assert multi["max_bytes"] < single["max_bytes"]
+    assert result.topology.diameter() <= 2 * DEGREE * (N ** (1 / DEGREE))

@@ -1,0 +1,77 @@
+"""Figure 13: bandwidth tax of host-based forwarding vs batch size.
+
+Paper: at batch 64 with d=4, the tax is 1.11 (11% extra traffic),
+improving to 1.05 at d=8; at batch 2048 with d=4 it reaches 3.03.
+The tax is the ratio of carried bytes (including relayed hops) to the
+logical demand (section 5.4).
+"""
+
+from benchmarks.harness import emit, format_table, full_scale
+from repro.analysis.metrics import bandwidth_tax
+from repro.core.topology_finder import topology_finder
+from repro.models import build_dlrm
+from repro.parallel.strategy import all_sharded_strategy
+from repro.parallel.traffic import extract_traffic
+
+BATCHES = (64, 128, 256, 512, 1024, 2048)
+
+
+def _cluster_size():
+    return 128 if full_scale() else 32
+
+
+def run_experiment():
+    n = _cluster_size()
+    model = build_dlrm(
+        num_embedding_tables=n,
+        embedding_dim=128,
+        embedding_rows=1_000_000,
+        num_dense_layers=8,
+        dense_layer_size=2048,
+        num_feature_layers=16,
+        feature_layer_size=4096,
+    )
+    strategy = all_sharded_strategy(model, n)
+    taxes = {}
+    for d in (4, 8):
+        row = []
+        for batch in BATCHES:
+            traffic = extract_traffic(model, strategy, batch)
+            result = topology_finder(
+                n, d, traffic.allreduce_groups, traffic.mp_matrix
+            )
+            # Tax over the combined per-iteration demand (MP routed over
+            # the finder's paths; AllReduce rings are direct links).
+            combined = traffic.mp_matrix + traffic.allreduce_matrix(
+                strides=result.group_plans[0].strides
+                if result.group_plans
+                else None
+            )
+            tax = bandwidth_tax(
+                combined,
+                lambda s, t: result.routing.paths_for(s, t, "mp"),
+            )
+            row.append(tax)
+        taxes[d] = row
+    return taxes
+
+
+def bench_fig13_bandwidth_tax(benchmark):
+    taxes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (f"d={d}", *(f"{t:.2f}" for t in values))
+        for d, values in taxes.items()
+    ]
+    lines = [f"Figure 13: bandwidth tax ({_cluster_size()} servers)"]
+    lines += format_table(
+        ("degree", *(f"bs={b}" for b in BATCHES)), rows
+    )
+    lines.append(
+        "paper: 1.11 (bs=64, d=4) -> 3.03 (bs=2048, d=4); d=8 lower"
+    )
+    emit("fig13_bandwidth_tax", lines)
+    # Tax grows with batch size and shrinks with degree.
+    assert taxes[4][-1] > taxes[4][0]
+    for lo, hi in zip(taxes[8], taxes[4]):
+        assert lo <= hi + 1e-9
+    assert taxes[4][0] < 2.0  # small tax at small batch

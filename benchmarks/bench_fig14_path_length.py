@@ -1,0 +1,61 @@
+"""Figure 14: CDF of path length across all server pairs.
+
+Paper: average path length 5.7 at d=4 and 3 at d=8 for the 128-server
+all-to-all DLRM topology; shorter paths mean less forwarding tax.
+"""
+
+from benchmarks.harness import emit, format_table, full_scale
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.metrics import path_length_cdf
+from repro.core.topology_finder import topology_finder
+from repro.models import build_dlrm
+from repro.parallel.strategy import all_sharded_strategy
+from repro.parallel.traffic import extract_traffic
+
+
+def _cluster_size():
+    return 128 if full_scale() else 32
+
+
+def run_experiment():
+    n = _cluster_size()
+    model = build_dlrm(
+        num_embedding_tables=n,
+        embedding_dim=128,
+        embedding_rows=100_000,
+    )
+    strategy = all_sharded_strategy(model, n)
+    traffic = extract_traffic(model, strategy, 128)
+    cdfs = {}
+    for d in (4, 8):
+        result = topology_finder(
+            n, d, traffic.allreduce_groups, traffic.mp_matrix
+        )
+        lengths = path_length_cdf(
+            lambda s, t: result.routing.paths_for(s, t, "mp"), n
+        )
+        cdfs[d] = empirical_cdf(lengths)
+    return cdfs
+
+
+def bench_fig14_path_length(benchmark):
+    cdfs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            f"d={d}",
+            f"{cdf.mean:.2f}",
+            f"{cdf.median:.0f}",
+            f"{cdf.percentile(0.9):.0f}",
+            f"{max(cdf.values):.0f}",
+        )
+        for d, cdf in cdfs.items()
+    ]
+    lines = [
+        f"Figure 14: path-length CDF over all pairs "
+        f"({_cluster_size()} servers)"
+    ]
+    lines += format_table(("degree", "mean", "p50", "p90", "max"), rows)
+    lines.append("paper: mean 5.7 at d=4, 3 at d=8 (128 servers)")
+    emit("fig14_path_length", lines)
+    assert cdfs[8].mean < cdfs[4].mean
+    assert cdfs[4].mean > 1.0  # multi-hop forwarding required

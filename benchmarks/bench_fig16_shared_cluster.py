@@ -1,0 +1,166 @@
+"""Figure 16: shared cluster -- average and p99 iteration time vs load.
+
+Paper (432 servers, d=8, B=100 Gbps; jobs of 16 servers; mix 40% DLRM,
+30% BERT, 20% CANDLE, 10% VGG16): TopoOpt improves the average
+iteration time 1.7x over Fat-tree and the tail up to 3.4x at full load,
+because optical sharding isolates jobs while the Fat-tree core is
+shared.
+"""
+
+import itertools
+
+from benchmarks.harness import (
+    GBPS,
+    emit,
+    format_table,
+    full_scale,
+    scale_config,
+)
+from repro.core.topology_finder import topology_finder
+from repro.models import build_model, compute_time_seconds
+from repro.network.cost import cost_equivalent_fattree_bandwidth
+from repro.network.fattree import (
+    IdealSwitchFabric,
+    OversubscribedFatTreeFabric,
+)
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.strategy import auto_strategy
+from repro.parallel.traffic import extract_traffic
+from repro.sim.cluster import (
+    JobSpec,
+    SharedClusterSimulator,
+    iteration_time_stats,
+    remap_traffic,
+)
+
+DEGREE = 8
+LINK_GBPS = 100.0
+JOB_MIX = ["DLRM", "DLRM", "DLRM", "DLRM", "BERT", "BERT", "BERT",
+           "CANDLE", "CANDLE", "VGG16"]  # 40/30/20/10%
+LOADS = (0.2, 0.6, 1.0) if not full_scale() else (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _job_inputs(servers_per_job):
+    inputs = {}
+    for name in set(JOB_MIX):
+        model = build_model(name, scale="shared")
+        strategy = auto_strategy(model, servers_per_job)
+        traffic = extract_traffic(model, strategy)
+        compute = compute_time_seconds(model, model.default_batch_per_gpu)
+        inputs[name] = (traffic, compute)
+    return inputs
+
+
+def _make_jobs(load, cfg, inputs, fabric_builder):
+    total_jobs = max(
+        1, int(load * cfg.shared_servers / cfg.servers_per_job)
+    )
+    mix = itertools.cycle(JOB_MIX)
+    specs = []
+    capacities = {}
+    for idx in range(total_jobs):
+        name = next(mix)
+        traffic, compute = inputs[name]
+        server_map = list(
+            range(
+                idx * cfg.servers_per_job, (idx + 1) * cfg.servers_per_job
+            )
+        )
+        fabric, caps = fabric_builder(traffic, server_map)
+        capacities.update(caps)
+        specs.append(
+            JobSpec(
+                name=f"{name}-{idx}",
+                traffic=remap_traffic(traffic, server_map),
+                compute_s=compute,
+                fabric=fabric,
+            )
+        )
+    return specs, capacities
+
+
+def run_experiment():
+    cfg = scale_config()
+    inputs = _job_inputs(cfg.servers_per_job)
+    equiv = cost_equivalent_fattree_bandwidth(
+        cfg.shared_servers, DEGREE, LINK_GBPS
+    )
+    shared_fattree = IdealSwitchFabric(cfg.shared_servers, 1, equiv * GBPS)
+    shared_ideal = IdealSwitchFabric(
+        cfg.shared_servers, DEGREE, LINK_GBPS * GBPS
+    )
+    # Racks are half a job wide, so every job spans racks and its ring
+    # crosses the (2:1 oversubscribed) ToR uplinks.
+    shared_oversub = OversubscribedFatTreeFabric(
+        cfg.shared_servers, DEGREE, LINK_GBPS * GBPS,
+        servers_per_rack=max(cfg.servers_per_job // 2, 2),
+    )
+
+    def topoopt_builder(traffic, server_map):
+        result = topology_finder(
+            cfg.servers_per_job,
+            DEGREE,
+            traffic.allreduce_groups,
+            traffic.mp_matrix,
+        )
+        fabric = TopoOptFabric(result, LINK_GBPS * GBPS).relabel(server_map)
+        return fabric, fabric.capacities()
+
+    def shared_builder(fabric):
+        return lambda traffic, server_map: (fabric, fabric.capacities())
+
+    architectures = {
+        "TopoOpt": topoopt_builder,
+        "Fat-tree": shared_builder(shared_fattree),
+        "Oversub Fat-tree": shared_builder(shared_oversub),
+        "Ideal Switch": shared_builder(shared_ideal),
+    }
+    results = {}
+    for load in LOADS:
+        per_arch = {}
+        for arch, builder in architectures.items():
+            specs, capacities = _make_jobs(load, cfg, inputs, builder)
+            sim = SharedClusterSimulator(capacities, specs, seed=3)
+            stats = sim.run(iterations_per_job=4)
+            per_arch[arch] = iteration_time_stats(stats)
+        results[load] = per_arch
+    return results
+
+
+def bench_fig16_shared_cluster(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    cfg = scale_config()
+    archs = ["TopoOpt", "Fat-tree", "Oversub Fat-tree", "Ideal Switch"]
+    lines = [
+        f"Figure 16: shared cluster of {cfg.shared_servers} servers "
+        f"(d={DEGREE}, B={LINK_GBPS:g} Gbps)"
+    ]
+    for metric, index in (("average", 0), ("p99", 1)):
+        lines.append(f"\n  {metric} iteration time (ms) vs load:")
+        rows = [
+            (
+                f"{load * 100:.0f}%",
+                *(f"{results[load][a][index] * 1e3:.1f}" for a in archs),
+            )
+            for load in results
+        ]
+        lines += ["  " + l for l in format_table(("load", *archs), rows)]
+    full_load = results[max(results)]
+    avg_gain = full_load["Fat-tree"][0] / full_load["TopoOpt"][0]
+    tail_gain = full_load["Fat-tree"][1] / full_load["TopoOpt"][1]
+    lines.append(
+        f"\nat full load: TopoOpt vs Fat-tree {avg_gain:.2f}x average, "
+        f"{tail_gain:.2f}x p99 (paper: 1.7x avg, 3.4x p99)"
+    )
+    emit("fig16_shared_cluster", lines)
+
+    for load, per_arch in results.items():
+        # TopoOpt beats both Fat-trees at every load.
+        assert per_arch["TopoOpt"][0] < per_arch["Fat-tree"][0]
+    # The shared-fabric penalty grows with load for Fat-tree.
+    loads = sorted(results)
+    assert (
+        results[loads[-1]]["Fat-tree"][1]
+        >= results[loads[0]]["Fat-tree"][1]
+    )
+    assert avg_gain > 1.2

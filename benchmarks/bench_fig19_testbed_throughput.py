@@ -1,0 +1,38 @@
+"""Figure 19: testbed training throughput (samples/second).
+
+Paper (12 servers, d=4, B=25 Gbps): TopoOpt 4x25Gbps matches the
+Switch 100Gbps baseline for every model; Switch 25Gbps is lower because
+it simply has less bandwidth.
+"""
+
+from benchmarks.harness import emit, format_table
+from repro.testbed.prototype import TestbedEmulator
+
+MODELS = ["BERT", "DLRM", "VGG16", "CANDLE", "ResNet50"]
+FABRICS = ["TopoOpt 4x25Gbps", "Switch 100Gbps", "Switch 25Gbps"]
+
+
+def run_experiment():
+    emulator = TestbedEmulator()
+    return emulator.throughput_table(MODELS)
+
+
+def bench_fig19_testbed_throughput(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (model, *(f"{table[model][f]:.0f}" for f in FABRICS))
+        for model in MODELS
+    ]
+    lines = ["Figure 19: testbed training throughput (samples/second)"]
+    lines += format_table(("model", *FABRICS), rows)
+    lines.append(
+        "paper: TopoOpt ~ Switch 100Gbps >> Switch 25Gbps for all models"
+    )
+    emit("fig19_testbed_throughput", lines)
+
+    for model in MODELS:
+        topo = table[model]["TopoOpt 4x25Gbps"]
+        fast = table[model]["Switch 100Gbps"]
+        slow = table[model]["Switch 25Gbps"]
+        assert topo > slow, model            # more raw bandwidth wins
+        assert topo > 0.55 * fast, model     # close to the 100G switch

@@ -1,0 +1,55 @@
+"""Figure 20: time-to-accuracy of VGG19 on ImageNet.
+
+Paper: TopoOpt reaches the 90% top-5 target 2.0x faster than the
+Switch 25Gbps baseline and overlaps the Switch 100Gbps curve.
+"""
+
+from benchmarks.harness import emit, format_table
+from repro.testbed.accuracy import TimeToAccuracyModel
+from repro.testbed.prototype import TestbedEmulator
+
+FABRICS = ["TopoOpt 4x25Gbps", "Switch 100Gbps", "Switch 25Gbps"]
+TARGET = 0.90
+
+
+def run_experiment():
+    emulator = TestbedEmulator()
+    curves = {}
+    for fabric in FABRICS:
+        throughput = emulator.throughput_samples_per_s("VGG19", fabric)
+        model = TimeToAccuracyModel(samples_per_second=throughput)
+        curves[fabric] = (
+            throughput,
+            model.time_to_accuracy_s(TARGET) / 3600.0,
+            model.curve(hours=24, points=7),
+        )
+    return curves
+
+
+def bench_fig20_time_to_accuracy(benchmark):
+    curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (fabric, f"{tput:.0f}", f"{tta_h:.1f} h")
+        for fabric, (tput, tta_h, _) in curves.items()
+    ]
+    lines = ["Figure 20: VGG19/ImageNet time to 90% top-5 accuracy"]
+    lines += format_table(
+        ("fabric", "samples/s", "time to 90%"), rows
+    )
+    lines.append("\naccuracy over time (hours -> top-5):")
+    for fabric, (_, _, curve) in curves.items():
+        series = "  ".join(f"{h:4.1f}h:{a * 100:4.1f}%" for h, a in curve)
+        lines.append(f"  {fabric:<18} {series}")
+    speedup = (
+        curves["Switch 25Gbps"][1] / curves["TopoOpt 4x25Gbps"][1]
+    )
+    lines.append(
+        f"\nTopoOpt vs Switch 25Gbps: {speedup:.2f}x faster to target "
+        "(paper: 2.0x)"
+    )
+    emit("fig20_time_to_accuracy", lines)
+
+    assert speedup > 1.5
+    # TopoOpt overlaps the 100G switch (within 25%).
+    ratio = curves["TopoOpt 4x25Gbps"][1] / curves["Switch 100Gbps"][1]
+    assert ratio < 1.3

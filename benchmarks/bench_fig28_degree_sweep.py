@@ -1,0 +1,89 @@
+"""Figure 28 (Appendix H): impact of server degree on TopoOpt.
+
+Paper (B = 40 and 100 Gbps; d in {4, 6, 8, 10}): DLRM and CANDLE are
+network-heavy and improve steadily with degree (CANDLE near-linearly,
+DLRM super-linearly at 100 Gbps thanks to shorter MP paths); BERT is
+mostly compute-bound so extra degree barely helps.
+"""
+
+from benchmarks.harness import (
+    emit,
+    format_table,
+    scale_config,
+    topoopt_fabric_for,
+    workload,
+)
+from repro.sim.network_sim import simulate_iteration
+
+DEGREES = (4, 6, 8, 10)
+BANDWIDTHS = (40.0, 100.0)
+MODELS = ["DLRM", "CANDLE", "BERT"]
+
+
+def run_experiment():
+    cfg = scale_config()
+    n = cfg.dedicated_servers
+    results = {}
+    for name in MODELS:
+        _, _, traffic, compute_s = workload(name, n)
+        per_bandwidth = {}
+        for gbps in BANDWIDTHS:
+            per_bandwidth[gbps] = {
+                d: simulate_iteration(
+                    topoopt_fabric_for(traffic, n, d, gbps),
+                    traffic,
+                    compute_s,
+                ).total_s
+                for d in DEGREES
+            }
+        results[name] = per_bandwidth
+    return results
+
+
+def bench_fig28_degree_sweep(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    cfg = scale_config()
+    lines = [
+        f"Figure 28: server-degree sweep on TopoOpt "
+        f"({cfg.dedicated_servers} servers, iteration time ms)"
+    ]
+    for gbps in BANDWIDTHS:
+        lines.append(f"\n  B = {gbps:g} Gbps:")
+        rows = [
+            (
+                name,
+                *(
+                    f"{results[name][gbps][d] * 1e3:.1f}"
+                    for d in DEGREES
+                ),
+            )
+            for name in MODELS
+        ]
+        lines += [
+            "  " + l
+            for l in format_table(
+                ("model", *(f"d={d}" for d in DEGREES)), rows
+            )
+        ]
+    # Relative gains d=4 -> d=10.
+    lines.append("\nspeedup from d=4 to d=10:")
+    for name in MODELS:
+        for gbps in BANDWIDTHS:
+            row = results[name][gbps]
+            lines.append(
+                f"  {name} @ {gbps:g}G: {row[4] / row[10]:.2f}x"
+            )
+    emit("fig28_degree_sweep", lines)
+
+    for name in MODELS:
+        for gbps in BANDWIDTHS:
+            row = results[name][gbps]
+            # More degree never hurts.
+            assert row[10] <= row[4] * 1.02, (name, gbps)
+    # Network-heavy models benefit more than BERT (compute-bound).
+    for gbps in BANDWIDTHS:
+        candle_gain = (
+            results["CANDLE"][gbps][4] / results["CANDLE"][gbps][10]
+        )
+        bert_gain = results["BERT"][gbps][4] / results["BERT"][gbps][10]
+        assert candle_gain >= bert_gain * 0.9

@@ -1,0 +1,39 @@
+"""Table 1: comparison of optical switching technologies."""
+
+from benchmarks.harness import emit, format_table
+from repro.network.optical import OPTICAL_TECHNOLOGIES
+
+
+def run_experiment():
+    return dict(OPTICAL_TECHNOLOGIES)
+
+
+def bench_table1(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for tech in table.values():
+        if tech.reconfiguration_latency_s >= 1:
+            latency = f"{tech.reconfiguration_latency_s / 60:.0f} min"
+        elif tech.reconfiguration_latency_s >= 1e-3:
+            latency = f"{tech.reconfiguration_latency_s * 1e3:.0f} ms"
+        elif tech.reconfiguration_latency_s >= 1e-6:
+            latency = f"{tech.reconfiguration_latency_s * 1e6:.1f} us"
+        else:
+            latency = f"{tech.reconfiguration_latency_s * 1e9:.1f} ns"
+        loss_lo, loss_hi = tech.insertion_loss_db
+        loss = (
+            f"{loss_lo}" if loss_lo == loss_hi else f"{loss_lo}-{loss_hi}"
+        )
+        cost = (
+            f"${tech.cost_per_port_usd:.0f}"
+            if tech.cost_per_port_usd is not None
+            else "Not commercial"
+        )
+        rows.append((tech.name, tech.port_count, latency, loss, cost))
+    lines = ["Table 1: optical switching technologies"]
+    lines += format_table(
+        ("technology", "ports", "reconfig latency", "loss (dB)", "cost/port"),
+        rows,
+    )
+    emit("table1_optical_tech", lines)
+    assert len(rows) == 6

@@ -1,0 +1,41 @@
+"""Table 2 (Appendix G): per-component network costs."""
+
+from benchmarks.harness import emit, format_table
+from repro.network.cost import COMPONENT_COSTS
+
+
+def run_experiment():
+    return dict(COMPONENT_COSTS)
+
+
+def bench_table2(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            f"{c.link_gbps} Gbps",
+            f"${c.transceiver:.0f}",
+            f"${c.nic:.0f}",
+            f"${c.electrical_switch_port:.0f}",
+            f"${c.patch_panel_port:.0f}",
+            f"${c.ocs_port:.0f}",
+            f"${c.one_by_two_switch:.0f}",
+        )
+        for c in table.values()
+    ]
+    lines = ["Table 2: cost of network components"]
+    lines += format_table(
+        (
+            "link",
+            "transceiver",
+            "NIC",
+            "switch port",
+            "patch panel",
+            "OCS port",
+            "1x2 switch",
+        ),
+        rows,
+    )
+    emit("table2_component_costs", lines)
+    assert len(rows) == 5
+    # Optical port prices do not scale with bandwidth.
+    assert len({c.patch_panel_port for c in table.values()}) == 1

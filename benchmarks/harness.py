@@ -1,0 +1,192 @@
+"""Shared harness for the per-figure/table benchmarks.
+
+Every bench prints the same rows/series the paper reports and also
+writes them to ``benchmarks/results/<bench>.txt`` so the tables survive
+pytest's stdout capture.  ``REPRO_SCALE=full`` in the environment runs
+the paper-scale configuration; the default is a reduced-but-
+representative scale whose result *shapes* match (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.topology_finder import topology_finder
+from repro.models import build_model, compute_time_seconds
+from repro.network.cost import cost_equivalent_fattree_bandwidth
+from repro.network.expander import ExpanderFabric
+from repro.network.fattree import (
+    FatTreeFabric,
+    IdealSwitchFabric,
+    OversubscribedFatTreeFabric,
+)
+from repro.network.sipml import SipMLFabric
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.strategy import auto_strategy
+from repro.parallel.traffic import TrafficSummary, extract_traffic
+from repro.sim.network_sim import simulate_iteration
+from repro.sim.reconfig import ReconfigurableFabricSimulator
+
+GBPS = 1e9
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_SCALE", "").lower() == "full"
+
+
+@dataclass
+class ScaleConfig:
+    """Experiment dimensions at the active scale."""
+
+    dedicated_servers: int
+    shared_servers: int
+    servers_per_job: int
+    bandwidths_gbps: Sequence[float]
+    mcmc_iterations: int
+    alternating_rounds: int
+    model_scale: str
+
+
+def scale_config() -> ScaleConfig:
+    if full_scale():
+        return ScaleConfig(
+            dedicated_servers=128,
+            shared_servers=432,
+            servers_per_job=16,
+            bandwidths_gbps=(10, 25, 40, 100, 200),
+            mcmc_iterations=400,
+            alternating_rounds=4,
+            model_scale="simulation",
+        )
+    return ScaleConfig(
+        dedicated_servers=32,
+        shared_servers=48,
+        servers_per_job=8,
+        bandwidths_gbps=(10, 25, 100),
+        mcmc_iterations=80,
+        alternating_rounds=2,
+        model_scale="shared",
+    )
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+
+def emit(bench_name: str, lines: List[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{bench_name}.txt").write_text(text + "\n")
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> List[str]:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+
+def workload(model_name: str, n: int, model_scale: Optional[str] = None):
+    """(model, strategy, traffic, compute_s) for a model on n servers."""
+    cfg = scale_config()
+    model = build_model(model_name, scale=model_scale or cfg.model_scale)
+    strategy = auto_strategy(model, n)
+    traffic = extract_traffic(model, strategy)
+    compute_s = compute_time_seconds(model, model.default_batch_per_gpu)
+    return model, strategy, traffic, compute_s
+
+
+def topoopt_fabric_for(
+    traffic: TrafficSummary, n: int, d: int, link_gbps: float
+) -> TopoOptFabric:
+    result = topology_finder(
+        n, d, traffic.allreduce_groups, traffic.mp_matrix
+    )
+    return TopoOptFabric(result, link_gbps * GBPS)
+
+
+#: Architectures of Figure 11 (plus their constructors).
+def dedicated_iteration_times(
+    traffic: TrafficSummary,
+    compute_s: float,
+    n: int,
+    d: int,
+    link_gbps: float,
+    architectures: Sequence[str] = (
+        "TopoOpt",
+        "Ideal Switch",
+        "Fat-tree",
+        "Expander",
+        "OCS-reconfig",
+        "SiP-ML",
+    ),
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Iteration time of one workload on each architecture (Figure 11)."""
+    times: Dict[str, float] = {}
+    allreduce_demand = traffic.allreduce_matrix()
+    for arch in architectures:
+        if arch == "TopoOpt":
+            fabric = topoopt_fabric_for(traffic, n, d, link_gbps)
+            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
+        elif arch == "Ideal Switch":
+            fabric = IdealSwitchFabric(n, d, link_gbps * GBPS)
+            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
+        elif arch == "Fat-tree":
+            equiv = cost_equivalent_fattree_bandwidth(n, d, link_gbps)
+            fabric = FatTreeFabric(n, 1, equiv * GBPS)
+            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
+        elif arch == "Oversub Fat-tree":
+            fabric = OversubscribedFatTreeFabric(
+                n, d, link_gbps * GBPS, servers_per_rack=16
+            )
+            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
+        elif arch == "Expander":
+            fabric = ExpanderFabric(n, d, link_gbps * GBPS, seed=seed)
+            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
+        elif arch == "OCS-reconfig":
+            sim = ReconfigurableFabricSimulator(
+                n,
+                d,
+                link_gbps * GBPS,
+                reconfiguration_latency_s=10e-3,
+                demand_epoch_s=50e-3,
+                host_forwarding=True,
+            )
+            times[arch] = sim.iteration_time(
+                traffic.mp_matrix.copy(), allreduce_demand.copy(), compute_s
+            )
+        elif arch == "SiP-ML":
+            fabric = SipMLFabric(n, d, link_gbps * GBPS)
+            times[arch] = fabric.iteration_time(
+                traffic.mp_matrix.copy(), allreduce_demand.copy(), compute_s
+            )
+        else:
+            raise ValueError(f"unknown architecture {arch!r}")
+    return times
+
+
+def speedup_vs(times: Dict[str, float], baseline: str) -> Dict[str, float]:
+    base = times[baseline]
+    return {arch: base / t for arch, t in times.items()}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Cluster operations: sharding, look-ahead admission, failure recovery.
+
+Demonstrates the operational side of TopoOpt (section 7 + Appendix C):
+
+1. a ShardManager admits jobs into physically isolated optical shards,
+   hiding the patch panel's minutes-long robot behind look-ahead
+   provisioning (admission costs a millisecond 1x2 flip),
+2. a fiber fails mid-training; the FailureManager reroutes the broken
+   AllReduce ring edge over an MP detour (transient policy) and then
+   swaps ports for permanent recovery, and
+3. the NPAR RDMA-forwarding rule chains (Appendix I) are generated for a
+   multi-hop logical connection.
+
+Run:  python examples/cluster_operations.py
+"""
+
+import numpy as np
+
+from repro.core.topology_finder import AllReduceGroup
+from repro.network.sharding import ShardManager
+from repro.parallel.traffic import TrafficSummary
+from repro.sim.failures import FailureManager
+from repro.sim.rdma import RdmaForwardingModel
+
+CLUSTER_SERVERS = 24
+DEGREE = 4
+
+
+def dp_traffic(n, gigabytes=1.0):
+    return TrafficSummary(
+        n=n,
+        allreduce_groups=[
+            AllReduceGroup(
+                members=tuple(range(n)), total_bytes=gigabytes * 1e9
+            )
+        ],
+        mp_matrix=np.zeros((n, n)),
+    )
+
+
+def main():
+    manager = ShardManager(
+        num_servers=CLUSTER_SERVERS,
+        degree=DEGREE,
+        link_bandwidth_bps=100e9,
+    )
+    print(f"Cluster: {CLUSTER_SERVERS} servers, d={DEGREE}, "
+          f"{manager.free_servers} free")
+
+    # --- Admission with look-ahead (Appendix C) -----------------------
+    print("\nPre-provisioning the first job on the look-ahead plane ...")
+    robot_s = manager.preprovision(dp_traffic(8))
+    print(f"  robot wiring latency (off critical path): {robot_s:.0f} s")
+    shard_a, admit_s = manager.admit(dp_traffic(8))
+    print(f"  job {shard_a.job_id} admitted on servers "
+          f"{shard_a.servers} in {admit_s * 1e3:.0f} ms (1x2 flip)")
+
+    shard_b, admit_s = manager.admit(dp_traffic(8))
+    print(f"  job {shard_b.job_id} admitted cold on servers "
+          f"{shard_b.servers} in {admit_s:.0f} s (robot on critical path)")
+    print(f"  free servers: {manager.free_servers}")
+
+    # --- Failure handling (section 7) ----------------------------------
+    print("\nFailing a fiber in job 0's AllReduce ring ...")
+    failures = FailureManager(shard_a.topology_result)
+    ring = shard_a.topology_result.group_plans[0].rings[0]
+    src, dst = ring[0], ring[1]
+    action = failures.fail_link(src, dst)
+    print(f"  link {src}->{dst} down; detour {action.detour_path} "
+          f"({action.extra_hops} extra hop(s))")
+    members = shard_a.topology_result.group_plans[0].group.members
+    print(f"  ring still logically complete: "
+          f"{failures.ring_still_complete(members)}")
+    print(f"  worst AllReduce slowdown while degraded: "
+          f"{failures.slowdown_factor(members):.1f}x")
+    failures.repair_permanently(src, dst)
+    print(f"  port swap applied; slowdown back to "
+          f"{failures.slowdown_factor(members):.1f}x")
+
+    # --- RDMA forwarding rules (Appendix I) ----------------------------
+    print("\nNPAR rule chain for a 3-hop logical RDMA connection:")
+    rdma = RdmaForwardingModel(degree=DEGREE)
+    path = [0, 1, 2, 3]
+    egress_ports = {(path[i], path[i + 1]): i % DEGREE for i in range(3)}
+    for rule in rdma.rules_for_path(path, egress_ports):
+        print(f"  {rule.render()}")
+    rate = rdma.effective_rate_bps(3, 25e9)
+    print(f"  effective rate over 2 kernel relays: {rate / 1e9:.1f} Gbps "
+          f"(line rate 25.0)")
+
+    # --- Teardown ------------------------------------------------------
+    manager.release(shard_a.job_id)
+    manager.release(shard_b.job_id)
+    print(f"\njobs released; free servers: {manager.free_servers}")
+
+
+if __name__ == "__main__":
+    main()

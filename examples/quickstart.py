@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: co-optimize topology and parallelization for one job.
+
+Walks the full TopoOpt pipeline on the paper's 12-node testbed scale:
+
+1. build a DNN workload (the testbed DLRM),
+2. run the alternating optimization (MCMC strategy search alternating
+   with TopologyFinder),
+3. inspect the resulting topology, ring permutations, and routing, and
+4. simulate one training iteration on TopoOpt and on the two switch
+   baselines of section 6.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AlternatingOptimizer,
+    IdealSwitchFabric,
+    MCMCSearch,
+    build_model,
+    simulate_iteration,
+)
+from repro.analysis.heatmap import render_heatmap
+
+NUM_SERVERS = 12
+DEGREE = 4
+LINK_BANDWIDTH = 25e9  # 4 x 25 Gbps, the paper's prototype NIC breakout
+GPUS_PER_SERVER = 1
+
+
+def main():
+    model = build_model("DLRM", scale="testbed")
+    print(f"Workload: {model.name}")
+    print(f"  parameters: {model.total_params_bytes / 1e9:.1f} GB "
+          f"({len(model.embedding_layers)} embedding tables)")
+    print(f"  forward FLOPs/sample: {model.total_flops_per_sample / 1e9:.2f} G")
+
+    search = MCMCSearch(
+        model,
+        num_servers=NUM_SERVERS,
+        gpus_per_server=GPUS_PER_SERVER,
+        seed=0,
+    )
+    optimizer = AlternatingOptimizer(
+        num_servers=NUM_SERVERS,
+        degree=DEGREE,
+        link_bandwidth_bps=LINK_BANDWIDTH,
+        search=search,
+        max_rounds=3,
+        mcmc_iterations=150,
+    )
+    print("\nRunning alternating optimization ...")
+    result = optimizer.run()
+    for round_info in result.rounds:
+        print(
+            f"  round {round_info.round_index}: "
+            f"estimated iteration {round_info.cost_s * 1e3:.1f} ms "
+            f"(AllReduce {round_info.allreduce_bytes / 1e9:.2f} GB, "
+            f"MP {round_info.mp_bytes / 1e9:.2f} GB)"
+        )
+
+    topology = result.topology_result.topology
+    print(f"\nTopology: {topology.num_links()} links, "
+          f"diameter {topology.diameter()}, "
+          f"d_AllReduce={result.topology_result.allreduce_degree}, "
+          f"d_MP={result.topology_result.mp_degree}")
+    for plan in result.topology_result.group_plans:
+        print(f"  AllReduce group of {plan.group.size}: "
+              f"TotientPerms strides {plan.strides}")
+
+    strides = result.topology_result.group_plans[0].strides
+    print("\nTraffic heatmap (AllReduce over selected rings + MP):")
+    print(render_heatmap(result.traffic.heatmap(strides=strides)))
+
+    compute_s = search.compute_s
+    print("\nOne training iteration on each fabric:")
+    breakdown = simulate_iteration(result.fabric, result.traffic, compute_s)
+    _report("TopoOpt 4x25Gbps", breakdown)
+    for name, degree, bandwidth in [
+        ("Switch 100Gbps", DEGREE, LINK_BANDWIDTH),
+        ("Switch 25Gbps", 1, LINK_BANDWIDTH),
+    ]:
+        fabric = IdealSwitchFabric(NUM_SERVERS, degree, bandwidth)
+        _report(name, simulate_iteration(fabric, result.traffic, compute_s))
+
+
+def _report(name, breakdown):
+    print(
+        f"  {name:<18} total {breakdown.total_s * 1e3:7.2f} ms  "
+        f"(compute {breakdown.compute_s * 1e3:6.2f}, "
+        f"MP {breakdown.mp_s * 1e3:6.2f}, "
+        f"AllReduce {breakdown.allreduce_s * 1e3:6.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

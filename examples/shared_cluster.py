@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Shared cluster: TopoOpt sharding vs a shared Fat-tree (section 5.6).
+
+Places a mix of jobs (DLRM / BERT / CANDLE / VGG16, the paper's 40/30/
+20/10% mix) on a cluster and compares per-iteration times when
+
+* each job gets a physically isolated TopoOpt shard (optical sharding,
+  Appendix C), versus
+* all jobs share a cost-equivalent Fat-tree core.
+
+Run:  python examples/shared_cluster.py
+"""
+
+from repro import build_model, compute_time_seconds, topology_finder
+from repro.network.cost import cost_equivalent_fattree_bandwidth
+from repro.network.fattree import IdealSwitchFabric
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.strategy import data_parallel_strategy, hybrid_strategy
+from repro.parallel.traffic import extract_traffic
+from repro.sim.cluster import (
+    JobSpec,
+    SharedClusterSimulator,
+    iteration_time_stats,
+    remap_traffic,
+)
+
+SERVERS_PER_JOB = 8
+NUM_JOBS = 4
+DEGREE = 4
+LINK_GBPS = 100.0
+JOB_MIX = ["DLRM", "BERT", "CANDLE", "VGG16"]
+
+
+def job_traffic(model_name):
+    model = build_model(model_name, scale="shared")
+    if model.embedding_layers:
+        strategy = hybrid_strategy(model, SERVERS_PER_JOB)
+    else:
+        strategy = data_parallel_strategy(model, SERVERS_PER_JOB)
+    traffic = extract_traffic(model, strategy)
+    compute = compute_time_seconds(model, model.default_batch_per_gpu)
+    return traffic, compute
+
+
+def run_topoopt(jobs):
+    capacities = {}
+    specs = []
+    for idx, (name, traffic, compute) in enumerate(jobs):
+        server_map = list(
+            range(idx * SERVERS_PER_JOB, (idx + 1) * SERVERS_PER_JOB)
+        )
+        result = topology_finder(
+            SERVERS_PER_JOB,
+            DEGREE,
+            traffic.allreduce_groups,
+            traffic.mp_matrix,
+        )
+        fabric = TopoOptFabric(result, LINK_GBPS * 1e9).relabel(server_map)
+        capacities.update(fabric.capacities())
+        specs.append(
+            JobSpec(
+                name=f"{name}-{idx}",
+                traffic=remap_traffic(traffic, server_map),
+                compute_s=compute,
+                fabric=fabric,
+            )
+        )
+    sim = SharedClusterSimulator(capacities, specs, seed=0)
+    return sim.run(iterations_per_job=4)
+
+
+def run_fattree(jobs):
+    total_servers = NUM_JOBS * SERVERS_PER_JOB
+    equiv_gbps = cost_equivalent_fattree_bandwidth(
+        total_servers, DEGREE, LINK_GBPS
+    )
+    fabric = IdealSwitchFabric(total_servers, 1, equiv_gbps * 1e9)
+    specs = []
+    for idx, (name, traffic, compute) in enumerate(jobs):
+        server_map = list(
+            range(idx * SERVERS_PER_JOB, (idx + 1) * SERVERS_PER_JOB)
+        )
+        specs.append(
+            JobSpec(
+                name=f"{name}-{idx}",
+                traffic=remap_traffic(traffic, server_map),
+                compute_s=compute,
+                fabric=fabric,
+            )
+        )
+    sim = SharedClusterSimulator(fabric.capacities(), specs, seed=0)
+    return sim.run(iterations_per_job=4)
+
+
+def main():
+    print(f"Job mix: {JOB_MIX} ({SERVERS_PER_JOB} servers each)")
+    jobs = [(name, *job_traffic(name)) for name in JOB_MIX]
+
+    print("\nSimulating TopoOpt shards (isolated optical partitions) ...")
+    topo_stats = run_topoopt(jobs)
+    print("Simulating shared cost-equivalent Fat-tree ...")
+    fat_stats = run_fattree(jobs)
+
+    print(f"\n{'job':<12} {'TopoOpt (ms)':>14} {'Fat-tree (ms)':>14}")
+    for t_job, f_job in zip(topo_stats, fat_stats):
+        t = sum(t_job.iteration_times[1:]) / len(t_job.iteration_times[1:])
+        f = sum(f_job.iteration_times[1:]) / len(f_job.iteration_times[1:])
+        print(f"{t_job.name:<12} {t * 1e3:>14.1f} {f * 1e3:>14.1f}")
+
+    t_avg, t_p99 = iteration_time_stats(topo_stats)
+    f_avg, f_p99 = iteration_time_stats(fat_stats)
+    print(f"\ncluster average: TopoOpt {t_avg * 1e3:.1f} ms vs "
+          f"Fat-tree {f_avg * 1e3:.1f} ms ({f_avg / t_avg:.2f}x)")
+    print(f"cluster p99:     TopoOpt {t_p99 * 1e3:.1f} ms vs "
+          f"Fat-tree {f_p99 * 1e3:.1f} ms ({f_p99 / t_p99:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Analysis utilities: heatmaps, CDFs, and the paper's network metrics."""
+
+from repro.analysis.heatmap import render_heatmap, heatmap_summary
+from repro.analysis.cdf import Cdf, empirical_cdf
+from repro.analysis.metrics import (
+    bandwidth_tax,
+    link_traffic_distribution,
+    path_length_cdf,
+    routed_link_bytes,
+)
+
+__all__ = [
+    "render_heatmap",
+    "heatmap_summary",
+    "Cdf",
+    "empirical_cdf",
+    "bandwidth_tax",
+    "link_traffic_distribution",
+    "path_length_cdf",
+    "routed_link_bytes",
+]

@@ -1,0 +1,54 @@
+"""Empirical CDFs for the paper's distribution figures (2, 14, 15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF: sorted values and cumulative fractions."""
+
+    values: Tuple[float, ...]
+    fractions: Tuple[float, ...]
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1]."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            raise ValueError("empty CDF")
+        return float(np.percentile(np.array(self.values), q * 100.0))
+
+    def fraction_at_or_below(self, value: float) -> float:
+        """CDF evaluated at ``value``."""
+        count = sum(1 for v in self.values if v <= value)
+        return count / len(self.values) if self.values else 0.0
+
+    @property
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    def series(self, points: int = 20) -> List[Tuple[float, float]]:
+        """Down-sampled (value, fraction) pairs for table printing."""
+        if not self.values:
+            return []
+        idx = np.linspace(0, len(self.values) - 1, points).astype(int)
+        return [(self.values[i], self.fractions[i]) for i in idx]
+
+
+def empirical_cdf(samples: Sequence[float]) -> Cdf:
+    """Build an empirical CDF from samples."""
+    if len(samples) == 0:
+        raise ValueError("need at least one sample")
+    ordered = sorted(float(s) for s in samples)
+    n = len(ordered)
+    fractions = tuple((i + 1) / n for i in range(n))
+    return Cdf(values=tuple(ordered), fractions=fractions)

@@ -1,0 +1,70 @@
+"""Traffic-heatmap helpers: ASCII rendering and structural summaries.
+
+The paper communicates traffic patterns as server-to-server heatmaps
+(Figures 1, 4, 8, 9, 22-24).  Benches print them as ASCII grids and
+report the structural facts the figures illustrate: the maximum pair
+transfer, how many diagonals (ring permutations) are present, and how
+balanced the matrix is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(matrix: np.ndarray) -> str:
+    """ASCII-art heatmap: darker characters mean more traffic."""
+    matrix = np.asarray(matrix, dtype=float)
+    peak = matrix.max()
+    rows = []
+    for row in matrix:
+        if peak <= 0:
+            rows.append(" " * len(row))
+            continue
+        chars = []
+        for value in row:
+            level = int(round((len(_SHADES) - 1) * value / peak))
+            chars.append(_SHADES[level])
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def heatmap_summary(matrix: np.ndarray) -> Dict[str, float]:
+    """Structural summary of a traffic matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    off_diag = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    positive = off_diag[off_diag > 0]
+    return {
+        "max_bytes": float(matrix.max()),
+        "total_bytes": float(matrix.sum()),
+        "nonzero_pairs": int((matrix > 0).sum()),
+        "mean_positive_bytes": float(positive.mean()) if positive.size else 0.0,
+        "balance": (
+            float(positive.min() / positive.max()) if positive.size else 1.0
+        ),
+    }
+
+
+def diagonal_offsets(matrix: np.ndarray, threshold: float = 0.5) -> List[int]:
+    """Ring strides visible in a heatmap.
+
+    A "+p" ring permutation over n servers puts traffic on the cyclic
+    diagonal at offset p.  Returns every offset whose *minimum* entry
+    exceeds ``threshold`` times the matrix's peak -- i.e. complete
+    diagonals, the dark lines in Figures 4 and 8.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    peak = matrix.max()
+    if peak <= 0:
+        return []
+    offsets = []
+    for offset in range(1, n):
+        entries = [matrix[i, (i + offset) % n] for i in range(n)]
+        if min(entries) >= threshold * peak:
+            offsets.append(offset)
+    return offsets

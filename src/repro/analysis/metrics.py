@@ -1,0 +1,119 @@
+"""Network metrics of sections 5.4-5.5: bandwidth tax, path lengths, load.
+
+* **Bandwidth tax** (after RotorNet [99]): the ratio of traffic volume in
+  the network -- including host-forwarded bytes -- to the logical demand.
+  A full-bisection Fat-tree always has tax 1; TopoOpt's tax grows with
+  multi-hop MP paths (Figure 13).
+* **Path-length CDF**: hop counts over all server pairs (Figure 14).
+* **Per-link traffic distribution**: bytes carried by each physical link
+  for a routed traffic matrix -- the load-imbalance CDF of Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+Link = Tuple[int, int]
+PathsFn = Callable[[int, int], Sequence[Sequence[int]]]
+
+
+def routed_link_bytes(
+    matrix: np.ndarray, paths_fn: PathsFn
+) -> Dict[Link, float]:
+    """Route a byte matrix over ``paths_fn`` and total bytes per link."""
+    n = matrix.shape[0]
+    totals: Dict[Link, float] = {}
+    for src in range(n):
+        for dst in range(n):
+            byte_count = float(matrix[src, dst])
+            if src == dst or byte_count <= 0:
+                continue
+            paths = paths_fn(src, dst)
+            if not paths:
+                raise ValueError(f"no path for demand {src}->{dst}")
+            share = byte_count / len(paths)
+            for path in paths:
+                for i in range(len(path) - 1):
+                    link = (path[i], path[i + 1])
+                    totals[link] = totals.get(link, 0.0) + share
+    return totals
+
+
+def bandwidth_tax(
+    matrix: np.ndarray, paths_fn: PathsFn, server_count: int = None
+) -> float:
+    """Traffic volume in the network / logical demand volume (section 5.4).
+
+    Only server-to-server hops count: a path through switch nodes (ids
+    >= ``server_count``) contributes one unit per logical transfer, as
+    hosts do not relay in switch fabrics, keeping Fat-tree's tax at 1.
+    """
+    n = matrix.shape[0]
+    if server_count is None:
+        server_count = n
+    logical = 0.0
+    carried = 0.0
+    for src in range(n):
+        for dst in range(n):
+            byte_count = float(matrix[src, dst])
+            if src == dst or byte_count <= 0:
+                continue
+            logical += byte_count
+            paths = paths_fn(src, dst)
+            if not paths:
+                raise ValueError(f"no path for demand {src}->{dst}")
+            share = byte_count / len(paths)
+            for path in paths:
+                server_hops = _server_segment_count(path, server_count)
+                carried += share * server_hops
+    if logical <= 0:
+        return 1.0
+    return carried / logical
+
+
+def _server_segment_count(path: Sequence[int], server_count: int) -> int:
+    """Number of server-to-server segments along a path.
+
+    Consecutive switch nodes collapse into the enclosing segment, so a
+    Fat-tree path server->ToR->core->ToR->server counts once while a
+    TopoOpt relay path server->server->server counts twice.
+    """
+    servers = [node for node in path if node < server_count]
+    return max(len(servers) - 1, 1)
+
+
+def path_length_cdf(paths_fn: PathsFn, n: int) -> List[int]:
+    """Hop counts of the primary path for every ordered pair (Figure 14)."""
+    lengths = []
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            paths = paths_fn(src, dst)
+            if not paths:
+                raise ValueError(f"no path for pair {src}->{dst}")
+            lengths.append(len(paths[0]) - 1)
+    return lengths
+
+
+def link_traffic_distribution(
+    matrix: np.ndarray, paths_fn: PathsFn
+) -> List[float]:
+    """Sorted per-link byte totals for a routed matrix (Figure 15)."""
+    totals = routed_link_bytes(matrix, paths_fn)
+    return sorted(totals.values())
+
+
+def load_imbalance(matrix: np.ndarray, paths_fn: PathsFn) -> float:
+    """(max - min) / max link load; 0 means perfectly balanced."""
+    loads = link_traffic_distribution(matrix, paths_fn)
+    if not loads or loads[-1] <= 0:
+        return 0.0
+    return (loads[-1] - loads[0]) / loads[-1]
+
+
+def average_path_length(paths_fn: PathsFn, n: int) -> float:
+    lengths = path_length_cdf(paths_fn, n)
+    return float(np.mean(lengths)) if lengths else 0.0

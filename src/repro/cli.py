@@ -1,0 +1,163 @@
+"""Command-line interface: co-optimize a job and report the result.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli --model DLRM --scale shared --servers 16 \
+        --degree 4 --bandwidth-gbps 100 --rounds 3 --mcmc-iterations 150
+
+Prints the co-optimized parallelization strategy, the topology (rings,
+matchings, diameter), the routing summary, and the simulated iteration
+time against the Ideal Switch and cost-equivalent Fat-tree baselines --
+the workflow a cluster operator would run before submitting a job to a
+TopoOpt fabric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.alternating import AlternatingOptimizer
+from repro.models.configs import SIMULATION_CONFIGS, build_model
+from repro.network.cost import (
+    architecture_cost,
+    cost_equivalent_fattree_bandwidth,
+)
+from repro.network.fattree import FatTreeFabric, IdealSwitchFabric
+from repro.parallel.mcmc import MCMCSearch
+from repro.parallel.strategy import PlacementKind
+from repro.sim.network_sim import simulate_iteration
+
+GBPS = 1e9
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "TopoOpt co-optimization: find a topology + parallelization "
+            "strategy for one training job and compare fabrics"
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="DLRM",
+        help=f"workload name (one of {sorted(SIMULATION_CONFIGS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        default="shared",
+        choices=("simulation", "shared", "testbed"),
+        help="List 1 preset family (default: shared)",
+    )
+    parser.add_argument("--servers", type=int, default=16)
+    parser.add_argument("--degree", type=int, default=4)
+    parser.add_argument("--bandwidth-gbps", type=float, default=100.0)
+    parser.add_argument("--gpus-per-server", type=int, default=4)
+    parser.add_argument("--batch-per-gpu", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="alternating-optimization rounds")
+    parser.add_argument("--mcmc-iterations", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--primes-only",
+        action="store_true",
+        help="restrict TotientPerms strides to primes (large clusters)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        model = build_model(args.model, scale=args.scale)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"workload      : {model.name} ({args.scale} preset)")
+    print(f"  parameters  : {model.total_params_bytes / 1e9:.2f} GB "
+          f"({len(model.embedding_layers)} embedding tables)")
+    print(f"cluster       : {args.servers} servers x {args.degree} "
+          f"interfaces @ {args.bandwidth_gbps:g} Gbps")
+
+    search = MCMCSearch(
+        model,
+        num_servers=args.servers,
+        batch_per_gpu=args.batch_per_gpu,
+        gpus_per_server=args.gpus_per_server,
+        seed=args.seed,
+    )
+    optimizer = AlternatingOptimizer(
+        num_servers=args.servers,
+        degree=args.degree,
+        link_bandwidth_bps=args.bandwidth_gbps * GBPS,
+        search=search,
+        max_rounds=args.rounds,
+        mcmc_iterations=args.mcmc_iterations,
+        primes_only=args.primes_only,
+    )
+    result = optimizer.run()
+
+    placements = result.strategy.placements
+    mp_count = sum(
+        1 for p in placements.values()
+        if p.kind == PlacementKind.MODEL_PARALLEL
+    )
+    sharded = sum(
+        1 for p in placements.values() if p.kind == PlacementKind.SHARDED
+    )
+    print(f"\nstrategy      : {len(placements)} layers "
+          f"({mp_count} model-parallel, {sharded} sharded, rest DP)")
+    print(f"traffic       : AllReduce "
+          f"{result.traffic.total_allreduce_bytes / 1e9:.2f} GB, "
+          f"MP {result.traffic.total_mp_bytes / 1e9:.2f} GB / iteration")
+
+    topo = result.topology_result.topology
+    print(f"topology      : {topo.num_links()} links, "
+          f"diameter {topo.diameter()}, "
+          f"d_AR={result.topology_result.allreduce_degree}, "
+          f"d_MP={result.topology_result.mp_degree}")
+    for plan in result.topology_result.group_plans:
+        print(f"  group of {plan.group.size:>3}: strides {plan.strides}")
+
+    compute_s = search.compute_s
+    topo_iter = simulate_iteration(
+        result.fabric, result.traffic, compute_s
+    ).total_s
+    ideal = IdealSwitchFabric(
+        args.servers, args.degree, args.bandwidth_gbps * GBPS
+    )
+    ideal_iter = simulate_iteration(
+        ideal, result.traffic, compute_s
+    ).total_s
+    equiv = cost_equivalent_fattree_bandwidth(
+        args.servers, args.degree, args.bandwidth_gbps
+    )
+    fattree = FatTreeFabric(args.servers, 1, equiv * GBPS)
+    fat_iter = simulate_iteration(
+        fattree, result.traffic, compute_s
+    ).total_s
+
+    print(f"\niteration time (simulated):")
+    print(f"  TopoOpt              : {topo_iter * 1e3:9.2f} ms")
+    print(f"  Ideal Switch         : {ideal_iter * 1e3:9.2f} ms "
+          f"({topo_iter / ideal_iter:.2f}x TopoOpt)")
+    print(f"  cost-equiv. Fat-tree : {fat_iter * 1e3:9.2f} ms "
+          f"({fat_iter / topo_iter:.2f}x slower than TopoOpt)")
+
+    topo_cost = architecture_cost(
+        "TopoOpt", args.servers, args.degree, args.bandwidth_gbps
+    )
+    ideal_cost = architecture_cost(
+        "Ideal Switch", args.servers, args.degree, args.bandwidth_gbps
+    )
+    print(f"\ninterconnect cost: TopoOpt ${topo_cost / 1e3:.0f}k vs "
+          f"Ideal Switch ${ideal_cost / 1e3:.0f}k "
+          f"({ideal_cost / topo_cost:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

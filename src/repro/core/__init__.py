@@ -1,0 +1,74 @@
+"""The TopoOpt optimization core (the paper's primary contribution).
+
+Modules
+-------
+* :mod:`repro.core.totient` -- TotientPerms (Algorithm 2 / Theorem 2): ring
+  generation rules from strides co-prime with the group size.
+* :mod:`repro.core.select_perms` -- SelectPermutations (Algorithm 3 /
+  Theorem 1): geometric-sequence stride selection bounding the diameter.
+* :mod:`repro.core.coin_change` -- CoinChangeMod (Algorithm 4): modular
+  coin-change routing on the AllReduce sub-topology.
+* :mod:`repro.core.matching` -- Blossom maximum-weight matching for the MP
+  sub-topology with demand-halving diminishing returns.
+* :mod:`repro.core.topology_finder` -- TopologyFinder (Algorithm 1): degree
+  distribution, sub-topology construction, and combined routing.
+* :mod:`repro.core.mutability` -- AllReduce traffic mutability: ring and
+  double-binary-tree permutations and their traffic matrices (Appendix A).
+* :mod:`repro.core.ocs_reconfig` -- the OCS-reconfig heuristic
+  (Algorithm 5) with the exponential-discount utility function.
+* :mod:`repro.core.alternating` -- the alternating optimization framework
+  (section 4.1) tying the MCMC strategy search to TopologyFinder.
+"""
+
+from repro.core.totient import (
+    coprime_strides,
+    euler_phi,
+    prime_strides,
+    ring_permutation,
+    totient_perms,
+)
+from repro.core.select_perms import select_permutations
+from repro.core.coin_change import CoinChangeRouter, coin_change_mod
+from repro.core.matching import max_weight_matching, mp_matchings
+from repro.core.topology_finder import (
+    AllReduceGroup,
+    TopologyFinderResult,
+    topology_finder,
+)
+from repro.core.mutability import (
+    double_binary_trees,
+    permutation_traffic_matrix,
+    permute_allreduce_order,
+    ring_traffic_matrix,
+)
+from repro.core.ocs_reconfig import (
+    exponential_discount,
+    ocs_reconfig,
+    topology_utility,
+)
+from repro.core.alternating import AlternatingOptimizer, AlternatingResult
+
+__all__ = [
+    "coprime_strides",
+    "euler_phi",
+    "prime_strides",
+    "ring_permutation",
+    "totient_perms",
+    "select_permutations",
+    "CoinChangeRouter",
+    "coin_change_mod",
+    "max_weight_matching",
+    "mp_matchings",
+    "AllReduceGroup",
+    "TopologyFinderResult",
+    "topology_finder",
+    "double_binary_trees",
+    "permutation_traffic_matrix",
+    "permute_allreduce_order",
+    "ring_traffic_matrix",
+    "exponential_discount",
+    "ocs_reconfig",
+    "topology_utility",
+    "AlternatingOptimizer",
+    "AlternatingResult",
+]

@@ -1,0 +1,178 @@
+"""AllReduce traffic mutability: permutations and their traffic matrices.
+
+Paper reference: section 4.3 and Appendix A.
+
+AllReduce traffic is *mutable*: relabeling the servers of an AllReduce
+group yields a different traffic matrix that completes the collective in
+the same time, because every member holds the same part of the model.
+MP traffic is *immutable*: it is pinned by the parallelization strategy
+and device placement.  This module provides:
+
+* ring-AllReduce permutation traffic matrices (the "+p" heatmaps of
+  Figures 7/8),
+* double-binary-tree (DBT) AllReduce permutations and traffic
+  (Appendix A, Figures 22-24), and
+* the generic relabeling operator showing any isomorphic communication
+  graph performs the collective equally well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.totient import ring_permutation
+
+
+def ring_traffic_matrix(
+    group: Sequence[int],
+    total_bytes: float,
+    n: int,
+    stride: int = 1,
+    num_rings: int = 1,
+) -> np.ndarray:
+    """Traffic matrix of ring-AllReduce over ``group`` with one stride.
+
+    A ring-AllReduce of ``S`` bytes over ``k`` servers moves
+    ``2 * (k - 1) / k * S`` bytes across each ring edge (reduce-scatter
+    plus all-gather).  When the synchronization is load-balanced over
+    ``num_rings`` parallel ring permutations, each ring carries a
+    ``1/num_rings`` share.
+
+    Returns an ``n x n`` byte matrix (global server id space).
+    """
+    k = len(group)
+    if k < 2:
+        return np.zeros((n, n))
+    per_edge = 2.0 * (k - 1) / k * total_bytes / num_rings
+    matrix = np.zeros((n, n))
+    order = ring_permutation(group, stride)
+    for i in range(k):
+        src, dst = order[i], order[(i + 1) % k]
+        matrix[src, dst] += per_edge
+    return matrix
+
+
+def permute_allreduce_order(
+    group: Sequence[int], permutation: Sequence[int]
+) -> List[int]:
+    """Relabel an AllReduce group: position i now holds ``group[perm[i]]``.
+
+    The relabeled graph is isomorphic to the original (the homomorphism is
+    an element of Sym(V)), so the collective completes in the same time --
+    the formal statement of mutability in Appendix A.
+    """
+    if sorted(permutation) != list(range(len(group))):
+        raise ValueError("permutation must be a bijection on group positions")
+    return [group[p] for p in permutation]
+
+
+def permutation_traffic_matrix(
+    order: Sequence[int], total_bytes: float, n: int
+) -> np.ndarray:
+    """Traffic matrix of a ring-AllReduce following an explicit order."""
+    k = len(order)
+    matrix = np.zeros((n, n))
+    if k < 2:
+        return matrix
+    per_edge = 2.0 * (k - 1) / k * total_bytes
+    for i in range(k):
+        matrix[order[i], order[(i + 1) % k]] += per_edge
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Double binary trees (Appendix A)
+# ----------------------------------------------------------------------
+
+def _balanced_binary_tree(nodes: Sequence[int]) -> Dict[int, List[int]]:
+    """In-order balanced binary tree: children map over the given nodes.
+
+    The classic DBT construction uses the in-order labeling of a balanced
+    binary search tree over sorted positions, which guarantees that (for
+    even counts) the odd positions are leaves and even positions are
+    in-tree -- the property the second tree flips.
+    """
+    children: Dict[int, List[int]] = {node: [] for node in nodes}
+
+    def build(lo: int, hi: int) -> int:
+        # Root of a balanced BST over positions [lo, hi] is the midpoint
+        # rounded to the largest power-of-two split, matching NCCL's DBT.
+        span = hi - lo + 1
+        top = 1
+        while top * 2 <= span:
+            top *= 2
+        root = lo + top - 1
+        if root > lo:
+            children[nodes[root]].append(nodes[build(lo, root - 1)])
+        if root < hi:
+            children[nodes[root]].append(nodes[build(root + 1, hi)])
+        return root
+
+    if nodes:
+        build(0, len(nodes) - 1)
+    return children
+
+
+def double_binary_trees(
+    group: Sequence[int],
+) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    """Construct a DBT pair: the second tree flips leaf/in-tree roles.
+
+    Tree 1 is the balanced binary tree over the group in the given order;
+    tree 2 is the same construction over the order rotated by one, which
+    swaps the parity of every position and therefore exchanges leaf and
+    in-tree nodes (Appendix A / Figure 23).
+    """
+    if len(group) < 2:
+        raise ValueError("a DBT needs at least two servers")
+    tree1 = _balanced_binary_tree(group)
+    rotated = list(group[1:]) + [group[0]]
+    tree2 = _balanced_binary_tree(rotated)
+    return tree1, tree2
+
+
+def dbt_traffic_matrix(
+    group: Sequence[int], total_bytes: float, n: int
+) -> np.ndarray:
+    """Traffic matrix of double-binary-tree AllReduce over ``group``.
+
+    Each tree carries half of the data; reduce flows child -> parent and
+    broadcast flows parent -> child, each moving ``S/2`` bytes per tree
+    edge per direction.
+    """
+    matrix = np.zeros((n, n))
+    per_tree = total_bytes / 2.0
+    for tree in double_binary_trees(group):
+        for parent, kids in tree.items():
+            for child in kids:
+                matrix[child, parent] += per_tree  # reduce
+                matrix[parent, child] += per_tree  # broadcast
+    return matrix
+
+
+def tree_is_valid(group: Sequence[int], tree: Dict[int, List[int]]) -> bool:
+    """Validate a children map: spans the group, one root, no cycles."""
+    nodes = set(group)
+    child_count: Dict[int, int] = {node: 0 for node in nodes}
+    for parent, kids in tree.items():
+        if parent not in nodes:
+            return False
+        for child in kids:
+            if child not in nodes:
+                return False
+            child_count[child] += 1
+    roots = [node for node, count in child_count.items() if count == 0]
+    if len(roots) != 1 or any(count > 1 for count in child_count.values()):
+        return False
+    # Reachability from the root covers the whole group.
+    seen = set()
+    stack = [roots[0]]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            return False
+        seen.add(node)
+        stack.extend(tree.get(node, []))
+    return seen == nodes

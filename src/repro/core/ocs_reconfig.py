@@ -1,0 +1,221 @@
+"""OCS-reconfig: demand-driven circuit scheduling heuristic (Algorithm 5).
+
+Paper reference: Appendix E.4 (and Appendix F for the SiP-ML variant).
+
+When the fabric reconfigures *within* training iterations, TopoOpt's
+offline co-optimization does not apply; instead the unsatisfied traffic
+demand is collected periodically (every 50 ms in the paper) and circuits
+are (re)assigned greedily to maximize a utility function
+
+    Utility(G) = sum over edges of  T(i, j) * Discount(L(i, j))
+
+where ``L(i, j)`` counts parallel links and ``Discount`` applies a
+diminishing return (default exponential, ``sum_{x<=l} 2^-x``) so repeated
+links to the same hot pair are worth progressively less.  Setting
+``Discount = 1`` recovers the SiP-ML objective (Appendix F).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.network.topology import DirectConnectTopology
+
+Pair = Tuple[int, int]
+DiscountFn = Callable[[int], float]
+
+
+def exponential_discount(links: int) -> float:
+    """The paper's default: Discount(l) = sum_{x=1..l} 2^-x (Eq. 2)."""
+    if links < 0:
+        raise ValueError(f"link count must be non-negative, got {links}")
+    return 1.0 - 0.5 ** links
+
+
+def unit_discount(links: int) -> float:
+    """Discount = 1 for any positive link count (the SiP-ML objective)."""
+    return 1.0 if links > 0 else 0.0
+
+
+def topology_utility(
+    topology: DirectConnectTopology,
+    demand: np.ndarray,
+    discount: DiscountFn = exponential_discount,
+) -> float:
+    """Evaluate Utility(G) (Eq. 1) for a topology against a demand matrix."""
+    utility = 0.0
+    for src, dst, count in topology.edges():
+        traffic = float(demand[src, dst])
+        if traffic > 0:
+            utility += traffic * discount(count)
+    return utility
+
+
+def ocs_reconfig(
+    demand: np.ndarray,
+    degree: int,
+    discount: Optional[DiscountFn] = None,
+    ensure_connected: bool = True,
+) -> DirectConnectTopology:
+    """Run the OCS-reconfig heuristic (Algorithm 5) on a demand snapshot.
+
+    Greedily allocates direct links to the highest-demand pair, scales the
+    satisfied pair's residual demand down by half (implementing the
+    exponential discount's marginal utility), and repeats until transmit
+    or receive interfaces run out.
+
+    Parameters
+    ----------
+    demand:
+        ``n x n`` unsatisfied traffic demand matrix (bytes).
+    degree:
+        Interfaces per node (both tx and rx budget).
+    discount:
+        Only the *demand rescaling* differs between discount choices: the
+        exponential discount halves residual demand after each allocated
+        link; the unit discount (SiP-ML) zeroes it, because extra parallel
+        links add no utility.
+    ensure_connected:
+        Apply the 2-edge-replacement pass (OWAN-style) so host-based
+        forwarding has a connected graph to route over.
+    """
+    demand = np.array(demand, dtype=float, copy=True)
+    n = demand.shape[0]
+    if demand.shape != (n, n):
+        raise ValueError(f"demand must be square, got {demand.shape}")
+    np.fill_diagonal(demand, 0.0)
+    use_exponential = discount is None or discount is exponential_discount
+
+    topo = DirectConnectTopology(n, degree)
+    available_tx = [degree] * n
+    available_rx = [degree] * n
+    active = demand > 0
+
+    while active.any():
+        flat = np.where(active, demand, -1.0)
+        src, dst = np.unravel_index(int(flat.argmax()), flat.shape)
+        if demand[src, dst] <= 0:
+            break
+        topo.add_link(int(src), int(dst))
+        available_tx[src] -= 1
+        available_rx[dst] -= 1
+        if use_exponential:
+            demand[src, dst] /= 2.0
+        else:
+            demand[src, dst] = 0.0
+            active[src, dst] = False
+        if available_tx[src] == 0:
+            active[src, :] = False
+        if available_rx[dst] == 0:
+            active[:, dst] = False
+
+    if ensure_connected:
+        _two_edge_replacement(topo)
+    return topo
+
+
+def _two_edge_replacement(topo: DirectConnectTopology) -> None:
+    """Connect the graph by rewiring parallel/cross links (OWAN-style).
+
+    Finds strongly connected components; while more than one remains,
+    takes an edge inside one component with multiplicity >= 2 (or any
+    edge whose removal keeps its endpoints connected) and an arbitrary
+    node of another component, and replaces one parallel link with a
+    cross-component pair.  Falls back to spending free degree directly.
+    """
+    components = _strongly_connected_components(topo)
+    while len(components) > 1:
+        comp_a, comp_b = components[0], components[1]
+        if not _connect_components(topo, comp_a, comp_b):
+            # Could not rewire; give up rather than loop forever.  The
+            # caller's routing layer will treat unreachable pairs as
+            # blocked until the next reconfiguration.
+            return
+        components = _strongly_connected_components(topo)
+
+
+def _connect_components(topo, comp_a, comp_b) -> bool:
+    """Add one link in each direction between two components.
+
+    Prefers spare interfaces; otherwise donates a parallel link
+    (multiplicity >= 2) from inside the source component, freeing one tx
+    at its source and one rx at its destination -- the "two-edge
+    replacement" of OWAN.
+    """
+    added = 0
+    for members_src, members_dst in ((comp_a, comp_b), (comp_b, comp_a)):
+        src = next(
+            (v for v in members_src if topo.free_tx(v) >= 1),
+            None,
+        )
+        if src is None:
+            donor = _find_parallel_edge(topo, members_src)
+            if donor is None:
+                continue
+            topo.remove_link(*donor)
+            src = donor[0]
+        dst = next(
+            (v for v in members_dst if topo.free_rx(v) >= 1),
+            None,
+        )
+        if dst is None:
+            donor = _find_parallel_edge(topo, members_dst)
+            if donor is None:
+                continue
+            topo.remove_link(*donor)
+            dst = donor[1]
+        topo.add_link(src, dst)
+        added += 1
+    return added > 0
+
+
+def _find_parallel_edge(topo, members) -> Optional[Pair]:
+    """An edge with multiplicity >= 2 whose endpoints lie in ``members``."""
+    member_set = set(members)
+    for src, dst, count in topo.edges():
+        if count >= 2 and src in member_set and dst in member_set:
+            return (src, dst)
+    return None
+
+
+def _strongly_connected_components(topo: DirectConnectTopology):
+    """Tarjan-free SCCs via double DFS (Kosaraju) on the multigraph."""
+    n = topo.n
+    order = []
+    seen = [False] * n
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [(start, iter(topo.neighbors_out(start)))]
+        seen[start] = True
+        while stack:
+            node, nbrs = stack[-1]
+            advanced = False
+            for nbr in nbrs:
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    stack.append((nbr, iter(topo.neighbors_out(nbr))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+    seen = [False] * n
+    components = []
+    for node in reversed(order):
+        if seen[node]:
+            continue
+        component = []
+        stack = [node]
+        seen[node] = True
+        while stack:
+            current = stack.pop()
+            component.append(current)
+            for nbr in topo.neighbors_in(current):
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    stack.append(nbr)
+        components.append(component)
+    return components

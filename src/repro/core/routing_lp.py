@@ -1,0 +1,210 @@
+"""LP-optimal traffic-engineering routing (section 5.5's future work).
+
+The paper observes that TopoOpt's default routing leaves link loads
+imbalanced (Figure 15) and that the *best* routing strategy minimizes
+the maximum link utilization, like WAN traffic engineering -- but
+requires solving a set of linear equations with a centralized
+controller, which the paper leaves to future work.  This module
+implements it:
+
+    minimize    t
+    subject to  sum_p x[pair, p] = 1            for every demand pair
+                sum over (pair, p) crossing l of
+                    demand[pair] * x[pair, p] / cap[l]  <=  t
+                x >= 0
+
+over a candidate path set (all minimum-hop paths plus optional longer
+alternates), solved with :func:`scipy.optimize.linprog` (HiGHS).  The
+result is a fractional path split per pair that the fluid simulator can
+consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+Link = Tuple[int, int]
+Pair = Tuple[int, int]
+PathsFn = Callable[[int, int], Sequence[Sequence[int]]]
+
+
+@dataclass
+class LpRoutingResult:
+    """Optimal fractional routing."""
+
+    splits: Dict[Pair, List[Tuple[List[int], float]]]
+    max_utilization: float
+
+    def paths_fn(self) -> PathsFn:
+        """Adapter: weighted path replication for split-unaware callers.
+
+        Callers that split demand evenly across returned paths get an
+        approximation of the fractional solution: each path is repeated
+        proportionally to its weight (16 slots of resolution).
+        """
+
+        def fn(src: int, dst: int):
+            entries = self.splits.get((src, dst))
+            if not entries:
+                return []
+            slots: List[List[int]] = []
+            for path, weight in entries:
+                count = max(1, round(weight * 16))
+                slots.extend([list(path)] * count)
+            return slots
+
+        return fn
+
+    def link_utilization(
+        self, demand: np.ndarray, capacities: Dict[Link, float]
+    ) -> Dict[Link, float]:
+        """Per-link utilization under the fractional solution."""
+        load: Dict[Link, float] = {link: 0.0 for link in capacities}
+        for (src, dst), entries in self.splits.items():
+            for path, weight in entries:
+                share = float(demand[src, dst]) * weight
+                for a, b in zip(path, path[1:]):
+                    load[(a, b)] += share
+        return {
+            link: load[link] / cap for link, cap in capacities.items()
+        }
+
+
+def optimize_routing(
+    demand: np.ndarray,
+    capacities: Dict[Link, float],
+    candidate_paths: PathsFn,
+    max_paths_per_pair: int = 6,
+) -> LpRoutingResult:
+    """Solve the min-max-utilization routing LP.
+
+    Parameters
+    ----------
+    demand:
+        ``n x n`` byte matrix.
+    capacities:
+        Directed link -> capacity (any consistent unit; utilization is
+        demand/capacity so only ratios matter).
+    candidate_paths:
+        Path generator per pair (e.g. ``topology.all_shortest_paths``).
+    max_paths_per_pair:
+        Cap on candidates per pair to bound the LP size.
+
+    Raises
+    ------
+    ValueError
+        If some positive demand has no candidate path, or a path uses a
+        link missing from ``capacities``.
+    """
+    n = demand.shape[0]
+    pairs: List[Pair] = []
+    paths: List[List[List[int]]] = []
+    for src in range(n):
+        for dst in range(n):
+            if src == dst or demand[src, dst] <= 0:
+                continue
+            candidates = list(candidate_paths(src, dst))[:max_paths_per_pair]
+            if not candidates:
+                raise ValueError(f"no candidate path for pair {src}->{dst}")
+            pairs.append((src, dst))
+            paths.append([list(p) for p in candidates])
+
+    if not pairs:
+        return LpRoutingResult(splits={}, max_utilization=0.0)
+
+    link_index = {link: i for i, link in enumerate(capacities)}
+    num_links = len(link_index)
+
+    # Variable layout: [x_0 ... x_{P-1}, t]
+    var_offsets = []
+    total_vars = 0
+    for candidates in paths:
+        var_offsets.append(total_vars)
+        total_vars += len(candidates)
+    t_index = total_vars
+    total_vars += 1
+
+    # Equality: per-pair fractions sum to 1.
+    a_eq = np.zeros((len(pairs), total_vars))
+    b_eq = np.ones(len(pairs))
+    for row, (offset, candidates) in enumerate(zip(var_offsets, paths)):
+        a_eq[row, offset: offset + len(candidates)] = 1.0
+
+    # Inequality: per-link load / capacity - t <= 0.
+    a_ub = np.zeros((num_links, total_vars))
+    b_ub = np.zeros(num_links)
+    for pair_idx, (pair, candidates) in enumerate(zip(pairs, paths)):
+        volume = float(demand[pair])
+        offset = var_offsets[pair_idx]
+        for path_idx, path in enumerate(candidates):
+            for a, b in zip(path, path[1:]):
+                link = (a, b)
+                if link not in link_index:
+                    raise ValueError(
+                        f"candidate path {path} uses unknown link {link}"
+                    )
+                a_ub[link_index[link], offset + path_idx] += (
+                    volume / capacities[link]
+                )
+    a_ub[:, t_index] = -1.0
+
+    cost = np.zeros(total_vars)
+    cost[t_index] = 1.0
+    bounds = [(0, None)] * total_vars
+
+    solution = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not solution.success:  # pragma: no cover - solver failure
+        raise RuntimeError(f"routing LP failed: {solution.message}")
+
+    splits: Dict[Pair, List[Tuple[List[int], float]]] = {}
+    for pair_idx, (pair, candidates) in enumerate(zip(pairs, paths)):
+        offset = var_offsets[pair_idx]
+        entries = []
+        for path_idx, path in enumerate(candidates):
+            weight = float(solution.x[offset + path_idx])
+            if weight > 1e-9:
+                entries.append((path, weight))
+        # Renormalize away solver epsilon.
+        total = sum(w for _, w in entries)
+        splits[pair] = [(p, w / total) for p, w in entries]
+    return LpRoutingResult(
+        splits=splits, max_utilization=float(solution.x[t_index])
+    )
+
+
+def default_routing_max_utilization(
+    demand: np.ndarray,
+    capacities: Dict[Link, float],
+    paths_fn: PathsFn,
+) -> float:
+    """Max link utilization of even-split routing (the baseline)."""
+    load: Dict[Link, float] = {link: 0.0 for link in capacities}
+    n = demand.shape[0]
+    for src in range(n):
+        for dst in range(n):
+            volume = float(demand[src, dst])
+            if src == dst or volume <= 0:
+                continue
+            candidates = list(paths_fn(src, dst))
+            if not candidates:
+                raise ValueError(f"no path for pair {src}->{dst}")
+            share = volume / len(candidates)
+            for path in candidates:
+                for a, b in zip(path, path[1:]):
+                    load[(a, b)] += share
+    return max(
+        (load[link] / cap for link, cap in capacities.items()),
+        default=0.0,
+    )

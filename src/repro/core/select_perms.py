@@ -1,0 +1,121 @@
+"""SelectPermutations: geometric stride selection for small diameter.
+
+Paper reference: Algorithm 3 and Theorem 1 (Appendix E.2).
+
+Given the candidate strides ``Pk`` from TotientPerms and a degree budget
+``dk``, the module picks ``dk`` strides whose values approximate the
+geometric sequence ``{x^0, x^1, ..., x^{dk-1}}`` with ratio
+``x = n^(1/dk)``.  A server can then reach any ring distance ``m`` by
+combining at most ``O(dk * n^(1/dk))`` stride hops (Theorem 1) -- a
+Chord-like structure that keeps the AllReduce sub-topology's diameter
+small, which is what benefits the (immutable) MP transfers.
+
+Per Appendix E.2, when ``n^(1/dk) < 2`` the geometric ratio is clamped to
+2: spending the full degree budget on a ratio below 2 wastes degrees, and
+the diameter bound becomes ``O(log2 n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def select_permutations(
+    n: int, dk: int, candidates: Sequence[int]
+) -> List[int]:
+    """Choose ``dk`` strides from ``candidates`` near a geometric sequence.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes in the AllReduce group (the modulus of the
+        ring arithmetic).
+    dk:
+        Degree budget: how many ring permutations to select.
+    candidates:
+        Valid strides (output of TotientPerms), each co-prime with ``n``.
+
+    Returns
+    -------
+    The selected strides, ascending.  Always includes the smallest
+    candidate (the seed ``q = Pk[0]`` in Algorithm 3).  If ``dk`` exceeds
+    the number of distinct candidates (``phi(n)`` can be smaller than the
+    degree budget for small groups), candidates repeat round-robin --
+    repeated strides become *parallel* rings, so no interface is wasted.
+
+    Notes
+    -----
+    Selection projects the ideal geometric value ``x * q`` onto the unused
+    candidates with minimal L1 distance (Algorithm 3 line 8).
+    """
+    if dk <= 0:
+        return []
+    pool = sorted(set(candidates))
+    if not pool:
+        raise ValueError("no candidate strides to select from")
+    if dk >= len(pool):
+        repeated: List[int] = []
+        while len(repeated) < dk:
+            repeated.extend(pool[: dk - len(repeated)])
+        return sorted(repeated)
+
+    ratio = n ** (1.0 / dk)
+    # Appendix E.2: a ratio below 2 wastes degrees; clamp to 2.
+    ratio = max(ratio, 2.0)
+
+    selected: List[int] = []
+    remaining = set(pool)
+    q = pool[0]
+    selected.append(q)
+    remaining.discard(q)
+    for _ in range(dk - 1):
+        target = ratio * q
+        q = min(remaining, key=lambda r: (abs(r - target), r))
+        selected.append(q)
+        remaining.discard(q)
+    return sorted(selected)
+
+
+def geometric_targets(n: int, dk: int) -> List[float]:
+    """The ideal geometric stride sequence Algorithm 3 tries to fit."""
+    if dk <= 0:
+        return []
+    ratio = max(n ** (1.0 / dk), 2.0)
+    targets = [1.0]
+    for _ in range(dk - 1):
+        targets.append(targets[-1] * ratio)
+    return targets
+
+
+def greedy_reach_bound(n: int, strides: Iterable[int]) -> int:
+    """Worst-case hop count to reach any ring distance with ``strides``.
+
+    Exact dynamic program over ``Z_n`` (the same recurrence as the
+    coin-change router): the value is the diameter of the AllReduce
+    sub-topology induced by the selected stride rings.  Used by tests and
+    the SelectPermutations ablation to check Theorem 1's
+    ``O(dA * n^(1/dA))`` bound empirically.
+    """
+    strides = sorted(set(s % n for s in strides if s % n != 0))
+    if not strides:
+        raise ValueError("need at least one non-zero stride")
+    dist = [None] * n  # type: List[int]
+    dist[0] = 0
+    frontier = [0]
+    reached = 1
+    while frontier and reached < n:
+        next_frontier = []
+        for value in frontier:
+            for s in strides:
+                nxt = (value + s) % n
+                if dist[nxt] is None:
+                    dist[nxt] = dist[value] + 1
+                    next_frontier.append(nxt)
+                    reached += 1
+        frontier = next_frontier
+    if reached < n:
+        raise ValueError(
+            f"strides {strides} do not generate Z_{n}; "
+            "at least one must be co-prime with n"
+        )
+    return max(d for d in dist if d is not None)

@@ -1,0 +1,48 @@
+"""DNN workload models: the six networks evaluated in the paper.
+
+Each model is described as a sequence of :class:`~repro.models.base.Layer`
+objects carrying parameter bytes, FLOPs per sample, and activation bytes
+per sample -- everything the parallelization-strategy search and the
+traffic extractor need.  Configurations follow List 1 of the paper
+(Appendix D): separate presets for the large-scale simulations (section
+5.3), the shared-cluster study (section 5.6), and the 12-node testbed
+(section 6).
+"""
+
+from repro.models.base import DNNModel, Layer, LayerKind
+from repro.models.compute import GPUSpec, A100, compute_time_seconds
+from repro.models.dlrm import build_dlrm
+from repro.models.candle import build_candle
+from repro.models.bert import build_bert
+from repro.models.ncf import build_ncf
+from repro.models.resnet import build_resnet50
+from repro.models.vgg import build_vgg
+from repro.models.configs import (
+    MODEL_BUILDERS,
+    ModelConfig,
+    SIMULATION_CONFIGS,
+    SHARED_CLUSTER_CONFIGS,
+    TESTBED_CONFIGS,
+    build_model,
+)
+
+__all__ = [
+    "DNNModel",
+    "Layer",
+    "LayerKind",
+    "GPUSpec",
+    "A100",
+    "compute_time_seconds",
+    "build_dlrm",
+    "build_candle",
+    "build_bert",
+    "build_ncf",
+    "build_resnet50",
+    "build_vgg",
+    "MODEL_BUILDERS",
+    "ModelConfig",
+    "SIMULATION_CONFIGS",
+    "SHARED_CLUSTER_CONFIGS",
+    "TESTBED_CONFIGS",
+    "build_model",
+]

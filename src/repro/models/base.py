@@ -1,0 +1,215 @@
+"""Layer and model abstractions shared by the whole workload zoo.
+
+A DNN is a flat sequence of layers.  For the purposes of topology /
+parallelization co-optimization the only facts that matter about a layer
+are (i) how many bytes of parameters it owns (AllReduce volume when data
+parallel), (ii) how many FLOPs it costs per training sample (compute
+time), and (iii) how many activation bytes per sample cross a partition
+boundary if the layer is placed remotely (MP volume) -- exactly the
+quantities the paper's Appendix D reasons with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+BYTES_PER_PARAM = 4  # fp32 master weights; the paper's DLRM example uses 8
+BYTES_PER_ACTIVATION = 4
+
+
+class LayerKind(enum.Enum):
+    """Coarse operator classes; they determine legal placements."""
+
+    DENSE = "dense"
+    CONV = "conv"
+    EMBEDDING = "embedding"
+    ATTENTION = "attention"
+    NORM = "norm"
+    POOL = "pool"
+    INTERACTION = "interaction"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One operator of a DNN.
+
+    Attributes
+    ----------
+    name:
+        Unique layer name within the model.
+    kind:
+        Operator class (embeddings are the MP-placeable layers).
+    params_bytes:
+        Bytes of trainable parameters the layer owns.
+    flops_per_sample:
+        Forward-pass FLOPs for one sample; backward is modelled as 2x.
+    activation_bytes_per_sample:
+        Bytes of output activations for one sample -- the unit of MP
+        traffic if the layer's owner differs from the sample's worker.
+    """
+
+    name: str
+    kind: LayerKind
+    params_bytes: float
+    flops_per_sample: float
+    activation_bytes_per_sample: float
+
+    def __post_init__(self):
+        if self.params_bytes < 0 or self.flops_per_sample < 0:
+            raise ValueError(f"layer {self.name}: negative size/flops")
+        if self.activation_bytes_per_sample < 0:
+            raise ValueError(f"layer {self.name}: negative activation size")
+
+
+@dataclass(frozen=True)
+class DNNModel:
+    """A DNN workload: named layer sequence plus its default batch size."""
+
+    name: str
+    layers: Tuple[Layer, ...]
+    default_batch_per_gpu: int
+
+    def __post_init__(self):
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate layer names")
+        if self.default_batch_per_gpu <= 0:
+            raise ValueError(f"{self.name}: batch size must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_params_bytes(self) -> float:
+        return sum(layer.params_bytes for layer in self.layers)
+
+    @property
+    def total_flops_per_sample(self) -> float:
+        return sum(layer.flops_per_sample for layer in self.layers)
+
+    def layers_of_kind(self, kind: LayerKind) -> List[Layer]:
+        return [layer for layer in self.layers if layer.kind == kind]
+
+    @property
+    def embedding_layers(self) -> List[Layer]:
+        return self.layers_of_kind(LayerKind.EMBEDDING)
+
+    @property
+    def dense_params_bytes(self) -> float:
+        """Parameter bytes outside embedding tables (the replicable part)."""
+        return sum(
+            layer.params_bytes
+            for layer in self.layers
+            if layer.kind != LayerKind.EMBEDDING
+        )
+
+    @property
+    def embedding_params_bytes(self) -> float:
+        return sum(layer.params_bytes for layer in self.embedding_layers)
+
+    def layer(self, name: str) -> Layer:
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"{self.name} has no layer named {name!r}")
+
+
+def dense_layer(
+    name: str, in_features: int, out_features: int, bias: bool = True
+) -> Layer:
+    """Fully connected layer: params, 2*in*out FLOPs, out activations."""
+    params = in_features * out_features + (out_features if bias else 0)
+    return Layer(
+        name=name,
+        kind=LayerKind.DENSE,
+        params_bytes=params * BYTES_PER_PARAM,
+        flops_per_sample=2.0 * in_features * out_features,
+        activation_bytes_per_sample=out_features * BYTES_PER_ACTIVATION,
+    )
+
+
+def conv_layer(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    out_hw: int,
+) -> Layer:
+    """2D convolution: K*K*Cin*Cout params, 2*K^2*Cin*Cout*H*W FLOPs."""
+    params = kernel * kernel * in_channels * out_channels + out_channels
+    flops = 2.0 * kernel * kernel * in_channels * out_channels * out_hw * out_hw
+    activation = out_channels * out_hw * out_hw * BYTES_PER_ACTIVATION
+    return Layer(
+        name=name,
+        kind=LayerKind.CONV,
+        params_bytes=params * BYTES_PER_PARAM,
+        flops_per_sample=flops,
+        activation_bytes_per_sample=activation,
+    )
+
+
+def embedding_layer(
+    name: str, rows: int, dim: int, lookups_per_sample: int = 1
+) -> Layer:
+    """Embedding table: rows*dim params, gather FLOPs, dim activations.
+
+    A lookup is a sparse gather, so FLOPs are tiny (one row copy per
+    lookup); the dominant effect is the parameter footprint and the
+    per-sample activation vector it produces.
+    """
+    params = rows * dim
+    return Layer(
+        name=name,
+        kind=LayerKind.EMBEDDING,
+        params_bytes=params * BYTES_PER_PARAM,
+        flops_per_sample=2.0 * dim * lookups_per_sample,
+        activation_bytes_per_sample=dim
+        * lookups_per_sample
+        * BYTES_PER_ACTIVATION,
+    )
+
+
+def attention_block(
+    name: str, hidden: int, seq_len: int, heads: int, ffn_multiplier: int = 4
+) -> List[Layer]:
+    """One transformer block: self-attention + feed-forward sublayers.
+
+    Parameter count: 4*h^2 (QKV + output projections) plus
+    2*ffn_multiplier*h^2 (the two FFN projections), the standard
+    transformer accounting.  FLOPs include the seq^2 attention matmuls.
+    """
+    attn_params = 4 * hidden * hidden
+    attn_flops = (
+        2.0 * 4 * hidden * hidden * seq_len  # projections over the sequence
+        + 2.0 * 2 * seq_len * seq_len * hidden  # QK^T and attn*V
+    )
+    ffn_params = 2 * ffn_multiplier * hidden * hidden
+    ffn_flops = 2.0 * 2 * ffn_multiplier * hidden * hidden * seq_len
+    activation = seq_len * hidden * BYTES_PER_ACTIVATION
+    return [
+        Layer(
+            name=f"{name}.attn",
+            kind=LayerKind.ATTENTION,
+            params_bytes=attn_params * BYTES_PER_PARAM,
+            flops_per_sample=attn_flops,
+            activation_bytes_per_sample=activation,
+        ),
+        Layer(
+            name=f"{name}.ffn",
+            kind=LayerKind.DENSE,
+            params_bytes=ffn_params * BYTES_PER_PARAM,
+            flops_per_sample=ffn_flops,
+            activation_bytes_per_sample=activation,
+        ),
+    ]
+
+
+def stack(name: str, layer_groups: Iterable[Sequence[Layer]]) -> List[Layer]:
+    """Flatten layer groups, asserting the names stay unique."""
+    flat: List[Layer] = []
+    for group in layer_groups:
+        flat.extend(group)
+    names = [layer.name for layer in flat]
+    if len(set(names)) != len(names):
+        raise ValueError(f"{name}: duplicate layer names when stacking")
+    return flat

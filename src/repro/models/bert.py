@@ -1,0 +1,61 @@
+"""BERT: bidirectional transformer encoder (Devlin et al.).
+
+Built from standard transformer blocks (self-attention + feed-forward)
+over a token/position embedding front-end.  List 1 presets:
+
+  section 5.3: 12 blocks, hidden 1024, sequence 64, 16 heads, embed 512.
+  section 5.6: 6 blocks, hidden 768, sequence 256, 6 heads.
+  section 6:   6 blocks, hidden 1024, sequence 1024, 16 heads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import (
+    DNNModel,
+    Layer,
+    attention_block,
+    dense_layer,
+    embedding_layer,
+)
+
+
+def build_bert(
+    num_blocks: int = 12,
+    hidden: int = 1024,
+    seq_len: int = 64,
+    heads: int = 16,
+    embedding_size: int = 512,
+    vocab_size: int = 30522,
+    batch_per_gpu: int = 16,
+) -> DNNModel:
+    """Construct BERT with the paper's List 1 parameterization.
+
+    The word-embedding table is a :class:`LayerKind.EMBEDDING` layer, so
+    the strategy search may place it model-parallel, but for BERT the
+    dense transformer stack dominates and the best strategy found is
+    (as in the paper) mostly data parallel.
+    """
+    if heads <= 0 or hidden % heads != 0:
+        raise ValueError(
+            f"hidden ({hidden}) must be divisible by heads ({heads})"
+        )
+    layers: List[Layer] = [
+        embedding_layer(
+            "word_embeddings", vocab_size, embedding_size,
+            lookups_per_sample=seq_len,
+        ),
+        dense_layer("embed_projection", embedding_size, hidden),
+    ]
+    for b in range(num_blocks):
+        layers.extend(
+            attention_block(f"block{b}", hidden, seq_len, heads)
+        )
+    layers.append(dense_layer("pooler", hidden, hidden))
+    layers.append(dense_layer("classifier", hidden, 2))
+    return DNNModel(
+        name="BERT",
+        layers=tuple(layers),
+        default_batch_per_gpu=batch_per_gpu,
+    )

@@ -1,0 +1,41 @@
+"""CANDLE Uno: cancer drug-response prediction MLP (ECP-CANDLE Pilot1).
+
+CANDLE Uno is a wide multi-tower MLP: several feature encoders followed
+by a deep fused tower.  At the paper's section 5.3 scale (dense layers of
+16384 units) the model is heavily communication-bound under data
+parallelism, which is why Figure 11a shows TopoOpt/Ideal/SiP-ML tied and
+Fat-tree ~2.8x slower -- the traffic is almost pure AllReduce.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import DNNModel, Layer, dense_layer
+
+
+def build_candle(
+    num_dense_layers: int = 8,
+    dense_layer_size: int = 16384,
+    num_feature_layers: int = 16,
+    feature_layer_size: int = 16384,
+    input_features: int = 942,
+    batch_per_gpu: int = 256,
+) -> DNNModel:
+    """Construct CANDLE Uno with the paper's List 1 parameterization."""
+    layers: List[Layer] = []
+    previous = input_features
+    for i in range(num_feature_layers):
+        layers.append(
+            dense_layer(f"feature.{i}", previous, feature_layer_size)
+        )
+        previous = feature_layer_size
+    for i in range(num_dense_layers):
+        layers.append(dense_layer(f"tower.{i}", previous, dense_layer_size))
+        previous = dense_layer_size
+    layers.append(dense_layer("tower.out", previous, 1))
+    return DNNModel(
+        name="CANDLE",
+        layers=tuple(layers),
+        default_batch_per_gpu=batch_per_gpu,
+    )

@@ -1,0 +1,85 @@
+"""DLRM: Deep Learning Recommendation Model (Naumov et al.).
+
+A DLRM consists of a bottom MLP over dense features, a set of very large
+embedding tables over categorical features, a feature-interaction stage,
+and a top MLP.  The embedding tables dominate the parameter count (100s
+of GB at production scale) and are the layers hybrid parallelism places
+on individual servers, producing the one-to-many / many-to-one MP
+patterns of Figure 1b.
+
+List 1 presets (section references are to the paper):
+  section 5.3: 8 dense layers of 2048, 16 feature layers of 4096,
+               64 embedding tables of 128 x 1e7, batch 128/GPU.
+  section 5.4: 128 embedding tables (worst-case all-to-all).
+  section 5.6: 16 tables of 256 x 1e7, batch 256/GPU.
+  section 6:   12 tables of 32768 x 1e5, batch 64..512/GPU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import (
+    BYTES_PER_ACTIVATION,
+    DNNModel,
+    Layer,
+    LayerKind,
+    dense_layer,
+    embedding_layer,
+)
+
+
+def build_dlrm(
+    num_dense_layers: int = 8,
+    dense_layer_size: int = 2048,
+    num_feature_layers: int = 16,
+    feature_layer_size: int = 4096,
+    num_embedding_tables: int = 64,
+    embedding_dim: int = 128,
+    embedding_rows: int = 10_000_000,
+    batch_per_gpu: int = 128,
+) -> DNNModel:
+    """Construct a DLRM with the paper's List 1 parameterization."""
+    layers: List[Layer] = []
+
+    # Bottom MLP over dense features.
+    previous = feature_layer_size
+    for i in range(num_feature_layers):
+        layers.append(
+            dense_layer(f"bottom_mlp.{i}", previous, feature_layer_size)
+        )
+        previous = feature_layer_size
+
+    # Embedding tables -- the MP-placeable layers.
+    for t in range(num_embedding_tables):
+        layers.append(
+            embedding_layer(f"embedding.{t}", embedding_rows, embedding_dim)
+        )
+
+    # Feature interaction: pairwise dot products of embedding outputs and
+    # the bottom-MLP output.  No parameters; concatenation-sized output.
+    interaction_inputs = num_embedding_tables + 1
+    interaction_out = interaction_inputs * (interaction_inputs - 1) // 2
+    layers.append(
+        Layer(
+            name="interaction",
+            kind=LayerKind.INTERACTION,
+            params_bytes=0.0,
+            flops_per_sample=2.0 * interaction_out * embedding_dim,
+            activation_bytes_per_sample=interaction_out
+            * BYTES_PER_ACTIVATION,
+        )
+    )
+
+    # Top MLP producing the click-through-rate logit.
+    previous = interaction_out
+    for i in range(num_dense_layers):
+        layers.append(dense_layer(f"top_mlp.{i}", previous, dense_layer_size))
+        previous = dense_layer_size
+    layers.append(dense_layer("top_mlp.out", previous, 1))
+
+    return DNNModel(
+        name="DLRM",
+        layers=tuple(layers),
+        default_batch_per_gpu=batch_per_gpu,
+    )

@@ -1,0 +1,56 @@
+"""NCF: Neural Collaborative Filtering (He et al.).
+
+NCF combines a matrix-factorization (MF) path and an MLP path, each with
+its own user and item embedding tables.  List 1 (section 5.3): 32 user
+and 32 item tables per path, 1e6 rows each, MF dim 64 / MLP dim 128,
+8 dense layers of 4096.  The many mid-sized embedding tables give NCF a
+higher MP communication degree than DLRM, which is why Figure 11e shows
+the largest TopoOpt-to-Ideal gap (1.7x) -- host-based forwarding pays
+the most for NCF's many-to-many transfers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import DNNModel, Layer, dense_layer, embedding_layer
+
+
+def build_ncf(
+    num_user_tables: int = 32,
+    num_item_tables: int = 32,
+    users_per_table: int = 1_000_000,
+    items_per_table: int = 1_000_000,
+    mf_dim: int = 64,
+    mlp_dim: int = 128,
+    num_dense_layers: int = 8,
+    dense_layer_size: int = 4096,
+    batch_per_gpu: int = 128,
+) -> DNNModel:
+    """Construct NCF with the paper's List 1 parameterization."""
+    layers: List[Layer] = []
+    for t in range(num_user_tables):
+        layers.append(
+            embedding_layer(f"user_mf.{t}", users_per_table, mf_dim)
+        )
+        layers.append(
+            embedding_layer(f"user_mlp.{t}", users_per_table, mlp_dim)
+        )
+    for t in range(num_item_tables):
+        layers.append(
+            embedding_layer(f"item_mf.{t}", items_per_table, mf_dim)
+        )
+        layers.append(
+            embedding_layer(f"item_mlp.{t}", items_per_table, mlp_dim)
+        )
+    previous = (num_user_tables + num_item_tables) * mlp_dim
+    for i in range(num_dense_layers):
+        layers.append(dense_layer(f"mlp.{i}", previous, dense_layer_size))
+        previous = dense_layer_size
+    # NeuMF fusion: concatenate the MF dot-product path and the MLP path.
+    layers.append(dense_layer("neumf.out", previous + mf_dim, 1))
+    return DNNModel(
+        name="NCF",
+        layers=tuple(layers),
+        default_batch_per_gpu=batch_per_gpu,
+    )

@@ -1,0 +1,83 @@
+"""ResNet-50 (He et al.): the compute-bound baseline of the evaluation.
+
+Standard bottleneck residual architecture for 224x224 ImageNet inputs.
+ResNet-50 has a modest 25.6M parameters against ~4 GFLOPs/sample, so its
+AllReduce is small relative to compute -- Figure 11f shows all fabrics
+roughly tied, which the reproduction inherits from this layer inventory.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import (
+    BYTES_PER_ACTIVATION,
+    DNNModel,
+    Layer,
+    LayerKind,
+    conv_layer,
+    dense_layer,
+)
+
+# (blocks, in_channels, mid_channels, out_channels, feature map size)
+_STAGES = [
+    (3, 64, 64, 256, 56),
+    (4, 256, 128, 512, 28),
+    (6, 512, 256, 1024, 14),
+    (3, 1024, 512, 2048, 7),
+]
+
+
+def _bottleneck(
+    name: str, in_ch: int, mid_ch: int, out_ch: int, hw: int, downsample: bool
+) -> List[Layer]:
+    layers = [
+        conv_layer(f"{name}.conv1", in_ch, mid_ch, 1, hw),
+        conv_layer(f"{name}.conv2", mid_ch, mid_ch, 3, hw),
+        conv_layer(f"{name}.conv3", mid_ch, out_ch, 1, hw),
+    ]
+    if downsample:
+        layers.append(conv_layer(f"{name}.downsample", in_ch, out_ch, 1, hw))
+    return layers
+
+
+def build_resnet50(batch_per_gpu: int = 128) -> DNNModel:
+    """Construct ResNet-50 for 224x224 inputs (List 1: batch 128/GPU)."""
+    layers: List[Layer] = [conv_layer("stem.conv", 3, 64, 7, 112)]
+    layers.append(
+        Layer(
+            name="stem.pool",
+            kind=LayerKind.POOL,
+            params_bytes=0.0,
+            flops_per_sample=64 * 56 * 56 * 9.0,
+            activation_bytes_per_sample=64 * 56 * 56 * BYTES_PER_ACTIVATION,
+        )
+    )
+    for stage_idx, (blocks, in_ch, mid_ch, out_ch, hw) in enumerate(_STAGES):
+        for block in range(blocks):
+            block_in = in_ch if block == 0 else out_ch
+            layers.extend(
+                _bottleneck(
+                    f"stage{stage_idx}.block{block}",
+                    block_in,
+                    mid_ch,
+                    out_ch,
+                    hw,
+                    downsample=(block == 0),
+                )
+            )
+    layers.append(
+        Layer(
+            name="avgpool",
+            kind=LayerKind.POOL,
+            params_bytes=0.0,
+            flops_per_sample=2048 * 7 * 7.0,
+            activation_bytes_per_sample=2048 * BYTES_PER_ACTIVATION,
+        )
+    )
+    layers.append(dense_layer("fc", 2048, 1000))
+    return DNNModel(
+        name="ResNet50",
+        layers=tuple(layers),
+        default_batch_per_gpu=batch_per_gpu,
+    )

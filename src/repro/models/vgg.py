@@ -1,0 +1,58 @@
+"""VGG-16 / VGG-19 (Simonyan & Zisserman): the classic AllReduce-heavy CNN.
+
+VGG's three enormous fully connected layers (the first alone holds 102M
+parameters) make it strongly communication-bound under data parallelism
+-- the paper uses VGG16 in the large-scale simulations (Figure 11b,
+2.8x over Fat-tree) and VGG19 for the time-to-accuracy testbed run
+(Figure 20).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.base import DNNModel, Layer, conv_layer, dense_layer
+
+# Channel plan per block: (convs, out_channels, output feature-map size).
+_VGG16_BLOCKS = [
+    (2, 64, 224),
+    (2, 128, 112),
+    (3, 256, 56),
+    (3, 512, 28),
+    (3, 512, 14),
+]
+_VGG19_BLOCKS = [
+    (2, 64, 224),
+    (2, 128, 112),
+    (4, 256, 56),
+    (4, 512, 28),
+    (4, 512, 14),
+]
+
+
+def _build(name: str, blocks, batch_per_gpu: int) -> DNNModel:
+    layers: List[Layer] = []
+    in_ch = 3
+    for block_idx, (convs, out_ch, hw) in enumerate(blocks):
+        for conv_idx in range(convs):
+            layers.append(
+                conv_layer(
+                    f"block{block_idx}.conv{conv_idx}", in_ch, out_ch, 3, hw
+                )
+            )
+            in_ch = out_ch
+    layers.append(dense_layer("fc1", 512 * 7 * 7, 4096))
+    layers.append(dense_layer("fc2", 4096, 4096))
+    layers.append(dense_layer("fc3", 4096, 1000))
+    return DNNModel(
+        name=name, layers=tuple(layers), default_batch_per_gpu=batch_per_gpu
+    )
+
+
+def build_vgg(variant: int = 16, batch_per_gpu: int = 64) -> DNNModel:
+    """Construct VGG-16 or VGG-19 (List 1: batch 64/GPU in simulation)."""
+    if variant == 16:
+        return _build("VGG16", _VGG16_BLOCKS, batch_per_gpu)
+    if variant == 19:
+        return _build("VGG19", _VGG19_BLOCKS, batch_per_gpu)
+    raise ValueError(f"unsupported VGG variant {variant}; use 16 or 19")

@@ -1,0 +1,243 @@
+"""Interconnect cost model (Table 2 and Appendix G, Figure 10).
+
+Component prices come straight from Table 2 of the paper; architecture
+cost formulas follow Appendix G:
+
+* **TopoOpt**: ``n*d`` NICs and transceivers, ``n*2d`` patch-panel ports
+  (the factor 2 pays for the Appendix C look-ahead planes) plus one 1x2
+  mechanical switch per interface, and fibers.
+* **OCS-reconfig**: ``d`` OCSs connected to all servers -- ``n*d`` OCS
+  ports, NICs, transceivers, fibers.
+* **Fat-tree / Ideal Switch**: full-bisection Fat-tree accounting -- a
+  k-ary Fat-tree has ``5 k^3 / 4`` switch ports for ``k^3 / 4`` hosts,
+  i.e. five switch ports and five transceivers (one NIC-side, four
+  switch-side... one per port) per host; we charge one NIC per server
+  plus five switch ports and six transceivers per server, the standard
+  amortization.
+* **Expander**: NICs, transceivers, and fibers only (no switching).
+* **SiP-ML**: per the paper's evaluation it is the most expensive fabric;
+  we model it as OCS-grade ports per wavelength with silicon-photonics
+  transceivers at a 2x transceiver premium.
+
+Fiber cost is 30 cents/meter with lengths uniform in [0, 1000] m
+(expected 150 $/fiber), following [68] and [148].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+GBPS = 1e9
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """Per-component prices (USD) for one link-bandwidth class (Table 2)."""
+
+    link_gbps: int
+    transceiver: float
+    nic: float
+    electrical_switch_port: float
+    patch_panel_port: float = 100.0
+    ocs_port: float = 520.0
+    one_by_two_switch: float = 25.0
+
+
+#: Table 2 of the paper, verbatim.
+COMPONENT_COSTS: Dict[int, ComponentCosts] = {
+    10: ComponentCosts(10, 20.0, 185.0, 94.0),
+    25: ComponentCosts(25, 39.0, 185.0, 144.0),
+    40: ComponentCosts(40, 39.0, 354.0, 144.0),
+    100: ComponentCosts(100, 99.0, 678.0, 187.0),
+    200: ComponentCosts(200, 198.0, 815.0, 374.0),
+}
+
+#: Expected fiber cost: 30 cents/m, uniform [0, 1000] m -> 150 $ mean.
+FIBER_COST_USD = 150.0
+
+
+def costs_for_bandwidth(link_gbps: float) -> ComponentCosts:
+    """Component prices for a link speed, snapping up to the next class."""
+    classes = sorted(COMPONENT_COSTS)
+    for cls in classes:
+        if link_gbps <= cls:
+            return COMPONENT_COSTS[cls]
+    return COMPONENT_COSTS[classes[-1]]
+
+
+def interpolated_costs(link_gbps: float) -> ComponentCosts:
+    """Component prices with linear interpolation between Table 2 classes.
+
+    Beyond 200 Gbps, prices extrapolate linearly per Gbps (the paper
+    builds faster pipes from multiple 100 Gbps components).  Used by the
+    cost-equivalence search, where a step function would round every
+    answer to a class boundary.
+    """
+    classes = sorted(COMPONENT_COSTS)
+    if link_gbps <= classes[0]:
+        return COMPONENT_COSTS[classes[0]]
+    top = classes[-1]
+    if link_gbps >= top:
+        scale = link_gbps / top
+        base = COMPONENT_COSTS[top]
+        return ComponentCosts(
+            link_gbps=int(link_gbps),
+            transceiver=base.transceiver * scale,
+            nic=base.nic * scale,
+            electrical_switch_port=base.electrical_switch_port * scale,
+        )
+    for lo_cls, hi_cls in zip(classes, classes[1:]):
+        if lo_cls <= link_gbps <= hi_cls:
+            frac = (link_gbps - lo_cls) / (hi_cls - lo_cls)
+            lo, hi = COMPONENT_COSTS[lo_cls], COMPONENT_COSTS[hi_cls]
+            return ComponentCosts(
+                link_gbps=int(link_gbps),
+                transceiver=lo.transceiver
+                + frac * (hi.transceiver - lo.transceiver),
+                nic=lo.nic + frac * (hi.nic - lo.nic),
+                electrical_switch_port=lo.electrical_switch_port
+                + frac * (hi.electrical_switch_port - lo.electrical_switch_port),
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def topoopt_cost(n: int, degree: int, link_gbps: float) -> float:
+    """TopoOpt with patch panels and the look-ahead design (Appendix G)."""
+    c = costs_for_bandwidth(link_gbps)
+    nics = n * degree * c.nic / _ports_per_nic(degree)
+    transceivers = n * degree * c.transceiver
+    panel_ports = n * 2 * degree * c.patch_panel_port
+    flip_switches = n * degree * c.one_by_two_switch
+    fibers = n * degree * FIBER_COST_USD
+    return nics + transceivers + panel_ports + flip_switches + fibers
+
+
+def ocs_reconfig_cost(n: int, degree: int, link_gbps: float) -> float:
+    """TopoOpt built from d OCSs in a flat layer (no look-ahead needed)."""
+    c = costs_for_bandwidth(link_gbps)
+    nics = n * degree * c.nic / _ports_per_nic(degree)
+    transceivers = n * degree * c.transceiver
+    ocs_ports = n * degree * c.ocs_port
+    fibers = n * degree * FIBER_COST_USD
+    return nics + transceivers + ocs_ports + fibers
+
+
+def fattree_cost(n: int, per_server_gbps: float) -> float:
+    """Full-bisection Fat-tree: 5 switch ports + 6 transceivers/server.
+
+    A k-ary Fat-tree serves k^3/4 hosts with 5k^3/4 switch ports; each
+    switch port carries a transceiver and each host NIC carries one.
+    """
+    c = interpolated_costs(per_server_gbps)
+    nics = n * c.nic
+    switch_ports = n * 5 * c.electrical_switch_port
+    transceivers = n * 6 * c.transceiver
+    fibers = n * 5 * FIBER_COST_USD
+    return nics + switch_ports + transceivers + fibers
+
+
+def oversub_fattree_cost(n: int, per_server_gbps: float) -> float:
+    """2:1 oversubscribed Fat-tree: half the uplink ports above the ToR."""
+    c = interpolated_costs(per_server_gbps)
+    nics = n * c.nic
+    # 1 access port + half of the 4 aggregation/core ports per server.
+    switch_ports = n * 3 * c.electrical_switch_port
+    transceivers = n * 4 * c.transceiver
+    fibers = n * 3 * FIBER_COST_USD
+    return nics + switch_ports + transceivers + fibers
+
+
+def expander_cost(n: int, degree: int, link_gbps: float) -> float:
+    """Expander: NICs, transceivers, fibers; no switching hardware."""
+    c = costs_for_bandwidth(link_gbps)
+    nics = n * degree * c.nic / _ports_per_nic(degree)
+    transceivers = n * degree * c.transceiver
+    fibers = n * degree * FIBER_COST_USD
+    return nics + transceivers + fibers
+
+
+def sipml_cost(
+    n: int, degree: int, link_gbps: float, gpus_per_server: int = 4
+) -> float:
+    """SiP-ML: ``d`` wavelengths *per GPU* (section 5.1) over silicon
+    photonics (2x transceiver premium) plus OCS-grade switching per
+    wavelength.  With four GPUs per server this is the most expensive
+    fabric in Figure 10."""
+    c = costs_for_bandwidth(link_gbps)
+    wavelengths = n * gpus_per_server * degree
+    nics = wavelengths * c.nic / _ports_per_nic(degree)
+    transceivers = wavelengths * 2.0 * c.transceiver
+    switch_ports = wavelengths * 2.0 * c.ocs_port
+    fibers = wavelengths * FIBER_COST_USD
+    return nics + transceivers + switch_ports + fibers
+
+
+def _ports_per_nic(degree: int) -> int:
+    """Break-out factor: the testbed's 100G NIC exposes 4x25G ports."""
+    return 4 if degree >= 4 else 1
+
+
+ARCHITECTURES = (
+    "TopoOpt",
+    "OCS-reconfig",
+    "Fat-tree",
+    "Oversub Fat-tree",
+    "Ideal Switch",
+    "Expander",
+    "SiP-ML",
+)
+
+
+def architecture_cost(
+    architecture: str, n: int, degree: int, link_gbps: float
+) -> float:
+    """Interconnect cost of one architecture (Figure 10).
+
+    ``link_gbps`` is TopoOpt's per-interface bandwidth ``B``; Fat-tree and
+    Ideal Switch are charged at the aggregate per-server bandwidth
+    ``d x B`` (they attach each server with a single fat pipe).
+    """
+    if architecture == "TopoOpt":
+        return topoopt_cost(n, degree, link_gbps)
+    if architecture == "OCS-reconfig":
+        return ocs_reconfig_cost(n, degree, link_gbps)
+    if architecture == "Fat-tree":
+        return fattree_cost(n, degree * link_gbps)
+    if architecture == "Oversub Fat-tree":
+        return oversub_fattree_cost(n, degree * link_gbps)
+    if architecture == "Ideal Switch":
+        # Approximated by a full-bisection Fat-tree of the same bandwidth.
+        return fattree_cost(n, degree * link_gbps)
+    if architecture == "Expander":
+        return expander_cost(n, degree, link_gbps)
+    if architecture == "SiP-ML":
+        return sipml_cost(n, degree, link_gbps)
+    raise ValueError(
+        f"unknown architecture {architecture!r}; known: {ARCHITECTURES}"
+    )
+
+
+def cost_equivalent_fattree_bandwidth(
+    n: int, degree: int, link_gbps: float
+) -> float:
+    """Find ``d x B'`` such that the Fat-tree costs the same as TopoOpt.
+
+    The paper's Fat-tree baseline is *cost-equivalent* to TopoOpt: each
+    server has one NIC at ``d x B'`` with ``B' < B``.  We search the
+    Table 2 bandwidth classes for the largest per-server bandwidth whose
+    full-bisection Fat-tree cost does not exceed TopoOpt's, interpolating
+    linearly within the class (prices scale roughly linearly there).
+    Returns the per-server Gbps.
+    """
+    budget = topoopt_cost(n, degree, link_gbps)
+    lo, hi = 1.0, degree * link_gbps
+    if fattree_cost(n, hi) <= budget:
+        return hi
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if fattree_cost(n, mid) <= budget:
+            lo = mid
+        else:
+            hi = mid
+    return lo

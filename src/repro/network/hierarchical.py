@@ -1,0 +1,156 @@
+"""Hierarchical TopoOpt: direct-connect at the ToR layer (section 3).
+
+To scale beyond the optical layer's port count, the paper places servers
+under Top-of-Rack (ToR) switches and connects the *ToRs* through the
+reconfigurable optical layer, "creating a direct-connect topology at the
+ToR or spine layers" (after [53, 71, 72, 100, 114]).
+
+:class:`HierarchicalTopoOptFabric` models that design:
+
+* servers attach to their ToR with ``server_gbps`` links (electrical,
+  full rate);
+* ToRs have ``tor_degree`` optical uplinks of ``tor_link_gbps`` each,
+  wired into a TopologyFinder-optimized direct-connect graph over the
+  *rack-level* traffic matrix (demands aggregated per rack);
+* inter-rack traffic routes server -> ToR -> (ToR-level TopoOpt path)
+  -> ToR -> server, with ToR-level host... switch-based forwarding.
+
+Node ids: servers ``0..n-1``, ToR of rack r is ``n + r``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.topology_finder import (
+    AllReduceGroup,
+    TopologyFinderResult,
+    topology_finder,
+)
+from repro.parallel.traffic import TrafficSummary
+
+Link = Tuple[int, int]
+GBPS = 1e9
+
+
+def aggregate_rack_traffic(
+    traffic: TrafficSummary, servers_per_rack: int
+) -> Tuple[List[AllReduceGroup], np.ndarray, int]:
+    """Fold a server-level traffic summary into rack-level demands.
+
+    AllReduce groups become groups over the racks they touch (a group
+    confined to one rack disappears -- it never crosses the optical
+    layer); the MP matrix is summed per rack pair.
+    """
+    if servers_per_rack < 1:
+        raise ValueError("servers_per_rack must be positive")
+    n = traffic.n
+    num_racks = (n + servers_per_rack - 1) // servers_per_rack
+
+    def rack_of(server: int) -> int:
+        return server // servers_per_rack
+
+    groups: List[AllReduceGroup] = []
+    for group in traffic.allreduce_groups:
+        racks = sorted({rack_of(m) for m in group.members})
+        if len(racks) >= 2:
+            groups.append(
+                AllReduceGroup(
+                    members=tuple(racks), total_bytes=group.total_bytes
+                )
+            )
+    mp = np.zeros((num_racks, num_racks))
+    for src in range(n):
+        for dst in range(n):
+            volume = traffic.mp_matrix[src, dst]
+            if volume > 0 and rack_of(src) != rack_of(dst):
+                mp[rack_of(src), rack_of(dst)] += volume
+    return groups, mp, num_racks
+
+
+class HierarchicalTopoOptFabric:
+    """Two-tier fabric: electrical racks + optical ToR direct-connect."""
+
+    def __init__(
+        self,
+        traffic: TrafficSummary,
+        servers_per_rack: int,
+        tor_degree: int,
+        server_gbps: float = 100.0,
+        tor_link_gbps: float = 400.0,
+    ):
+        self.num_servers = traffic.n
+        self.servers_per_rack = servers_per_rack
+        self.server_bandwidth_bps = server_gbps * GBPS
+        self.tor_link_bandwidth_bps = tor_link_gbps * GBPS
+        self.name = "HierarchicalTopoOpt"
+
+        groups, rack_mp, num_racks = aggregate_rack_traffic(
+            traffic, servers_per_rack
+        )
+        self.num_racks = num_racks
+        if num_racks >= 2:
+            if not groups and rack_mp.sum() == 0:
+                # No inter-rack demand: still build a connected ring so
+                # control traffic and future demands are routable.
+                groups = [
+                    AllReduceGroup(
+                        members=tuple(range(num_racks)), total_bytes=1.0
+                    )
+                ]
+            self.tor_result: Optional[TopologyFinderResult] = (
+                topology_finder(num_racks, tor_degree, groups, rack_mp)
+            )
+        else:
+            self.tor_result = None
+
+    # ------------------------------------------------------------------
+    def rack_of(self, server: int) -> int:
+        return server // self.servers_per_rack
+
+    def tor_node(self, rack: int) -> int:
+        return self.num_servers + rack
+
+    # ------------------------------------------------------------------
+    def capacities(self) -> Dict[Link, float]:
+        caps: Dict[Link, float] = {}
+        for server in range(self.num_servers):
+            tor = self.tor_node(self.rack_of(server))
+            caps[(server, tor)] = self.server_bandwidth_bps
+            caps[(tor, server)] = self.server_bandwidth_bps
+        if self.tor_result is not None:
+            for src, dst, count in self.tor_result.topology.edges():
+                caps[(self.tor_node(src), self.tor_node(dst))] = (
+                    count * self.tor_link_bandwidth_bps
+                )
+        return caps
+
+    def paths(self, src: int, dst: int, kind: str = "mp") -> List[List[int]]:
+        if src == dst:
+            return [[src]]
+        rack_src = self.rack_of(src)
+        rack_dst = self.rack_of(dst)
+        if rack_src == rack_dst:
+            return [[src, self.tor_node(rack_src), dst]]
+        assert self.tor_result is not None
+        rack_paths = self.tor_result.routing.paths_for(
+            rack_src, rack_dst, kind
+        )
+        if not rack_paths:
+            sp = self.tor_result.topology.shortest_path(rack_src, rack_dst)
+            rack_paths = [sp] if sp else []
+        if not rack_paths:
+            return []
+        return [
+            [src] + [self.tor_node(r) for r in rack_path] + [dst]
+            for rack_path in rack_paths
+        ]
+
+    # ------------------------------------------------------------------
+    def tor_diameter(self) -> int:
+        """Diameter of the optical ToR layer (0 for a single rack)."""
+        if self.tor_result is None:
+            return 0
+        return self.tor_result.topology.diameter()

@@ -1,0 +1,189 @@
+"""Cluster sharding and dynamic job arrivals (Appendix C).
+
+A TopoOpt cluster serves multiple jobs by configuring the optical layer
+so each job's servers form a physically disjoint partition (Figure 26).
+Starting a job on a patch-panel fabric would normally wait minutes for
+the robot; the look-ahead design (1x2 switches + two patch-panel
+planes) hides that: while jobs train on the active plane, the next
+job's topology is pre-provisioned on the look-ahead plane, and admission
+only pays a millisecond 1x2 flip.
+
+:class:`ShardManager` implements that lifecycle: server allocation,
+per-job topology provisioning, look-ahead pre-provisioning for a known
+arrival sequence, and release on job completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.topology_finder import TopologyFinderResult, topology_finder
+from repro.network.optical import LookAheadSwitch
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.traffic import TrafficSummary
+
+
+class ShardingError(RuntimeError):
+    """Raised when a job cannot be admitted (no capacity)."""
+
+
+@dataclass
+class Shard:
+    """A job's dedicated partition."""
+
+    job_id: int
+    servers: Tuple[int, ...]
+    topology_result: TopologyFinderResult
+    fabric: object  # RemappedFabric in global server ids
+    admitted_at_s: float
+
+
+@dataclass
+class ShardManager:
+    """Allocates disjoint server shards and provisions their topologies.
+
+    Parameters
+    ----------
+    num_servers, degree, link_bandwidth_bps:
+        Cluster dimensions.
+    lookahead:
+        Model the Appendix C dual-plane design: admission latency is the
+        1x2 flip when the next job was pre-provisioned, the full patch
+        panel reconfiguration otherwise.
+    """
+
+    num_servers: int
+    degree: int
+    link_bandwidth_bps: float
+    lookahead: bool = True
+    _free: Set[int] = field(default_factory=set)
+    _shards: Dict[int, Shard] = field(default_factory=dict)
+    _job_counter: itertools.count = field(default_factory=itertools.count)
+    _switch: Optional[LookAheadSwitch] = None
+    _preprovisioned: Optional[Tuple[Tuple[int, ...], object]] = None
+    clock_s: float = 0.0
+
+    def __post_init__(self):
+        self._free = set(range(self.num_servers))
+        self._switch = LookAheadSwitch(
+            num_interfaces=max(self.num_servers * self.degree, 2)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def free_servers(self) -> int:
+        return len(self._free)
+
+    def active_jobs(self) -> List[int]:
+        return sorted(self._shards)
+
+    def shard_of(self, job_id: int) -> Shard:
+        try:
+            return self._shards[job_id]
+        except KeyError:
+            raise KeyError(f"no active job {job_id}")
+
+    # ------------------------------------------------------------------
+    def preprovision(self, traffic: TrafficSummary) -> float:
+        """Wire the look-ahead plane for the *next* arrival (slow path).
+
+        Returns the robot latency, paid off the critical path while the
+        current jobs keep training.
+        """
+        if not self.lookahead:
+            return 0.0
+        servers = self._pick_servers(traffic.n)
+        result = self._solve(traffic)
+        latency = self._switch.provision_next(
+            self._circuits_for(result, servers)
+        )
+        self._preprovisioned = (servers, result)
+        return latency
+
+    def admit(self, traffic: TrafficSummary) -> Tuple[Shard, float]:
+        """Admit a job: returns its shard and the admission latency.
+
+        If the job was pre-provisioned, admission is the 1x2 flip;
+        otherwise the full patch-panel reconfiguration latency is paid.
+        """
+        job_id = next(self._job_counter)
+        if (
+            self.lookahead
+            and self._preprovisioned is not None
+            and len(self._preprovisioned[0]) == traffic.n
+        ):
+            servers, result = self._preprovisioned
+            self._preprovisioned = None
+            latency = self._switch.flip()
+        else:
+            servers = self._pick_servers(traffic.n)
+            result = self._solve(traffic)
+            plane = self._switch.planes[self._switch.active_plane]
+            latency = plane.reconfiguration_latency_s
+        self._free -= set(servers)
+        fabric = TopoOptFabric(result, self.link_bandwidth_bps).relabel(
+            list(servers)
+        )
+        shard = Shard(
+            job_id=job_id,
+            servers=servers,
+            topology_result=result,
+            fabric=fabric,
+            admitted_at_s=self.clock_s + latency,
+        )
+        self._shards[job_id] = shard
+        self.clock_s += latency
+        return shard, latency
+
+    def release(self, job_id: int) -> None:
+        """Return a finished job's servers to the free pool."""
+        shard = self.shard_of(job_id)
+        self._free |= set(shard.servers)
+        del self._shards[job_id]
+
+    # ------------------------------------------------------------------
+    def _pick_servers(self, count: int) -> Tuple[int, ...]:
+        if count > len(self._free):
+            raise ShardingError(
+                f"job needs {count} servers but only {len(self._free)} "
+                "are free"
+            )
+        if count < 1:
+            raise ValueError("a job needs at least one server")
+        return tuple(sorted(self._free)[:count])
+
+    def _solve(self, traffic: TrafficSummary) -> TopologyFinderResult:
+        return topology_finder(
+            traffic.n,
+            self.degree,
+            traffic.allreduce_groups,
+            traffic.mp_matrix,
+        )
+
+    def _circuits_for(
+        self, result: TopologyFinderResult, servers: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """Translate topology links into patch-panel port circuits.
+
+        Port numbering: server ``s``'s interface ``i`` occupies panel
+        port ``s * degree + i``; each link consumes the next free tx
+        interface at its source and rx interface at its destination.
+        """
+        tx_used = {s: 0 for s in servers}
+        rx_used = {s: 0 for s in servers}
+        circuits = []
+        for src, dst, count in result.topology.edges():
+            for _ in range(count):
+                src_global = servers[src]
+                dst_global = servers[dst]
+                circuits.append(
+                    (
+                        src_global * self.degree + tx_used[src_global],
+                        dst_global * self.degree + rx_used[dst_global],
+                    )
+                )
+                tx_used[src_global] += 1
+                rx_used[dst_global] += 1
+        return circuits

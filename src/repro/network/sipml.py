@@ -1,0 +1,49 @@
+"""SiP-ML fabric (Khani et al., SIGCOMM'21), modified per Appendix F.
+
+SiP-ML gives each GPU Tbps-class silicon-photonics wavelengths; to
+compare *algorithms* rather than raw bandwidth, the paper allocates it
+the same ``d`` wavelengths of bandwidth ``B`` as TopoOpt and runs its
+SiP-Ring-style reconfiguration with a 25 us latency.  Because SiP-Ring's
+ILP is intractable at simulation scale, Appendix F substitutes
+Algorithm 5 with ``Discount = 1`` -- circuits go to the highest-demand
+pairs with no parallel-link diminishing return, and there is no
+host-based forwarding (pairs without a circuit wait for the next
+reconfiguration).
+
+The consequence reproduced in Figure 11d/e: models with many-to-many MP
+transfers (DLRM, NCF) need several reconfigurations per iteration and
+SiP-ML's iteration time stays flat as bandwidth grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.reconfig import ReconfigurableFabricSimulator
+
+
+class SipMLFabric(ReconfigurableFabricSimulator):
+    """SiP-ML: unit-discount circuit scheduling, 25 us, no forwarding."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        degree: int,
+        link_bandwidth_bps: float,
+        reconfiguration_latency_s: float = 25e-6,
+        demand_epoch_s: float = 1e-3,
+    ):
+        super().__init__(
+            num_servers=num_servers,
+            degree=degree,
+            link_bandwidth_bps=link_bandwidth_bps,
+            reconfiguration_latency_s=reconfiguration_latency_s,
+            demand_epoch_s=demand_epoch_s,
+            host_forwarding=False,
+            sipml_mode=True,
+        )
+        self.name = "SiP-ML"
+
+    def supports_multiple_jobs(self) -> bool:
+        """SiP-ML has no sharding story; section 5.6 omits it."""
+        return False

@@ -1,0 +1,378 @@
+"""Direct-connect topology abstraction for TopoOpt fabrics.
+
+A TopoOpt cluster (paper section 3) is a set of ``n`` servers, each with
+``d`` network interfaces, wired point-to-point through a layer of optical
+devices.  The resulting interconnect is a *directed multigraph*: each
+physical fiber provides one unidirectional link of bandwidth ``B`` from a
+transmit interface to a receive interface, and a pair of servers may be
+connected by several parallel links.
+
+:class:`DirectConnectTopology` stores that multigraph with per-direction
+link counts, enforces the degree budget, and provides the graph queries
+the optimization core needs (shortest paths, diameter, connectivity).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+class DegreeExceededError(ValueError):
+    """Raised when adding a link would exceed a server's interface budget."""
+
+
+@dataclass
+class LinkCapacityMap:
+    """Per-link capacity table, in bits per second.
+
+    Parallel links between the same (src, dst) pair are aggregated: the
+    capacity of the pair is ``multiplicity * link_bandwidth_bps``.
+    """
+
+    link_bandwidth_bps: float
+    multiplicity: Dict[Edge, int] = field(default_factory=dict)
+
+    def capacity(self, src: int, dst: int) -> float:
+        """Aggregate capacity from ``src`` to ``dst`` in bits per second."""
+        return self.multiplicity.get((src, dst), 0) * self.link_bandwidth_bps
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self.multiplicity)
+
+
+class DirectConnectTopology:
+    """Directed multigraph over ``n`` servers with a per-server degree budget.
+
+    Parameters
+    ----------
+    n:
+        Number of servers.
+    degree:
+        Number of interfaces per server (``d`` in the paper).  Each interface
+        supplies one transmit port and one receive port, so a server can
+        source at most ``d`` links and sink at most ``d`` links.
+    enforce_degree:
+        When true (the default), :meth:`add_link` raises
+        :class:`DegreeExceededError` if the degree budget would be violated.
+        Infrastructure fabrics (Fat-tree cores, Ideal Switch hubs) disable
+        the check for their internal nodes.
+    """
+
+    def __init__(self, n: int, degree: int, enforce_degree: bool = True):
+        if n <= 0:
+            raise ValueError(f"need at least one server, got n={n}")
+        if degree <= 0:
+            raise ValueError(f"degree must be positive, got d={degree}")
+        self.n = n
+        self.degree = degree
+        self.enforce_degree = enforce_degree
+        self._out: Dict[int, Counter] = {i: Counter() for i in range(n)}
+        self._in: Dict[int, Counter] = {i: Counter() for i in range(n)}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_link(self, src: int, dst: int, count: int = 1) -> None:
+        """Add ``count`` parallel unidirectional links from src to dst."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            raise ValueError(f"self-link at server {src} is not allowed")
+        if count <= 0:
+            raise ValueError(f"link count must be positive, got {count}")
+        if self.enforce_degree:
+            if self.out_degree(src) + count > self.degree:
+                raise DegreeExceededError(
+                    f"server {src} tx degree {self.out_degree(src)}+{count} "
+                    f"exceeds budget {self.degree}"
+                )
+            if self.in_degree(dst) + count > self.degree:
+                raise DegreeExceededError(
+                    f"server {dst} rx degree {self.in_degree(dst)}+{count} "
+                    f"exceeds budget {self.degree}"
+                )
+        self._out[src][dst] += count
+        self._in[dst][src] += count
+
+    def add_bidirectional(self, a: int, b: int, count: int = 1) -> None:
+        """Add ``count`` links in each direction between a and b."""
+        self.add_link(a, b, count)
+        self.add_link(b, a, count)
+
+    def add_ring(self, order: Sequence[int]) -> None:
+        """Add a directed ring following ``order`` (a server permutation).
+
+        Atomic: the ring either fits entirely within the degree budget or
+        nothing is added (each member needs one free tx and one free rx).
+        """
+        k = len(order)
+        if k < 2:
+            raise ValueError("a ring needs at least two servers")
+        if len(set(order)) != k:
+            raise ValueError("ring order must visit distinct servers")
+        if self.enforce_degree:
+            for node in order:
+                if self.free_tx(node) < 1 or self.free_rx(node) < 1:
+                    raise DegreeExceededError(
+                        f"server {node} has no free interface for the ring"
+                    )
+        for i in range(k):
+            self.add_link(order[i], order[(i + 1) % k])
+
+    def remove_link(self, src: int, dst: int, count: int = 1) -> None:
+        have = self._out[src][dst]
+        if have < count:
+            raise ValueError(
+                f"cannot remove {count} links {src}->{dst}: only {have} exist"
+            )
+        self._out[src][dst] -= count
+        self._in[dst][src] -= count
+        if self._out[src][dst] == 0:
+            del self._out[src][dst]
+            del self._in[dst][src]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def out_degree(self, node: int) -> int:
+        return sum(self._out[node].values())
+
+    def in_degree(self, node: int) -> int:
+        return sum(self._in[node].values())
+
+    def free_tx(self, node: int) -> int:
+        return self.degree - self.out_degree(node)
+
+    def free_rx(self, node: int) -> int:
+        return self.degree - self.in_degree(node)
+
+    def multiplicity(self, src: int, dst: int) -> int:
+        """Number of parallel links from src to dst (0 if none)."""
+        return self._out[src].get(dst, 0)
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return dst in self._out[src]
+
+    def neighbors_out(self, node: int) -> List[int]:
+        return list(self._out[node])
+
+    def neighbors_in(self, node: int) -> List[int]:
+        return list(self._in[node])
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (src, dst, multiplicity) for every connected pair."""
+        for src, nbrs in self._out.items():
+            for dst, count in nbrs.items():
+                yield src, dst, count
+
+    def num_links(self) -> int:
+        """Total number of unidirectional physical links."""
+        return sum(count for _, _, count in self.edges())
+
+    def copy(self) -> "DirectConnectTopology":
+        clone = DirectConnectTopology(self.n, self.degree, self.enforce_degree)
+        for src, dst, count in self.edges():
+            clone._out[src][dst] = count
+            clone._in[dst][src] = count
+        return clone
+
+    def capacity_map(self, link_bandwidth_bps: float) -> LinkCapacityMap:
+        """Materialize per-link capacities for the flow simulator."""
+        return LinkCapacityMap(
+            link_bandwidth_bps=link_bandwidth_bps,
+            multiplicity={(s, d): c for s, d, c in self.edges()},
+        )
+
+    # ------------------------------------------------------------------
+    # Graph algorithms
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: int, dst: int) -> Optional[List[int]]:
+        """Unweighted (hop-count) shortest path, or None if unreachable."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return [src]
+        prev: Dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._out[node]:
+                if nbr in prev:
+                    continue
+                prev[nbr] = node
+                if nbr == dst:
+                    return self._backtrack(prev, src, dst)
+                queue.append(nbr)
+        return None
+
+    def shortest_path_lengths_from(self, src: int) -> Dict[int, int]:
+        """Hop counts from ``src`` to every reachable server."""
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._out[node]:
+                if nbr not in dist:
+                    dist[nbr] = dist[node] + 1
+                    queue.append(nbr)
+        return dist
+
+    def all_shortest_paths(
+        self, src: int, dst: int, cap: int = 6
+    ) -> List[List[int]]:
+        """Up to ``cap`` distinct minimum-hop paths (ECMP path set).
+
+        BFS layering from ``src`` followed by a bounded backtrack from
+        ``dst`` through strictly-decreasing-distance predecessors.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return [[src]]
+        dist = self.shortest_path_lengths_from(src)
+        if dst not in dist:
+            return []
+        paths: List[List[int]] = []
+        stack: List[List[int]] = [[dst]]
+        while stack and len(paths) < cap:
+            partial = stack.pop()
+            head = partial[-1]
+            if head == src:
+                paths.append(list(reversed(partial)))
+                continue
+            for pred in self._in[head]:
+                if dist.get(pred, -1) == dist[head] - 1:
+                    stack.append(partial + [pred])
+        return paths
+
+    def k_shortest_paths(self, src: int, dst: int, k: int) -> List[List[int]]:
+        """Yen's algorithm for up to ``k`` loopless shortest paths."""
+        first = self.shortest_path(src, dst)
+        if first is None:
+            return []
+        paths = [first]
+        candidates: List[Tuple[int, List[int]]] = []
+        seen = {tuple(first)}
+        while len(paths) < k:
+            prev_path = paths[-1]
+            for i in range(len(prev_path) - 1):
+                spur_node = prev_path[i]
+                root = prev_path[: i + 1]
+                removed: List[Edge] = []
+                for path in paths:
+                    if len(path) > i and path[: i + 1] == root:
+                        edge = (path[i], path[i + 1])
+                        if self.multiplicity(*edge) > 0:
+                            removed.append((edge, self.multiplicity(*edge)))
+                            self._out[edge[0]].pop(edge[1])
+                            self._in[edge[1]].pop(edge[0])
+                banned = set(root[:-1])
+                spur = self._shortest_path_avoiding(spur_node, dst, banned)
+                for (edge, count) in removed:
+                    self._out[edge[0]][edge[1]] = count
+                    self._in[edge[1]][edge[0]] = count
+                if spur is None:
+                    continue
+                candidate = root[:-1] + spur
+                key = tuple(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    heapq.heappush(candidates, (len(candidate), candidate))
+            if not candidates:
+                break
+            _, best = heapq.heappop(candidates)
+            paths.append(best)
+        return paths
+
+    def _shortest_path_avoiding(
+        self, src: int, dst: int, banned: Iterable[int]
+    ) -> Optional[List[int]]:
+        banned = set(banned)
+        if src in banned:
+            return None
+        if src == dst:
+            return [src]
+        prev = {src: src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._out[node]:
+                if nbr in prev or nbr in banned:
+                    continue
+                prev[nbr] = node
+                if nbr == dst:
+                    return self._backtrack(prev, src, dst)
+                queue.append(nbr)
+        return None
+
+    def is_strongly_connected(self) -> bool:
+        if self.n == 1:
+            return True
+        if len(self.shortest_path_lengths_from(0)) < self.n:
+            return False
+        # Reverse reachability: BFS over incoming edges.
+        dist = {0}
+        queue = deque([0])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._in[node]:
+                if nbr not in dist:
+                    dist.add(nbr)
+                    queue.append(nbr)
+        return len(dist) == self.n
+
+    def diameter(self) -> int:
+        """Longest shortest-path hop count; raises if disconnected."""
+        worst = 0
+        for src in range(self.n):
+            dist = self.shortest_path_lengths_from(src)
+            if len(dist) < self.n:
+                raise ValueError("topology is not strongly connected")
+            worst = max(worst, max(dist.values()))
+        return worst
+
+    def average_path_length(self) -> float:
+        """Mean hop count over all ordered server pairs."""
+        total = 0
+        pairs = 0
+        for src in range(self.n):
+            dist = self.shortest_path_lengths_from(src)
+            if len(dist) < self.n:
+                raise ValueError("topology is not strongly connected")
+            total += sum(dist.values())
+            pairs += self.n - 1
+        return total / pairs if pairs else 0.0
+
+    def path_length_distribution(self) -> List[int]:
+        """Hop counts for every ordered pair of distinct servers."""
+        lengths: List[int] = []
+        for src in range(self.n):
+            dist = self.shortest_path_lengths_from(src)
+            lengths.extend(h for node, h in dist.items() if node != src)
+        return lengths
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ValueError(f"server id {node} out of range [0, {self.n})")
+
+    @staticmethod
+    def _backtrack(prev: Dict[int, int], src: int, dst: int) -> List[int]:
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DirectConnectTopology(n={self.n}, d={self.degree}, "
+            f"links={self.num_links()})"
+        )

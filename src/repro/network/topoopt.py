@@ -1,0 +1,124 @@
+"""TopoOptFabric: the fabric adapter over a TopologyFinder result.
+
+Exposes the direct-connect topology, coin-change AllReduce routes,
+k-shortest MP routes, and the selected TotientPerms ring permutations to
+the flow simulator and the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
+    from repro.core.topology_finder import TopologyFinderResult
+
+Link = Tuple[int, int]
+
+
+class TopoOptFabric:
+    """Fabric interface over a TopologyFinder result.
+
+    Serves AllReduce-classified traffic over coin-change routes and MP
+    traffic over the k-shortest paths computed by TopologyFinder;
+    AllReduce collectives are load-balanced over the group's selected
+    ring permutations (the modified-NCCL behaviour of section 6).
+    """
+
+    def __init__(
+        self, result: "TopologyFinderResult", link_bandwidth_bps: float
+    ):
+        if link_bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.result = result
+        self.link_bandwidth_bps = link_bandwidth_bps
+        self.num_servers = result.topology.n
+        self.name = "TopoOpt"
+        self._fallback_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    def capacities(self) -> Dict[Link, float]:
+        return {
+            (src, dst): count * self.link_bandwidth_bps
+            for src, dst, count in self.result.topology.edges()
+        }
+
+    def paths(self, src: int, dst: int, kind: str = "mp") -> List[List[int]]:
+        if src == dst:
+            return [[src]]
+        paths = self.result.routing.paths_for(src, dst, kind)
+        if paths:
+            return paths
+        key = (src, dst)
+        if key not in self._fallback_cache:
+            path = self.result.topology.shortest_path(src, dst)
+            self._fallback_cache[key] = [path] if path else []
+        return self._fallback_cache[key]
+
+    def ring_strides_for(self, members: Tuple[int, ...]) -> List[int]:
+        """Selected TotientPerms strides for an AllReduce group."""
+        for plan in self.result.group_plans:
+            if plan.group.members == members and plan.rings:
+                return plan.strides[: len(plan.rings)]
+        return [1]
+
+    def ring_edge_paths(
+        self, members: Tuple[int, ...]
+    ) -> List[Tuple[List[int], int]]:
+        """Direct ring edges for a group: (edge path, num_rings) pairs."""
+        for plan in self.result.group_plans:
+            if plan.group.members == members and plan.rings:
+                edges = []
+                num_rings = len(plan.rings)
+                for ring in plan.rings:
+                    k = len(ring)
+                    for i in range(k):
+                        edges.append(
+                            ([ring[i], ring[(i + 1) % k]], num_rings)
+                        )
+                return edges
+        return []
+
+    def relabel(self, server_map: List[int]) -> "RemappedFabric":
+        """View this fabric in global server ids (for shared clusters)."""
+        return RemappedFabric(self, server_map)
+
+
+class RemappedFabric:
+    """A fabric whose server ids are translated through ``server_map``.
+
+    Used by the shared-cluster simulator: each job's TopoOpt shard is
+    built in local ids 0..k-1, then viewed through the shard's global
+    server ids.  Internal (non-server) nodes do not exist in TopoOpt
+    fabrics, so the translation is a pure relabeling.
+    """
+
+    def __init__(self, fabric: TopoOptFabric, server_map: List[int]):
+        if len(server_map) != fabric.num_servers:
+            raise ValueError(
+                f"server_map has {len(server_map)} entries for a fabric "
+                f"of {fabric.num_servers} servers"
+            )
+        if len(set(server_map)) != len(server_map):
+            raise ValueError("server_map must be injective")
+        self.fabric = fabric
+        self.server_map = list(server_map)
+        self._inverse = {g: l for l, g in enumerate(server_map)}
+        self.num_servers = max(server_map) + 1
+        self.name = fabric.name
+        self.link_bandwidth_bps = fabric.link_bandwidth_bps
+
+    def capacities(self) -> Dict[Link, float]:
+        return {
+            (self.server_map[src], self.server_map[dst]): cap
+            for (src, dst), cap in self.fabric.capacities().items()
+        }
+
+    def paths(self, src: int, dst: int, kind: str = "mp") -> List[List[int]]:
+        local = self.fabric.paths(self._inverse[src], self._inverse[dst], kind)
+        return [[self.server_map[node] for node in path] for path in local]
+
+    def ring_edge_paths(self, members: Tuple[int, ...]):
+        local_members = tuple(self._inverse[m] for m in members)
+        return [
+            ([self.server_map[node] for node in path], rings)
+            for path, rings in self.fabric.ring_edge_paths(local_members)
+        ]

@@ -1,0 +1,146 @@
+"""Collective communication algorithms and their traffic.
+
+Provides the per-edge byte accounting of the AllReduce algorithms the
+paper discusses: ring (the Meta default), multi-ring (TopoOpt's
+TotientPerms load balancing), double binary tree (Appendix A),
+hierarchical ring, and the distributed parameter server used *within*
+servers in section 5.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mutability import dbt_traffic_matrix, ring_traffic_matrix
+from repro.core.totient import ring_permutation
+
+
+class CollectiveAlgorithm(enum.Enum):
+    RING = "ring"
+    MULTI_RING = "multi_ring"
+    DOUBLE_BINARY_TREE = "double_binary_tree"
+    HIERARCHICAL_RING = "hierarchical_ring"
+    PARAMETER_SERVER = "parameter_server"
+
+
+def allreduce_edge_bytes(
+    total_bytes: float, group_size: int, num_rings: int = 1
+) -> float:
+    """Bytes each ring edge carries for a (multi-)ring AllReduce.
+
+    Ring-AllReduce moves ``2 (k-1)/k S`` bytes per edge; ``num_rings``
+    parallel permutations each carry an equal share.
+    """
+    if group_size < 2:
+        return 0.0
+    if num_rings < 1:
+        raise ValueError(f"num_rings must be >= 1, got {num_rings}")
+    return 2.0 * (group_size - 1) / group_size * total_bytes / num_rings
+
+
+def allreduce_time_lower_bound(
+    total_bytes: float, group_size: int, bandwidth_bps: float
+) -> float:
+    """Bandwidth-optimal AllReduce time: 2 (k-1)/k S / B (any algorithm)."""
+    if group_size < 2:
+        return 0.0
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    bits = 8.0 * allreduce_edge_bytes(total_bytes, group_size)
+    return bits / bandwidth_bps
+
+
+def collective_traffic(
+    algorithm: CollectiveAlgorithm,
+    group: Sequence[int],
+    total_bytes: float,
+    n: int,
+    strides: Sequence[int] = (1,),
+) -> np.ndarray:
+    """Traffic matrix of one AllReduce collective over ``group``.
+
+    ``strides`` selects the ring permutations for RING / MULTI_RING; the
+    other algorithms ignore it.
+    """
+    k = len(group)
+    if k < 2:
+        return np.zeros((n, n))
+    if algorithm == CollectiveAlgorithm.RING:
+        return ring_traffic_matrix(group, total_bytes, n, stride=strides[0])
+    if algorithm == CollectiveAlgorithm.MULTI_RING:
+        matrix = np.zeros((n, n))
+        for stride in strides:
+            matrix += ring_traffic_matrix(
+                group, total_bytes, n, stride=stride, num_rings=len(strides)
+            )
+        return matrix
+    if algorithm == CollectiveAlgorithm.DOUBLE_BINARY_TREE:
+        return dbt_traffic_matrix(group, total_bytes, n)
+    if algorithm == CollectiveAlgorithm.HIERARCHICAL_RING:
+        return _hierarchical_ring_traffic(group, total_bytes, n)
+    if algorithm == CollectiveAlgorithm.PARAMETER_SERVER:
+        return _parameter_server_traffic(group, total_bytes, n)
+    raise ValueError(f"unknown collective {algorithm!r}")
+
+
+def _hierarchical_ring_traffic(
+    group: Sequence[int], total_bytes: float, n: int, branch: int = 4
+) -> np.ndarray:
+    """Two-level ring: intra-pod rings plus a ring of pod leaders."""
+    matrix = np.zeros((n, n))
+    pods: List[List[int]] = [
+        list(group[i: i + branch]) for i in range(0, len(group), branch)
+    ]
+    for pod in pods:
+        if len(pod) >= 2:
+            matrix += ring_traffic_matrix(pod, total_bytes, n)
+    leaders = [pod[0] for pod in pods]
+    if len(leaders) >= 2:
+        matrix += ring_traffic_matrix(leaders, total_bytes, n)
+    return matrix
+
+
+def _parameter_server_traffic(
+    group: Sequence[int], total_bytes: float, n: int
+) -> np.ndarray:
+    """Distributed parameter server: each member serves a 1/k shard.
+
+    Every worker pushes gradients for each shard to that shard's server
+    and pulls updated weights back: ``2 (k-1)/k S`` bytes in and out per
+    member, the same aggregate as a ring but in a many-to-many pattern.
+    """
+    k = len(group)
+    matrix = np.zeros((n, n))
+    shard = total_bytes / k
+    for server in group:
+        for worker in group:
+            if server == worker:
+                continue
+            matrix[worker, server] += shard  # gradient push
+            matrix[server, worker] += shard  # weight pull
+    return matrix
+
+
+def multi_ring_edges(
+    group: Sequence[int], strides: Sequence[int]
+) -> Dict[Tuple[int, int], float]:
+    """Edge -> share map for multi-ring load balancing (NCCL integration).
+
+    Each selected permutation carries ``1/len(strides)`` of the AllReduce
+    payload; the returned map lists every directed ring edge with its
+    share, the structure the modified NCCL uses to split transfers.
+    """
+    if not strides:
+        raise ValueError("need at least one stride")
+    share = 1.0 / len(strides)
+    edges: Dict[Tuple[int, int], float] = {}
+    k = len(group)
+    for stride in strides:
+        order = ring_permutation(group, stride)
+        for i in range(k):
+            edge = (order[i], order[(i + 1) % k])
+            edges[edge] = edges.get(edge, 0.0) + share
+    return edges

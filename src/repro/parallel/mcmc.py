@@ -1,0 +1,253 @@
+"""FlexFlow-style MCMC parallelization-strategy search (section 4.1).
+
+FlexFlow explores parallelization strategies with Markov Chain Monte
+Carlo over placement moves, scoring candidates with a fast analytic
+execution simulator.  This module reimplements that loop for the
+placement space the paper's workloads occupy:
+
+* toggle an embedding layer between data-parallel, model-parallel on
+  some owner server, and sharded (all-to-all);
+* move a model-parallel layer to a different owner.
+
+Candidates are scored by :class:`IterationCostModel`, a topology-aware
+analytic estimator (the "FlexNet coarse" model): compute time from the
+roofline, plus per-phase communication time lower-bounded by the most
+loaded link after routing all transfers over the fabric's paths.  The
+Metropolis criterion accepts worse states with probability
+``exp(-delta / T)``, and the best state ever visited is returned.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.models.base import DNNModel
+from repro.models.compute import GPUSpec, A100, compute_time_seconds
+from repro.parallel.strategy import (
+    LayerPlacement,
+    ParallelizationStrategy,
+    PlacementKind,
+    data_parallel_strategy,
+    hybrid_strategy,
+)
+from repro.parallel.traffic import TrafficSummary, extract_traffic
+
+Link = Tuple[int, int]
+
+
+class IterationCostModel:
+    """Analytic iteration-time estimate on a fabric (FlexNet coarse).
+
+    ``cost(traffic)`` = compute + busiest-link time of the MP phase +
+    busiest-link time of the AllReduce phase.  The busiest-link bound is
+    the fluid simulator's makespan when the bottleneck link is shared by
+    flows of equal length, and a tight lower bound otherwise -- accurate
+    enough to rank strategies, orders of magnitude faster than
+    simulating, which is what lets MCMC take thousands of steps.
+    """
+
+    def __init__(self, fabric, compute_s: float):
+        self.fabric = fabric
+        self.compute_s = compute_s
+        self._capacities = fabric.capacities()
+        self._path_cache: Dict[Tuple[int, int, str], List[List[int]]] = {}
+
+    def _paths(self, src: int, dst: int, kind: str) -> List[List[int]]:
+        key = (src, dst, kind)
+        if key not in self._path_cache:
+            self._path_cache[key] = self.fabric.paths(src, dst, kind)
+        return self._path_cache[key]
+
+    def _phase_time(self, link_bytes: Dict[Link, float]) -> float:
+        worst = 0.0
+        for link, byte_count in link_bytes.items():
+            capacity = self._capacities.get(link)
+            if capacity is None or capacity <= 0:
+                raise KeyError(f"routed traffic uses unknown link {link}")
+            worst = max(worst, 8.0 * byte_count / capacity)
+        return worst
+
+    def mp_time(self, traffic: TrafficSummary) -> float:
+        link_bytes: Dict[Link, float] = {}
+        matrix = traffic.mp_matrix
+        n = traffic.n
+        for src in range(n):
+            row = matrix[src]
+            for dst in range(n):
+                byte_count = row[dst]
+                if src == dst or byte_count <= 0:
+                    continue
+                paths = self._paths(src, dst, "mp")
+                if not paths:
+                    return math.inf
+                share = byte_count / len(paths)
+                for path in paths:
+                    for i in range(len(path) - 1):
+                        link = (path[i], path[i + 1])
+                        link_bytes[link] = link_bytes.get(link, 0.0) + share
+        return self._phase_time(link_bytes)
+
+    def allreduce_time(self, traffic: TrafficSummary) -> float:
+        from repro.parallel.collectives import allreduce_edge_bytes
+
+        link_bytes: Dict[Link, float] = {}
+        for group in traffic.allreduce_groups:
+            if group.size < 2 or group.total_bytes <= 0:
+                continue
+            ring_paths = []
+            if hasattr(self.fabric, "ring_edge_paths"):
+                ring_paths = self.fabric.ring_edge_paths(group.members)
+            if ring_paths:
+                for path, num_rings in ring_paths:
+                    per_edge = allreduce_edge_bytes(
+                        group.total_bytes, group.size, num_rings
+                    )
+                    for i in range(len(path) - 1):
+                        link = (path[i], path[i + 1])
+                        link_bytes[link] = link_bytes.get(link, 0.0) + per_edge
+            else:
+                per_edge = allreduce_edge_bytes(group.total_bytes, group.size)
+                members = group.members
+                k = len(members)
+                for i in range(k):
+                    src, dst = members[i], members[(i + 1) % k]
+                    paths = self._paths(src, dst, "allreduce")
+                    if not paths:
+                        return math.inf
+                    share = per_edge / len(paths)
+                    for path in paths:
+                        for j in range(len(path) - 1):
+                            link = (path[j], path[j + 1])
+                            link_bytes[link] = (
+                                link_bytes.get(link, 0.0) + share
+                            )
+        return self._phase_time(link_bytes)
+
+    def cost(self, traffic: TrafficSummary) -> float:
+        return (
+            self.compute_s
+            + self.mp_time(traffic)
+            + self.allreduce_time(traffic)
+        )
+
+
+@dataclass
+class MCMCResult:
+    """Outcome of one MCMC search."""
+
+    strategy: ParallelizationStrategy
+    traffic: TrafficSummary
+    cost_s: float
+    accepted_moves: int
+    proposed_moves: int
+    cost_trace: List[float] = field(default_factory=list)
+
+
+class MCMCSearch:
+    """Markov Chain Monte Carlo over layer placements."""
+
+    def __init__(
+        self,
+        model: DNNModel,
+        num_servers: int,
+        batch_per_gpu: Optional[int] = None,
+        gpus_per_server: int = 4,
+        gpu: GPUSpec = A100,
+        temperature: float = 0.05,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.num_servers = num_servers
+        self.batch_per_gpu = batch_per_gpu or model.default_batch_per_gpu
+        self.gpus_per_server = gpus_per_server
+        self.gpu = gpu
+        self.temperature = temperature
+        self.rng = random.Random(seed)
+        self.compute_s = compute_time_seconds(
+            model, self.batch_per_gpu, gpus_per_server, gpu
+        )
+        self._movable = [layer.name for layer in model.embedding_layers]
+
+    # ------------------------------------------------------------------
+    def initial_strategy(self) -> ParallelizationStrategy:
+        """Start from the Meta-style hybrid if embeddings exist, else DP."""
+        if self._movable:
+            return hybrid_strategy(self.model, self.num_servers)
+        return data_parallel_strategy(self.model, self.num_servers)
+
+    def propose(
+        self, strategy: ParallelizationStrategy
+    ) -> ParallelizationStrategy:
+        """One random placement move (identity when nothing is movable)."""
+        if not self._movable:
+            return strategy
+        layer_name = self.rng.choice(self._movable)
+        current = strategy.placement(layer_name)
+        move = self.rng.random()
+        all_servers = tuple(range(self.num_servers))
+        if move < 0.60:
+            # Move / assign a model-parallel owner.
+            owner = self.rng.randrange(self.num_servers)
+            new = LayerPlacement(PlacementKind.MODEL_PARALLEL, (owner,))
+        elif move < 0.85:
+            new = LayerPlacement(PlacementKind.DATA_PARALLEL, all_servers)
+        else:
+            new = LayerPlacement(PlacementKind.SHARDED)
+        if new == current:
+            return strategy
+        return strategy.with_placement(layer_name, new)
+
+    def search(
+        self,
+        fabric,
+        iterations: int = 200,
+        initial: Optional[ParallelizationStrategy] = None,
+    ) -> MCMCResult:
+        """Run the Metropolis chain on ``fabric``; return the best state."""
+        cost_model = IterationCostModel(fabric, self.compute_s)
+        strategy = initial or self.initial_strategy()
+        traffic = extract_traffic(
+            self.model, strategy, self.batch_per_gpu, self.gpus_per_server
+        )
+        cost = cost_model.cost(traffic)
+        best = MCMCResult(
+            strategy=strategy,
+            traffic=traffic,
+            cost_s=cost,
+            accepted_moves=0,
+            proposed_moves=0,
+            cost_trace=[cost],
+        )
+        accepted = 0
+        for _ in range(iterations):
+            candidate = self.propose(strategy)
+            if candidate is strategy:
+                best.cost_trace.append(cost)
+                continue
+            candidate_traffic = extract_traffic(
+                self.model,
+                candidate,
+                self.batch_per_gpu,
+                self.gpus_per_server,
+            )
+            candidate_cost = cost_model.cost(candidate_traffic)
+            delta = candidate_cost - cost
+            scale = max(cost, 1e-9) * self.temperature
+            if delta <= 0 or self.rng.random() < math.exp(-delta / scale):
+                strategy, traffic, cost = (
+                    candidate,
+                    candidate_traffic,
+                    candidate_cost,
+                )
+                accepted += 1
+                if cost < best.cost_s:
+                    best.strategy = strategy
+                    best.traffic = traffic
+                    best.cost_s = cost
+            best.cost_trace.append(cost)
+        best.accepted_moves = accepted
+        best.proposed_moves = iterations
+        return best

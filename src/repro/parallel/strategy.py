@@ -1,0 +1,220 @@
+"""Parallelization strategies and device placement.
+
+A strategy assigns every layer of a DNN one of three placements:
+
+* **data parallel** -- the layer is replicated on a set of servers; its
+  parameters join that set's AllReduce group (type-2 dependency in the
+  paper's taxonomy).
+* **model parallel** -- the layer lives on one (or a few) owner servers;
+  every training sample's activation must travel owner -> worker in the
+  forward pass and worker -> owner in the backward pass (type-1
+  dependency, the immutable MP traffic).
+* **sharded** -- the layer (an embedding table family) is partitioned
+  row-wise across *all* servers, producing the worst-case all-to-all
+  pattern studied in section 5.4.
+
+This mirrors the placements FlexFlow's search space reaches for the
+paper's workloads (hybrid data+model parallelism or pure data parallel).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.models.base import DNNModel, LayerKind
+
+
+class PlacementKind(enum.Enum):
+    DATA_PARALLEL = "data_parallel"
+    MODEL_PARALLEL = "model_parallel"
+    SHARDED = "sharded"
+
+
+@dataclass(frozen=True)
+class LayerPlacement:
+    """Where one layer lives.
+
+    ``servers`` is the replica set for data parallelism, the owner set
+    (usually a single server) for model parallelism, and ignored (all
+    servers) for sharded placement.
+    """
+
+    kind: PlacementKind
+    servers: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind == PlacementKind.MODEL_PARALLEL and not self.servers:
+            raise ValueError("model-parallel placement needs owner servers")
+        if len(set(self.servers)) != len(self.servers):
+            raise ValueError("placement servers must be distinct")
+
+
+@dataclass(frozen=True)
+class ParallelizationStrategy:
+    """A complete strategy: per-layer placements over ``num_servers``."""
+
+    num_servers: int
+    placements: Mapping[str, LayerPlacement]
+
+    def __post_init__(self):
+        for name, placement in self.placements.items():
+            for server in placement.servers:
+                if not 0 <= server < self.num_servers:
+                    raise ValueError(
+                        f"layer {name!r} placed on server {server}, but the "
+                        f"job only has {self.num_servers} servers"
+                    )
+
+    def placement(self, layer_name: str) -> LayerPlacement:
+        try:
+            return self.placements[layer_name]
+        except KeyError:
+            raise KeyError(f"strategy has no placement for {layer_name!r}")
+
+    def validate_against(self, model: DNNModel) -> None:
+        """Check the strategy covers exactly the model's layers."""
+        model_names = {layer.name for layer in model.layers}
+        strategy_names = set(self.placements)
+        missing = model_names - strategy_names
+        extra = strategy_names - model_names
+        if missing or extra:
+            raise ValueError(
+                f"strategy/model mismatch for {model.name}: "
+                f"missing={sorted(missing)[:5]}, extra={sorted(extra)[:5]}"
+            )
+
+    def with_placement(
+        self, layer_name: str, placement: LayerPlacement
+    ) -> "ParallelizationStrategy":
+        updated = dict(self.placements)
+        updated[layer_name] = placement
+        return ParallelizationStrategy(self.num_servers, updated)
+
+    def mp_owner_servers(self) -> Dict[str, Tuple[int, ...]]:
+        return {
+            name: placement.servers
+            for name, placement in self.placements.items()
+            if placement.kind == PlacementKind.MODEL_PARALLEL
+        }
+
+    def is_pure_data_parallel(self) -> bool:
+        return all(
+            placement.kind == PlacementKind.DATA_PARALLEL
+            for placement in self.placements.values()
+        )
+
+
+def data_parallel_strategy(
+    model: DNNModel, num_servers: int
+) -> ParallelizationStrategy:
+    """Replicate every layer on all servers (Figure 1a)."""
+    servers = tuple(range(num_servers))
+    placements = {
+        layer.name: LayerPlacement(PlacementKind.DATA_PARALLEL, servers)
+        for layer in model.layers
+    }
+    return ParallelizationStrategy(num_servers, placements)
+
+
+def hybrid_strategy(
+    model: DNNModel,
+    num_servers: int,
+    embedding_owners: Optional[Mapping[str, int]] = None,
+    sharded_embeddings: Iterable[str] = (),
+) -> ParallelizationStrategy:
+    """Hybrid data + model parallelism (Figure 1b / Meta's DLRM recipe).
+
+    Embedding tables are placed model-parallel on owner servers (spread
+    round-robin when ``embedding_owners`` is not given, mirroring the
+    paper's E0 -> S0, E1 -> S3, ... example spacing); everything else is
+    data parallel.  Tables listed in ``sharded_embeddings`` are sharded
+    across all servers (the section 5.4 all-to-all setup).
+    """
+    servers = tuple(range(num_servers))
+    sharded = set(sharded_embeddings)
+    embeddings = model.embedding_layers
+    if embedding_owners is None:
+        # Spread owners evenly over the server range.
+        count = len(embeddings)
+        embedding_owners = {}
+        for idx, layer in enumerate(embeddings):
+            owner = (idx * num_servers) // max(count, 1) % num_servers
+            embedding_owners[layer.name] = owner
+
+    placements: Dict[str, LayerPlacement] = {}
+    for layer in model.layers:
+        if layer.kind == LayerKind.EMBEDDING and layer.name in sharded:
+            placements[layer.name] = LayerPlacement(PlacementKind.SHARDED)
+        elif layer.kind == LayerKind.EMBEDDING:
+            owner = embedding_owners.get(layer.name)
+            if owner is None:
+                placements[layer.name] = LayerPlacement(
+                    PlacementKind.DATA_PARALLEL, servers
+                )
+            else:
+                placements[layer.name] = LayerPlacement(
+                    PlacementKind.MODEL_PARALLEL, (owner,)
+                )
+        else:
+            placements[layer.name] = LayerPlacement(
+                PlacementKind.DATA_PARALLEL, servers
+            )
+    return ParallelizationStrategy(num_servers, placements)
+
+
+def all_sharded_strategy(
+    model: DNNModel, num_servers: int
+) -> ParallelizationStrategy:
+    """Shard every embedding table across all servers (section 5.4)."""
+    names = [layer.name for layer in model.embedding_layers]
+    return hybrid_strategy(model, num_servers, sharded_embeddings=names)
+
+
+def auto_strategy(
+    model: DNNModel,
+    num_servers: int,
+    batch_per_gpu: Optional[int] = None,
+    gpus_per_server: int = 4,
+) -> ParallelizationStrategy:
+    """Greedy per-layer placement: the strategy MCMC converges to.
+
+    An embedding table goes model-parallel only when the MP traffic it
+    creates (activations out + gradients back, ``2 * act * batch/server
+    * (n-1)`` bytes) is cheaper than the AllReduce traffic replication
+    would add (``~2 * params`` bytes carried around the ring).  DLRM's
+    huge low-dimensional tables pick MP; BERT's small word-embedding
+    table (tiny parameters, enormous per-token activations) stays data
+    parallel -- matching what FlexFlow's search finds in the paper.
+    """
+    if batch_per_gpu is None:
+        batch_per_gpu = model.default_batch_per_gpu
+    batch_per_server = batch_per_gpu * gpus_per_server
+    mp_names = []
+    for layer in model.embedding_layers:
+        mp_bytes = (
+            2.0
+            * layer.activation_bytes_per_sample
+            * batch_per_server
+            * (num_servers - 1)
+        )
+        allreduce_bytes = 2.0 * layer.params_bytes
+        if mp_bytes < allreduce_bytes:
+            mp_names.append(layer.name)
+    if not mp_names:
+        return data_parallel_strategy(model, num_servers)
+    owners = {
+        name: (idx * num_servers) // len(mp_names) % num_servers
+        for idx, name in enumerate(mp_names)
+    }
+    strategy = hybrid_strategy(model, num_servers, embedding_owners=owners)
+    # Tables the heuristic rejected go back to data parallel.
+    servers = tuple(range(num_servers))
+    for layer in model.embedding_layers:
+        if layer.name not in owners:
+            strategy = strategy.with_placement(
+                layer.name,
+                LayerPlacement(PlacementKind.DATA_PARALLEL, servers),
+            )
+    return strategy

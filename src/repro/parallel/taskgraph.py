@@ -1,0 +1,165 @@
+"""Task graphs: the phase structure of one training iteration.
+
+FlexFlow's simulator emits a task graph of compute and communication
+tasks with dependencies; the paper's iteration-time model (Eq. 1)
+serializes it into three phases -- forward/backward compute, MP
+transfers, AllReduce.  :func:`build_iteration_plan` materializes that
+structure for a (model, strategy, fabric) triple so the flow simulator
+and examples can inspect exactly what runs when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.models.base import DNNModel
+from repro.models.compute import (
+    GPUSpec,
+    A100,
+    compute_time_seconds,
+    layer_compute_time_seconds,
+)
+from repro.parallel.strategy import ParallelizationStrategy, PlacementKind
+from repro.parallel.traffic import TrafficSummary, extract_traffic
+
+
+@dataclass(frozen=True)
+class ComputeTask:
+    """One server's forward+backward work for a set of layers."""
+
+    server: int
+    duration_s: float
+    layer_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CommTask:
+    """One point-to-point transfer within a phase."""
+
+    src: int
+    dst: int
+    size_bytes: float
+    kind: str  # "mp" or "allreduce"
+
+
+@dataclass
+class CommPhase:
+    """A barrier-synchronized set of transfers."""
+
+    name: str
+    tasks: List[CommTask] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(task.size_bytes for task in self.tasks)
+
+
+@dataclass
+class IterationPlan:
+    """One iteration: compute tasks plus the MP and AllReduce phases."""
+
+    compute_tasks: List[ComputeTask]
+    mp_phase: CommPhase
+    allreduce_phase: CommPhase
+    traffic: TrafficSummary
+
+    @property
+    def compute_s(self) -> float:
+        """Critical-path compute time (slowest server)."""
+        return max(
+            (task.duration_s for task in self.compute_tasks), default=0.0
+        )
+
+
+def build_iteration_plan(
+    model: DNNModel,
+    strategy: ParallelizationStrategy,
+    batch_per_gpu: Optional[int] = None,
+    gpus_per_server: int = 4,
+    gpu: GPUSpec = A100,
+) -> IterationPlan:
+    """Materialize the per-iteration task graph of a strategy."""
+    strategy.validate_against(model)
+    n = strategy.num_servers
+    batch = batch_per_gpu or model.default_batch_per_gpu
+
+    # Per-server compute: replicated layers run everywhere; MP layers run
+    # only on their owners (with the whole cluster's samples).
+    per_server_layers: Dict[int, List[str]] = {s: [] for s in range(n)}
+    per_server_time: Dict[int, float] = {s: 0.0 for s in range(n)}
+    for layer in model.layers:
+        placement = strategy.placement(layer.name)
+        if placement.kind == PlacementKind.DATA_PARALLEL:
+            duration = layer_compute_time_seconds(
+                layer.flops_per_sample, batch, gpu
+            )
+            replicas = placement.servers or tuple(range(n))
+            for server in replicas:
+                per_server_layers[server].append(layer.name)
+                per_server_time[server] += duration
+        elif placement.kind == PlacementKind.MODEL_PARALLEL:
+            owners = placement.servers
+            total_samples = batch * gpus_per_server * n
+            duration = layer_compute_time_seconds(
+                layer.flops_per_sample,
+                max(total_samples // (len(owners) * gpus_per_server), 1),
+                gpu,
+            )
+            for server in owners:
+                per_server_layers[server].append(layer.name)
+                per_server_time[server] += duration
+        else:  # SHARDED: 1/n of the cluster's lookups per server
+            total_samples = batch * gpus_per_server * n
+            duration = layer_compute_time_seconds(
+                layer.flops_per_sample,
+                max(total_samples // (n * gpus_per_server), 1),
+                gpu,
+            )
+            for server in range(n):
+                per_server_layers[server].append(layer.name)
+                per_server_time[server] += duration
+
+    gpu_overhead = gpu.per_iteration_overhead_s
+    compute_tasks = [
+        ComputeTask(
+            server=server,
+            duration_s=per_server_time[server] + gpu_overhead,
+            layer_names=tuple(per_server_layers[server]),
+        )
+        for server in range(n)
+    ]
+
+    traffic = extract_traffic(model, strategy, batch, gpus_per_server)
+    mp_phase = CommPhase(name="mp")
+    for src in range(n):
+        for dst in range(n):
+            size = float(traffic.mp_matrix[src, dst])
+            if src != dst and size > 0:
+                mp_phase.tasks.append(
+                    CommTask(src=src, dst=dst, size_bytes=size, kind="mp")
+                )
+    allreduce_phase = CommPhase(name="allreduce")
+    for group in traffic.allreduce_groups:
+        if group.size < 2:
+            continue
+        from repro.parallel.collectives import allreduce_edge_bytes
+
+        per_edge = allreduce_edge_bytes(group.total_bytes, group.size)
+        members = group.members
+        k = len(members)
+        for i in range(k):
+            allreduce_phase.tasks.append(
+                CommTask(
+                    src=members[i],
+                    dst=members[(i + 1) % k],
+                    size_bytes=per_edge,
+                    kind="allreduce",
+                )
+            )
+    return IterationPlan(
+        compute_tasks=compute_tasks,
+        mp_phase=mp_phase,
+        allreduce_phase=allreduce_phase,
+        traffic=traffic,
+    )

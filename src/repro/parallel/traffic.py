@@ -1,0 +1,195 @@
+"""Traffic extraction: from (model, strategy, batch) to transfers.
+
+This is the bridge between the Comp. x Comm. plane and the Comm. x Topo.
+plane: given a parallelization strategy it produces
+
+* the AllReduce groups ``T_AllReduce`` (mutable traffic), and
+* the MP transfer matrix ``T_MP`` (immutable traffic),
+
+exactly the inputs of TopologyFinder (Algorithm 1), plus combined
+heatmap matrices reproducing Figures 1, 8, and 9.
+
+Accounting follows the paper's DLRM example (section 2.1 / Appendix D):
+
+* a data-parallel layer set with ``P`` parameter bytes over ``k`` servers
+  contributes an AllReduce group of ``P`` bytes;
+* a model-parallel layer on owner ``o`` sends each worker its share of
+  activations (``batch_per_server * activation_bytes``) forward and
+  receives the same back as gradients;
+* a sharded table produces all-to-all traffic: each server exchanges
+  ``batch_per_server * activation_bytes / n`` with every other server in
+  both passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.topology_finder import AllReduceGroup
+from repro.models.base import DNNModel
+from repro.parallel.strategy import (
+    ParallelizationStrategy,
+    PlacementKind,
+)
+
+
+@dataclass
+class TrafficSummary:
+    """The per-iteration communication demand of a strategy.
+
+    Attributes
+    ----------
+    allreduce_groups:
+        AllReduce groups with their synchronized byte counts.
+    mp_matrix:
+        ``n x n`` MP (activation/gradient) byte matrix.
+    n:
+        Number of servers.
+    """
+
+    n: int
+    allreduce_groups: List[AllReduceGroup] = field(default_factory=list)
+    mp_matrix: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.mp_matrix is None:
+            self.mp_matrix = np.zeros((self.n, self.n))
+
+    @property
+    def total_allreduce_bytes(self) -> float:
+        return float(sum(g.total_bytes for g in self.allreduce_groups))
+
+    @property
+    def total_mp_bytes(self) -> float:
+        return float(self.mp_matrix.sum())
+
+    def allreduce_matrix(self, num_rings: int = 1, strides=None) -> np.ndarray:
+        """Ring-AllReduce traffic matrix (for heatmaps)."""
+        from repro.core.mutability import ring_traffic_matrix
+
+        matrix = np.zeros((self.n, self.n))
+        for group in self.allreduce_groups:
+            if group.size < 2:
+                continue
+            use = strides if strides else [1]
+            for stride in use:
+                matrix += ring_traffic_matrix(
+                    group.members,
+                    group.total_bytes,
+                    self.n,
+                    stride=stride,
+                    num_rings=len(use),
+                )
+        return matrix
+
+    def heatmap(self, strides=None) -> np.ndarray:
+        """Combined AllReduce + MP traffic matrix (Figures 1/8/9)."""
+        return self.allreduce_matrix(strides=strides) + self.mp_matrix
+
+    def max_transfer_bytes(self) -> float:
+        """Largest single server-pair transfer (Figure 1's 44 GB -> 4 GB)."""
+        return float(self.heatmap().max())
+
+
+def extract_traffic(
+    model: DNNModel,
+    strategy: ParallelizationStrategy,
+    batch_per_gpu: int = None,
+    gpus_per_server: int = 4,
+) -> TrafficSummary:
+    """Derive AllReduce groups and the MP matrix from a strategy."""
+    strategy.validate_against(model)
+    n = strategy.num_servers
+    if batch_per_gpu is None:
+        batch_per_gpu = model.default_batch_per_gpu
+    batch_per_server = batch_per_gpu * gpus_per_server
+
+    summary = TrafficSummary(n=n)
+    dp_bytes_by_replicas: Dict[Tuple[int, ...], float] = {}
+
+    for layer in model.layers:
+        placement = strategy.placement(layer.name)
+        if placement.kind == PlacementKind.DATA_PARALLEL:
+            replicas = placement.servers or tuple(range(n))
+            if len(replicas) >= 2 and layer.params_bytes > 0:
+                dp_bytes_by_replicas[replicas] = (
+                    dp_bytes_by_replicas.get(replicas, 0.0)
+                    + layer.params_bytes
+                )
+        elif placement.kind == PlacementKind.MODEL_PARALLEL:
+            _add_model_parallel_traffic(
+                summary.mp_matrix,
+                placement.servers,
+                layer.activation_bytes_per_sample,
+                batch_per_server,
+                n,
+            )
+        elif placement.kind == PlacementKind.SHARDED:
+            _add_sharded_traffic(
+                summary.mp_matrix,
+                layer.activation_bytes_per_sample,
+                batch_per_server,
+                n,
+            )
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown placement kind {placement.kind}")
+
+    for replicas, params_bytes in dp_bytes_by_replicas.items():
+        summary.allreduce_groups.append(
+            AllReduceGroup(members=replicas, total_bytes=params_bytes)
+        )
+    return summary
+
+
+def _add_model_parallel_traffic(
+    matrix: np.ndarray,
+    owners: Tuple[int, ...],
+    activation_bytes: float,
+    batch_per_server: int,
+    n: int,
+) -> None:
+    """Owner(s) -> every worker forward, workers -> owner(s) backward.
+
+    Each worker processes ``batch_per_server`` samples and needs that
+    many activation vectors from the layer's owner; the owner set splits
+    the load evenly when there are several owners.
+    """
+    per_worker = activation_bytes * batch_per_server / len(owners)
+    for owner in owners:
+        for worker in range(n):
+            if worker == owner:
+                continue
+            matrix[owner, worker] += per_worker  # forward activations
+            matrix[worker, owner] += per_worker  # backward gradients
+
+
+def _add_sharded_traffic(
+    matrix: np.ndarray,
+    activation_bytes: float,
+    batch_per_server: int,
+    n: int,
+) -> None:
+    """Row-sharded table: all-to-all exchange in both passes.
+
+    Each server's ``batch_per_server`` lookups hit shards uniformly, so
+    it pulls ``batch * act / n`` bytes from every other server forward
+    and pushes the same back as gradients.
+    """
+    if n < 2:
+        return
+    per_pair = activation_bytes * batch_per_server / n
+    for src in range(n):
+        for dst in range(n):
+            if src != dst:
+                matrix[src, dst] += 2.0 * per_pair  # forward + backward
+
+
+def alltoall_to_allreduce_ratio(summary: TrafficSummary) -> float:
+    """Ratio of MP (all-to-all) to AllReduce bytes (Figure 12's top axis)."""
+    allreduce = summary.total_allreduce_bytes
+    if allreduce <= 0:
+        return float("inf") if summary.total_mp_bytes > 0 else 0.0
+    return summary.total_mp_bytes / allreduce

@@ -1,0 +1,50 @@
+"""Event-driven fluid flow simulation (the FlexNetPacket analog).
+
+The paper evaluates architectures with a packet-level simulator built on
+htsim; per-packet effects are second-order for every reported result, so
+this reproduction uses an event-driven *fluid* model: flows receive
+max-min fair rates over their paths (progressive filling), recomputed at
+every arrival/departure, with exact completion times under
+piecewise-constant rates and 1 us per-hop propagation latency.
+
+* :mod:`repro.sim.flows` -- flow and link primitives.
+* :mod:`repro.sim.fluid` -- the max-min rate allocator and phase runner.
+* :mod:`repro.sim.events` -- the event queue for the full simulator.
+* :mod:`repro.sim.network_sim` -- training-iteration simulation of a
+  task graph (compute + MP + AllReduce phases) on a fabric.
+* :mod:`repro.sim.cluster` -- shared clusters: sharding, job mixes, and
+  per-job iteration-time statistics (section 5.6).
+* :mod:`repro.sim.reconfig` -- reconfigurable fabrics (OCS-reconfig and
+  SiP-ML) with periodic demand estimation (section 5.7).
+* :mod:`repro.sim.rdma` -- the host-based RDMA forwarding overlay
+  (NPAR) model of section 6 / Appendix I.
+"""
+
+from repro.sim.flows import Flow, LinkState
+from repro.sim.fluid import FluidNetwork, simulate_phase
+from repro.sim.events import EventQueue
+from repro.sim.network_sim import (
+    IterationBreakdown,
+    TrainingSimulator,
+    simulate_iteration,
+)
+from repro.sim.cluster import SharedClusterSimulator, JobSpec, JobStats
+from repro.sim.reconfig import ReconfigurableFabricSimulator
+from repro.sim.rdma import RdmaForwardingModel, NparInterface
+
+__all__ = [
+    "Flow",
+    "LinkState",
+    "FluidNetwork",
+    "simulate_phase",
+    "EventQueue",
+    "IterationBreakdown",
+    "TrainingSimulator",
+    "simulate_iteration",
+    "SharedClusterSimulator",
+    "JobSpec",
+    "JobStats",
+    "ReconfigurableFabricSimulator",
+    "RdmaForwardingModel",
+    "NparInterface",
+]

@@ -1,0 +1,207 @@
+"""Shared-cluster simulation: sharding and concurrent jobs (section 5.6).
+
+A TopoOpt cluster is *shardable*: the optical layer gives every job a
+dedicated, physically isolated partition, so jobs never contend
+(Appendix C).  Switch-based fabrics share their core, so concurrent
+jobs' AllReduce and MP phases collide -- the congestion that drives the
+Fat-tree tail latencies of Figure 16.
+
+The simulator runs each job's training loop as a state machine over a
+single shared fluid network:
+
+    compute (timer)  ->  communicate (MP + AllReduce flows)  ->  repeat
+
+and records per-iteration completion times, from which the bench reports
+the average and 99th-percentile across jobs (the Figure 16 series).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.traffic import TrafficSummary
+from repro.sim.flows import Flow
+from repro.sim.fluid import FluidNetwork
+from repro.sim.network_sim import _allreduce_flows, _mp_flows
+
+Link = Tuple[int, int]
+
+
+@dataclass
+class JobSpec:
+    """One training job placed on a shard of the cluster.
+
+    ``fabric`` must speak global server ids (a per-shard TopoOpt fabric
+    or the shared switch fabric); ``traffic`` must already be expressed
+    in global ids as well (use :func:`remap_traffic`).
+    """
+
+    name: str
+    traffic: TrafficSummary
+    compute_s: float
+    fabric: object
+
+
+@dataclass
+class JobStats:
+    """Iteration-time record of one job."""
+
+    name: str
+    iteration_times: List[float] = field(default_factory=list)
+
+
+@dataclass
+class _JobState:
+    spec: JobSpec
+    iteration_start: float = 0.0
+    phase: str = "compute"  # compute -> mp -> allreduce
+    outstanding: int = 0
+    stats: JobStats = None  # type: ignore[assignment]
+
+
+def remap_traffic(
+    traffic: TrafficSummary, server_map: Sequence[int]
+) -> TrafficSummary:
+    """Re-express a local-id traffic summary in global server ids.
+
+    ``server_map[i]`` is the global id of local server ``i``.  The
+    resulting matrices live in the global id space (size = max id + 1),
+    which is what the shared network expects.
+    """
+    from repro.core.topology_finder import AllReduceGroup
+
+    n_global = max(server_map) + 1
+    mp = np.zeros((n_global, n_global))
+    n_local = traffic.n
+    for src in range(n_local):
+        for dst in range(n_local):
+            if traffic.mp_matrix[src, dst] > 0:
+                mp[server_map[src], server_map[dst]] += traffic.mp_matrix[
+                    src, dst
+                ]
+    groups = [
+        AllReduceGroup(
+            members=tuple(server_map[m] for m in g.members),
+            total_bytes=g.total_bytes,
+        )
+        for g in traffic.allreduce_groups
+    ]
+    return TrafficSummary(n=n_global, allreduce_groups=groups, mp_matrix=mp)
+
+
+class SharedClusterSimulator:
+    """Concurrent training jobs over one capacitated network."""
+
+    def __init__(
+        self,
+        capacities: Dict[Link, float],
+        jobs: Sequence[JobSpec],
+        seed: int = 0,
+    ):
+        if not jobs:
+            raise ValueError("need at least one job")
+        self.network = FluidNetwork(capacities)
+        self.rng = random.Random(seed)
+        self.states = [
+            _JobState(spec=job, stats=JobStats(name=job.name))
+            for job in jobs
+        ]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        iterations_per_job: int = 5,
+        max_sim_time_s: float = 3600.0,
+    ) -> List[JobStats]:
+        """Simulate until every job completes its iteration quota."""
+        now = 0.0
+        self._compute_done: List[Tuple[float, _JobState]] = []
+        # Stagger job starts by a random fraction of their compute time so
+        # the cluster does not run in lockstep.
+        for state in self.states:
+            offset = self.rng.random() * state.spec.compute_s
+            state.iteration_start = now
+            self._compute_done.append(
+                (now + offset + state.spec.compute_s, state)
+            )
+        flow_owner: Dict[int, _JobState] = {}
+
+        while True:
+            if all(
+                len(s.stats.iteration_times) >= iterations_per_job
+                for s in self.states
+            ):
+                break
+            if now > max_sim_time_s:
+                raise RuntimeError(
+                    f"shared-cluster simulation exceeded {max_sim_time_s}s"
+                )
+            next_timer = min((t for t, _ in self._compute_done), default=None)
+            dt_flow = self.network.time_to_next_completion()
+            next_flow = now + dt_flow if dt_flow is not None else None
+            candidates = [t for t in (next_timer, next_flow) if t is not None]
+            if not candidates:
+                break
+            target = min(candidates)
+            completed = self.network.advance(max(target - now, 0.0) + 1e-12)
+            now = target
+
+            for flow in completed:
+                owner = flow_owner.pop(flow.flow_id, None)
+                if owner is None:
+                    continue
+                owner.outstanding -= 1
+                if owner.outstanding == 0:
+                    self._finish_communication(owner, now)
+
+            still_pending = []
+            for timer, state in self._compute_done:
+                if timer <= now + 1e-12:
+                    self._start_communication(state, now, flow_owner)
+                else:
+                    still_pending.append((timer, state))
+            self._compute_done = still_pending
+        return [state.stats for state in self.states]
+
+    # ------------------------------------------------------------------
+    def _start_communication(
+        self, state: _JobState, now: float, flow_owner: Dict[int, _JobState]
+    ) -> None:
+        spec = state.spec
+        flows: List[Flow] = []
+        flows.extend(_mp_flows(spec.fabric, spec.traffic))
+        flows.extend(_allreduce_flows(spec.fabric, spec.traffic))
+        if not flows:
+            self._finish_communication(state, now)
+            return
+        state.phase = "comm"
+        state.outstanding = len(flows)
+        for flow in flows:
+            flow_owner[flow.flow_id] = state
+            self.network.add_flow(flow)
+
+    def _finish_communication(self, state: _JobState, now: float) -> None:
+        state.stats.iteration_times.append(now - state.iteration_start)
+        state.iteration_start = now
+        state.phase = "compute"
+        self._compute_done.append((now + state.spec.compute_s, state))
+
+
+def iteration_time_stats(
+    stats: Sequence[JobStats], skip_first: int = 1
+) -> Tuple[float, float]:
+    """(average, 99th percentile) across all jobs' recorded iterations.
+
+    The first iteration of each job includes the random start stagger,
+    so it is skipped by default.
+    """
+    samples: List[float] = []
+    for job in stats:
+        samples.extend(job.iteration_times[skip_first:])
+    if not samples:
+        raise ValueError("no iteration samples recorded")
+    return float(np.mean(samples)), float(np.percentile(samples, 99))

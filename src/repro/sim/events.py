@@ -1,0 +1,55 @@
+"""A minimal event queue for the full (multi-job, reconfigurable) simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """Time-ordered callback queue with stable FIFO tie-breaking."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, time: float, callback: Callable[[], Any]) -> None:
+        if time < self.now - 1e-15:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time "
+                f"{self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], Any]) -> None:
+        self.schedule(self.now + delay, callback)
+
+    def next_event_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, until: float) -> List[Callable[[], Any]]:
+        """Pop every event scheduled at or before ``until`` (time-ordered)."""
+        due = []
+        while self._heap and self._heap[0][0] <= until + 1e-15:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            due.append(callback)
+        self.now = max(self.now, until)
+        return due
+
+    def run_next(self) -> bool:
+        """Advance to and run the earliest event; False if queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.now = time
+        callback()
+        return True
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,184 @@
+"""Max-min fair fluid network: progressive-filling rates + phase runner.
+
+Rate allocation follows the textbook progressive-filling algorithm:
+starting from zero, all flows' rates grow together; when a link
+saturates, every flow crossing it freezes at its fair share and the
+remaining flows keep growing.  The result is the unique max-min fair
+allocation, recomputed whenever the active flow set changes.
+
+:func:`simulate_phase` runs a set of flows that all start at time zero
+to completion, returning the makespan -- the building block for the
+paper's no-overlap iteration-time model (Eq. 1 in section 5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.flows import Flow, Link, LinkState
+
+_EPS = 1e-12
+#: Completion times closer than this are merged into one batch.
+_TIME_QUANTUM = 1e-9
+
+
+class FluidNetwork:
+    """Tracks active flows on a capacitated link set and assigns rates."""
+
+    def __init__(self, capacities: Dict[Link, float]):
+        if not capacities:
+            raise ValueError("network needs at least one link")
+        self.links: Dict[Link, LinkState] = {
+            link: LinkState(capacity_bps=cap)
+            for link, cap in capacities.items()
+        }
+        self.active: Dict[int, Flow] = {}
+        self._rates_dirty = True
+
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: Flow) -> None:
+        for link in flow.links:
+            if link not in self.links:
+                raise KeyError(
+                    f"flow {flow.flow_id} uses link {link} which does not "
+                    "exist in the network"
+                )
+        self.active[flow.flow_id] = flow
+        for link in flow.links:
+            self.links[link].flows.add(flow)
+        self._rates_dirty = True
+
+    def remove_flow(self, flow: Flow) -> None:
+        self.active.pop(flow.flow_id, None)
+        for link in flow.links:
+            self.links[link].flows.discard(flow)
+        self._rates_dirty = True
+
+    def mark_dirty(self) -> None:
+        self._rates_dirty = True
+
+    # ------------------------------------------------------------------
+    def recompute_rates(self) -> None:
+        """Progressive filling: assign the max-min fair allocation."""
+        if not self._rates_dirty:
+            return
+        unfrozen = set(self.active.values())
+        for flow in unfrozen:
+            flow.rate_bps = 0.0
+        residual = {
+            link: state.capacity_bps
+            for link, state in self.links.items()
+            if state.flows
+        }
+        link_unfrozen: Dict[Link, set] = {
+            link: set(self.links[link].flows) for link in residual
+        }
+        while unfrozen:
+            # Bottleneck link: minimal per-flow fair share.
+            best_link = None
+            best_share = math.inf
+            for link, members in link_unfrozen.items():
+                count = len(members)
+                if count == 0:
+                    continue
+                share = residual[link] / count
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break  # flows without contended links (cannot happen)
+            frozen_now = list(link_unfrozen[best_link])
+            for flow in frozen_now:
+                flow.rate_bps = best_share
+                unfrozen.discard(flow)
+                for link in flow.links:
+                    members = link_unfrozen.get(link)
+                    if members is not None:
+                        members.discard(flow)
+                    residual[link] = max(0.0, residual[link] - best_share)
+        self._rates_dirty = False
+
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> List[Flow]:
+        """Progress all flows by ``dt`` seconds; return completed flows."""
+        if dt < 0:
+            raise ValueError(f"cannot advance time backwards (dt={dt})")
+        completed: List[Flow] = []
+        for flow in self.active.values():
+            flow.remaining_bits -= flow.rate_bps * dt
+            if flow.remaining_bits <= _EPS * max(1.0, flow.size_bits):
+                flow.remaining_bits = 0.0
+                completed.append(flow)
+        for flow in completed:
+            self.remove_flow(flow)
+        return completed
+
+    def time_to_next_completion(self) -> Optional[float]:
+        """Seconds until the earliest active flow finishes (rates fixed)."""
+        self.recompute_rates()
+        best = math.inf
+        for flow in self.active.values():
+            if flow.rate_bps > _EPS:
+                best = min(best, flow.remaining_bits / flow.rate_bps)
+        return None if math.isinf(best) else max(best, 0.0)
+
+    def utilization(self) -> Dict[Link, float]:
+        """Current per-link utilization in [0, 1]."""
+        self.recompute_rates()
+        result = {}
+        for link, state in self.links.items():
+            used = sum(f.rate_bps for f in state.flows)
+            result[link] = used / state.capacity_bps
+        return result
+
+
+def simulate_phase(
+    capacities: Dict[Link, float],
+    flows: Sequence[Flow],
+    include_propagation: bool = True,
+) -> float:
+    """Run flows that all start at t=0 to completion; return the makespan.
+
+    Simultaneous completions (within 1 ns) are batched so symmetric
+    workloads (AllReduce rings, uniform all-to-all) finish in a handful
+    of rate recomputations.  Propagation delay adds each flow's per-hop
+    latency to its completion (flows are long; the paper's 1 us/hop only
+    matters for the reconfiguration studies).
+    """
+    if not flows:
+        return 0.0
+    network = FluidNetwork(capacities)
+    max_propagation = 0.0
+    for flow in flows:
+        flow.remaining_bits = float(flow.size_bits)
+        network.add_flow(flow)
+        if include_propagation:
+            max_propagation = max(max_propagation, flow.propagation_delay_s)
+    now = 0.0
+    guard = 0
+    limit = 10 * len(flows) + 100
+    while network.active:
+        dt = network.time_to_next_completion()
+        if dt is None:
+            raise RuntimeError(
+                "deadlock: active flows have zero rate; check capacities"
+            )
+        # Merge completions landing within the time quantum.
+        dt = max(dt, 0.0) + _TIME_QUANTUM
+        now += dt
+        network.advance(dt)
+        guard += 1
+        if guard > limit:  # pragma: no cover - safety net
+            raise RuntimeError("phase simulation failed to converge")
+    return now + max_propagation
+
+
+def phase_link_bytes(flows: Iterable[Flow]) -> Dict[Link, float]:
+    """Total bytes each link carries for a flow set (Figure 15's CDF)."""
+    totals: Dict[Link, float] = {}
+    for flow in flows:
+        per_link = flow.size_bits / 8.0
+        for link in flow.links:
+            totals[link] = totals.get(link, 0.0) + per_link
+    return totals

@@ -1,0 +1,207 @@
+"""Host-based RDMA forwarding over NPAR (section 6, Appendix I).
+
+RoCEv2 NICs drop packets whose destination IP is not their own, so a
+direct-connect fabric cannot natively relay traffic.  The paper's
+solution splits every physical interface into two logical NPAR
+functions:
+
+* ``if1`` -- a normal RDMA interface with an IP address (NIC RDMA engine,
+  kernel bypass);
+* ``if2`` -- a MAC-only Ethernet function with RDMA disabled; packets
+  addressed to its MAC are delivered to the host kernel, which forwards
+  them via ``tc flower`` rules keyed on the final destination IP.
+
+This module models that overlay: it assigns NPAR functions, generates
+the per-hop rule chains (iproute/arp entries at the endpoints, tc
+flower redirects at the relays -- the walk-through of Appendix I), and
+quantifies the kernel-forwarding throughput penalty the paper reports
+as "negligible when the amount of forwarded traffic is small".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class NparInterface:
+    """One physical port split into its two NPAR logical functions."""
+
+    server: int
+    port: int
+
+    @property
+    def if1_name(self) -> str:
+        """RDMA-enabled function (has an IP, NIC engine terminates it)."""
+        return f"s{self.server}p{self.port}f0"
+
+    @property
+    def if2_name(self) -> str:
+        """Forwarding function (MAC only, delivered to the kernel)."""
+        return f"s{self.server}p{self.port}f1"
+
+    @property
+    def if1_ip(self) -> str:
+        return f"10.{self.server // 256}.{self.server % 256}.{self.port + 1}"
+
+    @property
+    def if1_mac(self) -> str:
+        return _mac(self.server, self.port, 0)
+
+    @property
+    def if2_mac(self) -> str:
+        return _mac(self.server, self.port, 1)
+
+
+def _mac(server: int, port: int, function: int) -> str:
+    return "02:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}".format(
+        (server >> 8) & 0xFF, server & 0xFF, port & 0xFF, function, 0
+    )
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """One kernel rule in the relay chain (Appendix I's iproute/arp/tc)."""
+
+    server: int
+    kind: str  # "iproute" | "arp" | "tc_flower"
+    match_dst_ip: str
+    out_interface: str
+    next_hop_mac: str
+
+    def render(self) -> str:
+        """Human-readable rule, in the spirit of the paper's Linux setup."""
+        if self.kind == "iproute":
+            return (
+                f"server{self.server}: ip route add {self.match_dst_ip}/32 "
+                f"dev {self.out_interface}"
+            )
+        if self.kind == "arp":
+            return (
+                f"server{self.server}: arp -s {self.match_dst_ip} "
+                f"{self.next_hop_mac}"
+            )
+        return (
+            f"server{self.server}: tc filter add flower dst_ip "
+            f"{self.match_dst_ip} action pedit ex munge eth dst set "
+            f"{self.next_hop_mac} redirect dev {self.out_interface}"
+        )
+
+
+class RdmaForwardingModel:
+    """Builds and evaluates the RDMA forwarding overlay for a topology.
+
+    Parameters
+    ----------
+    degree:
+        Physical ports per server.
+    kernel_forwarding_penalty:
+        Fractional throughput loss per kernel-forwarded (relay) hop.
+        RDMA-terminated hops are free; measured overhead in the paper's
+        prototype is small, so the default is 5% per relay.
+    """
+
+    def __init__(self, degree: int, kernel_forwarding_penalty: float = 0.05):
+        if degree < 1:
+            raise ValueError("degree must be positive")
+        if not 0 <= kernel_forwarding_penalty < 1:
+            raise ValueError("penalty must be in [0, 1)")
+        self.degree = degree
+        self.kernel_forwarding_penalty = kernel_forwarding_penalty
+
+    def interfaces(self, server: int) -> List[NparInterface]:
+        return [NparInterface(server, port) for port in range(self.degree)]
+
+    # ------------------------------------------------------------------
+    def rules_for_path(
+        self,
+        path: Sequence[int],
+        egress_ports: Dict[Tuple[int, int], int],
+    ) -> List[ForwardingRule]:
+        """Rule chain realizing one logical RDMA connection over ``path``.
+
+        ``egress_ports[(a, b)]`` names the physical port server ``a``
+        uses to reach neighbor ``b``.  Endpoints get iproute+arp entries;
+        every relay gets a tc flower redirect toward the next hop's
+        ``if2`` MAC (or the final hop's ``if1`` MAC so the packet is
+        treated as RDMA again -- the Appendix I walk-through).
+        """
+        if len(path) < 2:
+            raise ValueError("a forwarding path needs at least two servers")
+        dst_server = path[-1]
+        last_port = egress_ports[(path[-2], path[-1])]
+        dst_if1 = NparInterface(dst_server, last_port)
+        rules: List[ForwardingRule] = []
+
+        # Source endpoint: route + arp toward the first hop.
+        first_port = egress_ports[(path[0], path[1])]
+        src_iface = NparInterface(path[0], first_port)
+        next_mac = self._next_hop_mac(path, 0, egress_ports, dst_if1)
+        rules.append(
+            ForwardingRule(
+                server=path[0],
+                kind="iproute",
+                match_dst_ip=dst_if1.if1_ip,
+                out_interface=src_iface.if1_name,
+                next_hop_mac=next_mac,
+            )
+        )
+        rules.append(
+            ForwardingRule(
+                server=path[0],
+                kind="arp",
+                match_dst_ip=dst_if1.if1_ip,
+                out_interface=src_iface.if1_name,
+                next_hop_mac=next_mac,
+            )
+        )
+        # Relays: tc flower redirect keyed on the final destination IP.
+        for i in range(1, len(path) - 1):
+            out_port = egress_ports[(path[i], path[i + 1])]
+            relay_iface = NparInterface(path[i], out_port)
+            next_mac = self._next_hop_mac(path, i, egress_ports, dst_if1)
+            rules.append(
+                ForwardingRule(
+                    server=path[i],
+                    kind="tc_flower",
+                    match_dst_ip=dst_if1.if1_ip,
+                    out_interface=relay_iface.if2_name,
+                    next_hop_mac=next_mac,
+                )
+            )
+        return rules
+
+    def _next_hop_mac(
+        self,
+        path: Sequence[int],
+        index: int,
+        egress_ports: Dict[Tuple[int, int], int],
+        dst_if1: NparInterface,
+    ) -> str:
+        """MAC of the next hop: if2 for relays, if1 at the destination."""
+        nxt = index + 1
+        if nxt == len(path) - 1:
+            return dst_if1.if1_mac
+        ingress_port = egress_ports[(path[nxt], path[nxt + 1])]
+        return NparInterface(path[nxt], ingress_port).if2_mac
+
+    # ------------------------------------------------------------------
+    def effective_rate_bps(self, path_hops: int, link_rate_bps: float) -> float:
+        """Achievable rate of a logical RDMA connection over the overlay.
+
+        Direct connections (1 hop) run at line rate; every relay hop
+        multiplies throughput by ``1 - penalty`` (kernel forwarding).
+        """
+        if path_hops < 1:
+            raise ValueError("path must have at least one hop")
+        relays = path_hops - 1
+        return link_rate_bps * (1.0 - self.kernel_forwarding_penalty) ** relays
+
+    def relay_cpu_bytes(self, flows) -> Dict[int, float]:
+        """Bytes each server's kernel forwards (relay load accounting)."""
+        load: Dict[int, float] = {}
+        for flow in flows:
+            for relay in flow.path[1:-1]:
+                load[relay] = load.get(relay, 0.0) + flow.size_bits / 8.0
+        return load

@@ -1,0 +1,237 @@
+"""Reconfigurable-fabric simulation: OCS-reconfig and SiP-ML (section 5.7).
+
+These fabrics rebuild their circuits *during* training from periodically
+measured demand (every 50 ms in the paper), paying the technology's
+reconfiguration latency on each change.  Because FlexFlow's strategy
+search is unaware of reconfigurability, the heuristic only sees the
+currently unsatisfied demand -- which is exactly why OCS-reconfig
+mispredicts around AllReduce phase boundaries and performs poorly in
+Figure 11, an effect this simulator reproduces.
+
+The simulation loop per epoch:
+
+1. Snapshot the unsatisfied demand matrix.
+2. Run the circuit heuristic (Algorithm 5 with exponential discount for
+   OCS-reconfig, unit discount for SiP-ML per Appendix F).
+3. Pause all transfers for the reconfiguration latency.
+4. Serve flows over the new circuits with max-min fair rates -- directly
+   connected pairs only when host-based forwarding is disabled
+   (OCS-reconfig-noFW / SiP-ML), shortest-path multi-hop otherwise
+   (OCS-reconfig-FW) -- until the epoch ends or demand drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ocs_reconfig import exponential_discount, ocs_reconfig, unit_discount
+from repro.network.topology import DirectConnectTopology
+from repro.sim.flows import Flow
+from repro.sim.fluid import FluidNetwork
+
+Link = Tuple[int, int]
+_EPS_BYTES = 1.0
+
+
+@dataclass
+class ReconfigEpochStats:
+    """Bookkeeping for one reconfiguration epoch."""
+
+    start_s: float
+    reconfig_latency_s: float
+    served_bytes: float
+    active_links: int
+
+
+class ReconfigurableFabricSimulator:
+    """Drains a demand matrix through a periodically reconfigured fabric.
+
+    Parameters
+    ----------
+    num_servers, degree, link_bandwidth_bps:
+        Fabric dimensions.
+    reconfiguration_latency_s:
+        Pause paid on every topology change (10 ms for 3D-MEMS OCS,
+        25 us for SiP-ML's silicon photonics).
+    demand_epoch_s:
+        How often demand is re-estimated and circuits rescheduled.
+    host_forwarding:
+        OCS-reconfig-FW vs OCS-reconfig-noFW / SiP-ML.
+    sipml_mode:
+        Use the unit discount (Appendix F's SiP-ML objective).
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        degree: int,
+        link_bandwidth_bps: float,
+        reconfiguration_latency_s: float = 10e-3,
+        demand_epoch_s: float = 50e-3,
+        host_forwarding: bool = True,
+        sipml_mode: bool = False,
+    ):
+        if demand_epoch_s <= 0:
+            raise ValueError("demand epoch must be positive")
+        if reconfiguration_latency_s < 0:
+            raise ValueError("reconfiguration latency must be >= 0")
+        self.num_servers = num_servers
+        self.degree = degree
+        self.link_bandwidth_bps = link_bandwidth_bps
+        self.reconfiguration_latency_s = reconfiguration_latency_s
+        self.demand_epoch_s = demand_epoch_s
+        self.host_forwarding = host_forwarding
+        self.sipml_mode = sipml_mode
+        self.epochs: List[ReconfigEpochStats] = []
+        self.name = "SiP-ML" if sipml_mode else (
+            "OCS-reconfig-FW" if host_forwarding else "OCS-reconfig-noFW"
+        )
+
+    # ------------------------------------------------------------------
+    def drain_demand(
+        self, demand_bytes: np.ndarray, max_time_s: float = 3600.0
+    ) -> float:
+        """Time to fully serve ``demand_bytes`` through the fabric."""
+        demand = np.array(demand_bytes, dtype=float, copy=True)
+        np.fill_diagonal(demand, 0.0)
+        now = 0.0
+        self.epochs = []
+        while demand.sum() > _EPS_BYTES:
+            if now > max_time_s:
+                raise RuntimeError(
+                    f"demand did not drain within {max_time_s}s; "
+                    f"{demand.sum():.0f} bytes left"
+                )
+            topology = self._schedule_circuits(demand)
+            now += self.reconfiguration_latency_s
+            served, elapsed = self._serve_epoch(topology, demand)
+            self.epochs.append(
+                ReconfigEpochStats(
+                    start_s=now,
+                    reconfig_latency_s=self.reconfiguration_latency_s,
+                    served_bytes=served,
+                    active_links=topology.num_links(),
+                )
+            )
+            now += elapsed
+            if served <= _EPS_BYTES and elapsed >= self.demand_epoch_s:
+                # Nothing routable this epoch and nothing will change:
+                # without forwarding some pairs may never get a circuit
+                # if the heuristic keeps starving them -- spread demand
+                # by zeroing the already-satisfied hot pairs is handled
+                # inside the heuristic's halving; here we simply continue
+                # and let the next epoch's snapshot (with hot pairs now
+                # partially drained) produce different circuits.
+                if not self._progress_possible(demand):
+                    raise RuntimeError(
+                        "reconfigurable fabric cannot make progress on "
+                        "the remaining demand"
+                    )
+        return now
+
+    def iteration_time(
+        self,
+        mp_demand: np.ndarray,
+        allreduce_demand: np.ndarray,
+        compute_s: float,
+    ) -> float:
+        """Iteration time with the paper's no-overlap phase model.
+
+        The two communication phases are drained sequentially -- the
+        demand estimator cannot see the AllReduce phase while MP flows
+        are active, which is the mis-estimation penalty of section 5.3.
+        """
+        mp_s = (
+            self.drain_demand(mp_demand) if mp_demand.sum() > 0 else 0.0
+        )
+        allreduce_s = (
+            self.drain_demand(allreduce_demand)
+            if allreduce_demand.sum() > 0
+            else 0.0
+        )
+        return compute_s + mp_s + allreduce_s
+
+    # ------------------------------------------------------------------
+    def _schedule_circuits(self, demand: np.ndarray) -> DirectConnectTopology:
+        discount = unit_discount if self.sipml_mode else exponential_discount
+        return ocs_reconfig(
+            demand,
+            self.degree,
+            discount=discount,
+            ensure_connected=self.host_forwarding,
+        )
+
+    def _serve_epoch(
+        self, topology: DirectConnectTopology, demand: np.ndarray
+    ) -> Tuple[float, float]:
+        """Serve demand over fixed circuits for at most one epoch.
+
+        Returns (bytes served, elapsed seconds).  Mutates ``demand``.
+        """
+        flows = self._build_flows(topology, demand)
+        if not flows:
+            return 0.0, self.demand_epoch_s
+        network = FluidNetwork(
+            {
+                (src, dst): count * self.link_bandwidth_bps
+                for src, dst, count in topology.edges()
+            }
+        )
+        for flow in flows:
+            network.add_flow(flow)
+        elapsed = 0.0
+        served = 0.0
+        while network.active and elapsed < self.demand_epoch_s:
+            dt = network.time_to_next_completion()
+            if dt is None:
+                break
+            dt = min(dt + 1e-9, self.demand_epoch_s - elapsed)
+            before = {
+                f.flow_id: f.remaining_bits for f in network.active.values()
+            }
+            network.advance(dt)
+            elapsed += dt
+            for flow in flows:
+                if flow.flow_id in before:
+                    moved_bits = before[flow.flow_id] - flow.remaining_bits
+                    if moved_bits > 0:
+                        served += moved_bits / 8.0
+                        demand[flow.tag] = max(
+                            0.0, demand[flow.tag] - moved_bits / 8.0
+                        )
+        return served, elapsed
+
+    def _build_flows(
+        self, topology: DirectConnectTopology, demand: np.ndarray
+    ) -> List[Flow]:
+        flows: List[Flow] = []
+        n = self.num_servers
+        for src in range(n):
+            for dst in range(n):
+                byte_count = demand[src, dst]
+                if src == dst or byte_count <= _EPS_BYTES:
+                    continue
+                if topology.has_link(src, dst):
+                    path: Optional[List[int]] = [src, dst]
+                elif self.host_forwarding:
+                    path = topology.shortest_path(src, dst)
+                else:
+                    path = None  # blocked until a future circuit appears
+                if path is None:
+                    continue
+                flows.append(
+                    Flow(
+                        path=tuple(path),
+                        size_bits=byte_count * 8.0,
+                        kind="mp",
+                        tag=(src, dst),
+                    )
+                )
+        return flows
+
+    def _progress_possible(self, demand: np.ndarray) -> bool:
+        """Whether the heuristic could ever serve the remaining demand."""
+        return bool((demand > _EPS_BYTES).any())

@@ -1,0 +1,18 @@
+"""Emulation of the paper's 12-node prototype (section 6)."""
+
+from repro.testbed.prototype import (
+    TestbedConfig,
+    TestbedEmulator,
+    TESTBED,
+)
+from repro.testbed.nccl import NcclCommunicator, NcclRingChannel
+from repro.testbed.accuracy import TimeToAccuracyModel
+
+__all__ = [
+    "TestbedConfig",
+    "TestbedEmulator",
+    "TESTBED",
+    "NcclCommunicator",
+    "NcclRingChannel",
+    "TimeToAccuracyModel",
+]

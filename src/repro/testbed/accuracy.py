@@ -1,0 +1,69 @@
+"""Time-to-accuracy model for the Figure 20 reproduction.
+
+Figure 20 trains VGG19 on ImageNet to 90% top-5 accuracy on the three
+testbed fabrics.  The fabrics differ only in iteration *throughput*
+(TopoOpt keeps the statistical trajectory intact -- it runs the same
+SGD), so accuracy-vs-time curves are the same accuracy-vs-epoch curve
+stretched by each fabric's epoch time.  We model top-5 accuracy with
+the standard saturating-exponential learning curve
+
+    acc(e) = a_max * (1 - exp(-e / tau))
+
+calibrated to VGG-on-ImageNet's published behaviour (~90% top-5 around
+epoch 50 of 74, a_max ~ 92%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TimeToAccuracyModel:
+    """Accuracy trajectory generator for a fixed samples/second rate."""
+
+    samples_per_second: float
+    dataset_size: int = 1_281_167  # ImageNet-1k train split
+    max_accuracy: float = 0.92
+    tau_epochs: float = 20.0
+
+    def __post_init__(self):
+        if self.samples_per_second <= 0:
+            raise ValueError("throughput must be positive")
+        if not 0 < self.max_accuracy <= 1:
+            raise ValueError("max accuracy must be in (0, 1]")
+
+    @property
+    def epoch_seconds(self) -> float:
+        return self.dataset_size / self.samples_per_second
+
+    def accuracy_at_epoch(self, epoch: float) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.max_accuracy * (1.0 - math.exp(-epoch / self.tau_epochs))
+
+    def accuracy_at_time(self, seconds: float) -> float:
+        return self.accuracy_at_epoch(seconds / self.epoch_seconds)
+
+    def time_to_accuracy_s(self, target: float) -> float:
+        """Seconds of training until top-5 accuracy reaches ``target``."""
+        if not 0 < target < self.max_accuracy:
+            raise ValueError(
+                f"target {target} unreachable (max {self.max_accuracy})"
+            )
+        epochs = -self.tau_epochs * math.log(1.0 - target / self.max_accuracy)
+        return epochs * self.epoch_seconds
+
+    def curve(
+        self, hours: float, points: int = 25
+    ) -> List[Tuple[float, float]]:
+        """(hours, accuracy) samples for plotting Figure 20's lines."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        step = hours / (points - 1)
+        return [
+            (i * step, self.accuracy_at_time(i * step * 3600.0))
+            for i in range(points)
+        ]

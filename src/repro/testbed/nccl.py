@@ -1,0 +1,105 @@
+"""NCCL integration model: topology awareness and multi-ring AllReduce.
+
+Section 6 of the paper modifies NCCL in two ways:
+
+1. **Topology awareness** -- stock NCCL assumes every interface can reach
+   every other; TopoOpt's NCCL respects the computed routing (certain
+   server pairs are only reachable through specific ports).
+2. **TotientPerms load balancing** -- parameter synchronization is split
+   across multiple ring-AllReduce permutations, one communication
+   channel per selected stride.
+
+This module models that communicator: it validates that the selected
+ring channels exist in the physical topology, splits a payload across
+channels, and computes the resulting per-channel completion time on the
+testbed's links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.totient import ring_permutation
+from repro.network.topology import DirectConnectTopology
+from repro.parallel.collectives import allreduce_edge_bytes
+
+
+@dataclass(frozen=True)
+class NcclRingChannel:
+    """One NCCL communication channel bound to a ring permutation."""
+
+    stride: int
+    order: Tuple[int, ...]
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        k = len(self.order)
+        return [
+            (self.order[i], self.order[(i + 1) % k]) for i in range(k)
+        ]
+
+
+class NcclCommunicator:
+    """Multi-ring AllReduce over an explicit physical topology."""
+
+    def __init__(
+        self,
+        topology: DirectConnectTopology,
+        group: Sequence[int],
+        strides: Sequence[int],
+    ):
+        if len(group) < 2:
+            raise ValueError("an AllReduce group needs at least two ranks")
+        if not strides:
+            raise ValueError("need at least one ring stride")
+        self.topology = topology
+        self.group = tuple(group)
+        self.channels = [
+            NcclRingChannel(
+                stride=stride,
+                order=tuple(ring_permutation(group, stride)),
+            )
+            for stride in strides
+        ]
+        self._validate_channels()
+
+    def _validate_channels(self) -> None:
+        """Topology awareness: every ring edge must be a physical link."""
+        for channel in self.channels:
+            for src, dst in channel.edges:
+                if not self.topology.has_link(src, dst):
+                    raise ValueError(
+                        f"ring channel +{channel.stride} needs link "
+                        f"{src}->{dst} which is not in the topology; "
+                        "stock NCCL would hang here"
+                    )
+
+    # ------------------------------------------------------------------
+    def channel_payloads(self, total_bytes: float) -> Dict[int, float]:
+        """Even split of the payload across channels (stride -> bytes)."""
+        share = total_bytes / len(self.channels)
+        return {channel.stride: share for channel in self.channels}
+
+    def allreduce_time_s(
+        self, total_bytes: float, link_bandwidth_bps: float
+    ) -> float:
+        """Completion time of a load-balanced multi-ring AllReduce.
+
+        Each channel moves its share around its own ring concurrently on
+        disjoint links (each ring permutation owns one interface), so
+        the collective finishes when the slowest channel does -- with an
+        even split, after ``2 (k-1)/k * S/R / B``.
+        """
+        k = len(self.group)
+        worst = 0.0
+        for channel, payload in zip(
+            self.channels, self.channel_payloads(total_bytes).values()
+        ):
+            per_edge = allreduce_edge_bytes(payload, k, num_rings=1)
+            worst = max(worst, 8.0 * per_edge / link_bandwidth_bps)
+        return worst
+
+    def speedup_over_single_ring(self) -> float:
+        """Multi-ring load balancing speedup (equals the channel count)."""
+        return float(len(self.channels))

@@ -1,0 +1,197 @@
+"""The 12-node TopoOpt prototype, emulated (section 6).
+
+The paper's testbed: 12 ASUS servers, one A100 each, one HPE 100 Gbps
+NIC broken out into 4x25 Gbps interfaces (d=4, B=25 Gbps), wired through
+a Telescent patch panel, with RoCEv2 + NPAR host forwarding.  Baselines:
+the same servers behind a 100 Gbps switch ("Switch 100Gbps" ~ Ideal
+Switch) and behind a 25 Gbps switch ("Switch 25Gbps").
+
+The emulator builds each fabric, runs the co-optimized (or hybrid
+default) strategy through the fluid simulator, applies the RDMA
+forwarding penalty to multi-hop MP traffic, and reports training
+throughput in samples/second (Figure 19) and all-to-all sweeps
+(Figure 21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.models.base import DNNModel
+from repro.models.compute import GPUSpec, A100, compute_time_seconds
+from repro.models.configs import TESTBED_CONFIGS
+from repro.network.fattree import IdealSwitchFabric
+from repro.network.topoopt import TopoOptFabric
+from repro.core.topology_finder import topology_finder
+from repro.parallel.strategy import auto_strategy
+from repro.parallel.traffic import TrafficSummary, extract_traffic
+from repro.sim.network_sim import IterationBreakdown, simulate_iteration
+from repro.sim.rdma import RdmaForwardingModel
+
+GBPS = 1e9
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Physical parameters of the prototype."""
+
+    num_servers: int = 12
+    degree: int = 4
+    link_gbps: float = 25.0
+    gpus_per_server: int = 1
+    kernel_forwarding_penalty: float = 0.05
+
+    @property
+    def link_bandwidth_bps(self) -> float:
+        return self.link_gbps * GBPS
+
+
+TESTBED = TestbedConfig()
+
+
+class TestbedEmulator:
+    """Runs testbed workloads on the three section 6 fabrics."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, config: TestbedConfig = TESTBED, gpu: GPUSpec = A100):
+        self.config = config
+        self.gpu = gpu
+        self.rdma = RdmaForwardingModel(
+            config.degree, config.kernel_forwarding_penalty
+        )
+
+    # ------------------------------------------------------------------
+    def _strategy(self, model: DNNModel, batch_per_gpu: Optional[int] = None):
+        return auto_strategy(
+            model,
+            self.config.num_servers,
+            batch_per_gpu,
+            self.config.gpus_per_server,
+        )
+
+    def _traffic(self, model: DNNModel, batch_per_gpu: Optional[int]):
+        strategy = self._strategy(model, batch_per_gpu)
+        return extract_traffic(
+            model,
+            strategy,
+            batch_per_gpu or model.default_batch_per_gpu,
+            self.config.gpus_per_server,
+        )
+
+    def _compute_s(self, model: DNNModel, batch_per_gpu: Optional[int]):
+        return compute_time_seconds(
+            model,
+            batch_per_gpu or model.default_batch_per_gpu,
+            self.config.gpus_per_server,
+            self.gpu,
+        )
+
+    def _topoopt_fabric(self, traffic: TrafficSummary) -> TopoOptFabric:
+        result = topology_finder(
+            self.config.num_servers,
+            self.config.degree,
+            traffic.allreduce_groups,
+            traffic.mp_matrix,
+        )
+        return TopoOptFabric(result, self.config.link_bandwidth_bps)
+
+    def _switch_fabric(self, gbps: float) -> IdealSwitchFabric:
+        fabric = IdealSwitchFabric(
+            self.config.num_servers, 1, gbps * GBPS
+        )
+        fabric.name = f"Switch {int(gbps)}Gbps"
+        return fabric
+
+    # ------------------------------------------------------------------
+    def iteration(
+        self,
+        model: DNNModel,
+        fabric_name: str,
+        batch_per_gpu: Optional[int] = None,
+    ) -> IterationBreakdown:
+        """Simulate one iteration on one of the three testbed fabrics.
+
+        ``fabric_name``: "TopoOpt 4x25Gbps", "Switch 100Gbps", or
+        "Switch 25Gbps".
+        """
+        traffic = self._traffic(model, batch_per_gpu)
+        compute_s = self._compute_s(model, batch_per_gpu)
+        if fabric_name == "TopoOpt 4x25Gbps":
+            fabric = self._topoopt_fabric(traffic)
+            breakdown = simulate_iteration(fabric, traffic, compute_s)
+            return self._apply_rdma_penalty(breakdown, fabric, traffic)
+        if fabric_name == "Switch 100Gbps":
+            fabric = self._switch_fabric(100.0)
+        elif fabric_name == "Switch 25Gbps":
+            fabric = self._switch_fabric(25.0)
+        else:
+            raise ValueError(
+                f"unknown testbed fabric {fabric_name!r}; use "
+                "'TopoOpt 4x25Gbps', 'Switch 100Gbps', or 'Switch 25Gbps'"
+            )
+        return simulate_iteration(fabric, traffic, compute_s)
+
+    def _apply_rdma_penalty(
+        self,
+        breakdown: IterationBreakdown,
+        fabric: TopoOptFabric,
+        traffic: TrafficSummary,
+    ) -> IterationBreakdown:
+        """Stretch the MP phase by the kernel-forwarding overhead.
+
+        Multi-hop logical RDMA connections run at a reduced rate on the
+        relay hops (Appendix I); the slowdown applied is the demand-
+        weighted average of the per-path penalty factors.
+        """
+        matrix = traffic.mp_matrix
+        n = traffic.n
+        weighted = 0.0
+        total = 0.0
+        for src in range(n):
+            for dst in range(n):
+                byte_count = float(matrix[src, dst])
+                if src == dst or byte_count <= 0:
+                    continue
+                paths = fabric.paths(src, dst, "mp")
+                hops = len(paths[0]) - 1 if paths else 1
+                rate_fraction = (
+                    self.rdma.effective_rate_bps(hops, 1.0) if hops >= 1 else 1.0
+                )
+                weighted += byte_count / max(rate_fraction, 1e-9)
+                total += byte_count
+        slowdown = (weighted / total) if total > 0 else 1.0
+        return IterationBreakdown(
+            compute_s=breakdown.compute_s,
+            mp_s=breakdown.mp_s * slowdown,
+            allreduce_s=breakdown.allreduce_s,
+            link_bytes=breakdown.link_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def throughput_samples_per_s(
+        self,
+        model_name: str,
+        fabric_name: str,
+        batch_per_gpu: Optional[int] = None,
+    ) -> float:
+        """Figure 19's samples/second for one (model, fabric) pair."""
+        model = TESTBED_CONFIGS[model_name].build()
+        batch = batch_per_gpu or model.default_batch_per_gpu
+        breakdown = self.iteration(model, fabric_name, batch)
+        samples = batch * self.config.gpus_per_server * self.config.num_servers
+        return samples / breakdown.total_s
+
+    def throughput_table(
+        self, model_names: List[str]
+    ) -> Dict[str, Dict[str, float]]:
+        """Figure 19: model -> fabric -> samples/second."""
+        fabrics = ["TopoOpt 4x25Gbps", "Switch 100Gbps", "Switch 25Gbps"]
+        return {
+            name: {
+                fabric: self.throughput_samples_per_s(name, fabric)
+                for fabric in fabrics
+            }
+            for name in model_names
+        }

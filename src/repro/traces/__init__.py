@@ -1,0 +1,9 @@
+"""Synthetic production-trace generation (substitute for Meta's traces)."""
+
+from repro.traces.generator import (
+    JobRecord,
+    ProductionTraceGenerator,
+    WORKLOAD_MIX,
+)
+
+__all__ = ["JobRecord", "ProductionTraceGenerator", "WORKLOAD_MIX"]

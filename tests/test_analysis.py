@@ -1,0 +1,187 @@
+"""Unit tests for the analysis utilities (metrics, CDFs, heatmaps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.heatmap import (
+    diagonal_offsets,
+    heatmap_summary,
+    render_heatmap,
+)
+from repro.analysis.metrics import (
+    average_path_length,
+    bandwidth_tax,
+    link_traffic_distribution,
+    load_imbalance,
+    path_length_cdf,
+    routed_link_bytes,
+)
+
+
+def direct_paths(src, dst):
+    return [[src, dst]]
+
+
+def two_hop_paths(src, dst):
+    relay = (src + 1) % 4 if (src + 1) % 4 not in (src, dst) else (src + 2) % 4
+    return [[src, relay, dst]]
+
+
+class TestRoutedLinkBytes:
+    def test_direct_routing(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 100.0
+        totals = routed_link_bytes(matrix, direct_paths)
+        assert totals == {(0, 1): 100.0}
+
+    def test_split_across_paths(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 2] = 100.0
+        totals = routed_link_bytes(
+            matrix, lambda s, d: [[0, 1, 2], [0, 2]]
+        )
+        assert totals[(0, 2)] == pytest.approx(50.0)
+        assert totals[(0, 1)] == pytest.approx(50.0)
+
+    def test_missing_path_raises(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            routed_link_bytes(matrix, lambda s, d: [])
+
+
+class TestBandwidthTax:
+    def test_direct_routing_tax_one(self):
+        matrix = np.ones((4, 4)) - np.eye(4)
+        assert bandwidth_tax(matrix, direct_paths) == pytest.approx(1.0)
+
+    def test_two_hop_tax_two(self):
+        matrix = np.zeros((4, 4))
+        matrix[0, 2] = 100.0
+        assert bandwidth_tax(
+            matrix, lambda s, d: [[0, 1, 2]]
+        ) == pytest.approx(2.0)
+
+    def test_switch_hops_do_not_count(self):
+        # Path through switch nodes (ids >= server_count) stays tax 1,
+        # the Fat-tree property of section 5.4.
+        matrix = np.zeros((4, 4))
+        matrix[0, 2] = 100.0
+        tax = bandwidth_tax(
+            matrix, lambda s, d: [[0, 7, 9, 2]], server_count=4
+        )
+        assert tax == pytest.approx(1.0)
+
+    def test_empty_demand_tax_one(self):
+        assert bandwidth_tax(np.zeros((3, 3)), direct_paths) == 1.0
+
+    def test_mixed_traffic_weighted(self):
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = 100.0  # direct
+        matrix[0, 2] = 100.0  # 2 hops
+        tax = bandwidth_tax(
+            matrix,
+            lambda s, d: [[0, 1]] if d == 1 else [[0, 3, 2]],
+        )
+        assert tax == pytest.approx(1.5)
+
+
+class TestPathLengths:
+    def test_cdf_counts_pairs(self):
+        lengths = path_length_cdf(direct_paths, 4)
+        assert len(lengths) == 12
+        assert set(lengths) == {1}
+
+    def test_average(self):
+        assert average_path_length(direct_paths, 4) == 1.0
+
+
+class TestLinkDistribution:
+    def test_sorted_output(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 10.0
+        matrix[1, 2] = 30.0
+        loads = link_traffic_distribution(matrix, direct_paths)
+        assert loads == [10.0, 30.0]
+
+    def test_load_imbalance(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 10.0
+        matrix[1, 2] = 40.0
+        assert load_imbalance(matrix, direct_paths) == pytest.approx(0.75)
+
+    def test_balanced_traffic_zero_imbalance(self):
+        matrix = np.ones((3, 3)) - np.eye(3)
+        assert load_imbalance(matrix, direct_paths) == pytest.approx(0.0)
+
+
+class TestCdf:
+    def test_fractions_monotone(self):
+        cdf = empirical_cdf([3, 1, 2])
+        assert cdf.values == (1.0, 2.0, 3.0)
+        assert cdf.fractions[-1] == 1.0
+
+    def test_percentile(self):
+        cdf = empirical_cdf(range(1, 101))
+        assert cdf.percentile(0.5) == pytest.approx(50.5)
+        assert cdf.median == cdf.percentile(0.5)
+
+    def test_fraction_at_or_below(self):
+        cdf = empirical_cdf([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(2) == 0.5
+
+    def test_series_downsamples(self):
+        cdf = empirical_cdf(range(1000))
+        series = cdf.series(points=10)
+        assert len(series) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([1.0]).percentile(1.5)
+
+
+class TestHeatmap:
+    def test_render_shape(self):
+        matrix = np.random.RandomState(0).rand(4, 4)
+        art = render_heatmap(matrix)
+        rows = art.split("\n")
+        assert len(rows) == 4 and all(len(r) == 4 for r in rows)
+
+    def test_zero_matrix_blank(self):
+        art = render_heatmap(np.zeros((2, 2)))
+        assert set(art) <= {" ", "\n"}
+
+    def test_peak_is_darkest(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 5.0
+        art = render_heatmap(matrix).split("\n")
+        assert art[0][1] == "@"
+
+    def test_summary_fields(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 10.0
+        matrix[1, 2] = 20.0
+        summary = heatmap_summary(matrix)
+        assert summary["max_bytes"] == 20.0
+        assert summary["total_bytes"] == 30.0
+        assert summary["nonzero_pairs"] == 2
+        assert summary["balance"] == pytest.approx(0.5)
+
+    def test_diagonal_offsets_detect_ring(self):
+        n = 8
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            matrix[i, (i + 3) % n] = 10.0
+        assert diagonal_offsets(matrix) == [3]
+
+    def test_diagonal_offsets_ignore_partial(self):
+        n = 8
+        matrix = np.zeros((n, n))
+        for i in range(n - 1):  # incomplete diagonal
+            matrix[i, (i + 1) % n] = 10.0
+        assert diagonal_offsets(matrix) == []

@@ -1,0 +1,65 @@
+"""Tests for the greedy auto-placement heuristic."""
+
+import pytest
+
+from repro.models import build_bert, build_dlrm, build_vgg
+from repro.parallel.strategy import PlacementKind, auto_strategy
+from repro.parallel.traffic import extract_traffic
+
+
+class TestAutoStrategy:
+    def test_vgg_is_pure_dp(self):
+        model = build_vgg(16)
+        assert auto_strategy(model, 8).is_pure_data_parallel()
+
+    def test_dlrm_big_tables_go_mp(self):
+        model = build_dlrm(
+            num_embedding_tables=4,
+            embedding_rows=10_000_000,
+            embedding_dim=128,
+        )
+        strategy = auto_strategy(model, 8, batch_per_gpu=32)
+        assert len(strategy.mp_owner_servers()) == 4
+
+    def test_bert_word_embeddings_stay_dp(self):
+        # BERT's table is small but its per-token activations are huge:
+        # replicating wins (what FlexFlow finds in the paper).
+        model = build_bert(num_blocks=6, hidden=768, heads=6, seq_len=256)
+        strategy = auto_strategy(model, 8, batch_per_gpu=16)
+        assert strategy.is_pure_data_parallel()
+
+    def test_threshold_scales_with_batch(self):
+        # A table on the MP/DP boundary flips to DP at large batch.
+        model = build_dlrm(
+            num_embedding_tables=1,
+            embedding_rows=20_000,
+            embedding_dim=512,
+            num_dense_layers=1,
+            dense_layer_size=64,
+            num_feature_layers=1,
+            feature_layer_size=64,
+        )
+        small_batch = auto_strategy(model, 8, batch_per_gpu=1)
+        large_batch = auto_strategy(model, 8, batch_per_gpu=4096)
+        assert len(small_batch.mp_owner_servers()) == 1
+        assert large_batch.is_pure_data_parallel()
+
+    def test_owners_spread(self):
+        model = build_dlrm(
+            num_embedding_tables=4,
+            embedding_rows=10_000_000,
+            embedding_dim=128,
+        )
+        strategy = auto_strategy(model, 16, batch_per_gpu=32)
+        owners = sorted(
+            s[0] for s in strategy.mp_owner_servers().values()
+        )
+        assert owners == [0, 4, 8, 12]
+
+    def test_strategy_valid_for_traffic_extraction(self):
+        model = build_dlrm(
+            num_embedding_tables=4, embedding_rows=1_000_000
+        )
+        strategy = auto_strategy(model, 8)
+        traffic = extract_traffic(model, strategy)
+        assert traffic.total_allreduce_bytes > 0

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.model == "DLRM"
+        assert args.servers == 16
+        assert args.degree == 4
+
+    def test_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["--model", "BERT", "--servers", "8", "--primes-only"]
+        )
+        assert args.model == "BERT"
+        assert args.servers == 8
+        assert args.primes_only
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic"])
+
+
+class TestMain:
+    def test_unknown_model_exits_nonzero(self, capsys):
+        code = main(["--model", "AlexNet"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_small_run_succeeds(self, capsys):
+        code = main(
+            [
+                "--model", "VGG16",
+                "--scale", "shared",
+                "--servers", "4",
+                "--degree", "2",
+                "--rounds", "1",
+                "--mcmc-iterations", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iteration time" in out
+        assert "TopoOpt" in out
+        assert "interconnect cost" in out
+
+    def test_dlrm_reports_mp_layers(self, capsys):
+        code = main(
+            [
+                "--model", "DLRM",
+                "--scale", "shared",
+                "--servers", "8",
+                "--degree", "4",
+                "--rounds", "1",
+                "--mcmc-iterations", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model-parallel" in out
+        assert "strides" in out

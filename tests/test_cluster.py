@@ -1,0 +1,120 @@
+"""Integration tests for the shared-cluster simulator (section 5.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology_finder import AllReduceGroup, topology_finder
+from repro.network.fattree import IdealSwitchFabric
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.traffic import TrafficSummary
+from repro.sim.cluster import (
+    JobSpec,
+    SharedClusterSimulator,
+    iteration_time_stats,
+    remap_traffic,
+)
+
+GBPS = 1e9
+
+
+def dp_traffic(n, total_bytes):
+    return TrafficSummary(
+        n=n,
+        allreduce_groups=[
+            AllReduceGroup(members=tuple(range(n)), total_bytes=total_bytes)
+        ],
+        mp_matrix=np.zeros((n, n)),
+    )
+
+
+def topoopt_shard_job(name, server_map, total_bytes, compute_s, bandwidth):
+    k = len(server_map)
+    local_traffic = dp_traffic(k, total_bytes)
+    result = topology_finder(k, 2, local_traffic.allreduce_groups)
+    fabric = TopoOptFabric(result, bandwidth).relabel(server_map)
+    return JobSpec(
+        name=name,
+        traffic=remap_traffic(local_traffic, server_map),
+        compute_s=compute_s,
+        fabric=fabric,
+    )
+
+
+class TestRemapTraffic:
+    def test_group_members_translated(self):
+        traffic = dp_traffic(4, 100.0)
+        remapped = remap_traffic(traffic, [10, 11, 12, 13])
+        assert remapped.allreduce_groups[0].members == (10, 11, 12, 13)
+
+    def test_mp_matrix_translated(self):
+        traffic = dp_traffic(2, 0.0)
+        traffic.mp_matrix[0, 1] = 55.0
+        remapped = remap_traffic(traffic, [4, 7])
+        assert remapped.mp_matrix[4, 7] == 55.0
+        assert remapped.n == 8
+
+
+class TestSharding:
+    def test_isolated_shards_do_not_interfere(self):
+        # Two TopoOpt shards with disjoint servers: each job's iteration
+        # time equals its dedicated-run time.
+        bandwidth = 25 * GBPS
+        job_a = topoopt_shard_job("a", [0, 1, 2, 3], 1e9, 0.01, bandwidth)
+        job_b = topoopt_shard_job("b", [4, 5, 6, 7], 1e9, 0.01, bandwidth)
+        capacities = {}
+        capacities.update(job_a.fabric.capacities())
+        capacities.update(job_b.fabric.capacities())
+        sim = SharedClusterSimulator(capacities, [job_a, job_b], seed=1)
+        stats = sim.run(iterations_per_job=3)
+        solo = _solo_iteration_time(job_a)
+        for job_stats in stats:
+            for t in job_stats.iteration_times[1:]:
+                assert t == pytest.approx(solo, rel=0.05)
+
+    def test_shared_switch_contends(self):
+        # Both jobs on one shared switch core: iterations slower than solo.
+        n = 8
+        fabric = IdealSwitchFabric(n, 2, 25 * GBPS)
+        t_a = dp_traffic(n, 0.0)
+        t_b = dp_traffic(n, 0.0)
+        # Jobs share the same servers' uplinks (worst-case contention).
+        for t in (t_a, t_b):
+            t.allreduce_groups = [
+                AllReduceGroup(members=tuple(range(n)), total_bytes=1e9)
+            ]
+        job_a = JobSpec("a", t_a, 0.001, fabric)
+        job_b = JobSpec("b", t_b, 0.001, fabric)
+        sim = SharedClusterSimulator(
+            fabric.capacities(), [job_a, job_b], seed=1
+        )
+        stats = sim.run(iterations_per_job=3)
+        solo = _solo_iteration_time(job_a)
+        avg, _ = iteration_time_stats(stats)
+        assert avg > solo
+
+
+def _solo_iteration_time(job):
+    sim = SharedClusterSimulator(
+        dict(job.fabric.capacities()), [job], seed=0
+    )
+    stats = sim.run(iterations_per_job=3)
+    return stats[0].iteration_times[-1]
+
+
+class TestStats:
+    def test_iteration_stats_skip_first(self):
+        from repro.sim.cluster import JobStats
+
+        stats = [JobStats(name="a", iteration_times=[10.0, 1.0, 1.0])]
+        avg, p99 = iteration_time_stats(stats)
+        assert avg == pytest.approx(1.0)
+
+    def test_empty_samples_rejected(self):
+        from repro.sim.cluster import JobStats
+
+        with pytest.raises(ValueError):
+            iteration_time_stats([JobStats(name="a", iteration_times=[1.0])])
+
+    def test_needs_jobs(self):
+        with pytest.raises(ValueError):
+            SharedClusterSimulator({(0, 1): GBPS}, [])

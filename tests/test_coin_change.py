@@ -1,0 +1,104 @@
+"""Unit tests for CoinChangeMod routing (Algorithm 4)."""
+
+import pytest
+
+from repro.core.coin_change import CoinChangeRouter, coin_change_mod
+
+
+class TestCoinChangeMod:
+    def test_single_coin_one(self):
+        routes = coin_change_mod(5, [1])
+        assert routes[1] == [1]
+        assert routes[4] == [1, 1, 1, 1]
+
+    def test_every_distance_covered(self):
+        routes = coin_change_mod(16, [1, 3, 7])
+        assert sorted(routes) == list(range(1, 16))
+
+    def test_sums_match_distance_mod_n(self):
+        n = 16
+        routes = coin_change_mod(n, [1, 3, 7])
+        for distance, coins in routes.items():
+            assert sum(coins) % n == distance
+
+    def test_minimality_small_case(self):
+        # Distance 6 with coins {1, 3}: 3+3 (2 coins), not 1*6.
+        routes = coin_change_mod(12, [1, 3])
+        assert len(routes[6]) == 2
+
+    def test_modular_wraparound_used(self):
+        # n = 10, coins {1, 9}: distance 8 is 9+9 = 18 = 8 (mod 10),
+        # two coins instead of eight 1s.
+        routes = coin_change_mod(10, [1, 9])
+        assert len(routes[8]) == 2
+
+    def test_non_generating_coins_raise(self):
+        with pytest.raises(ValueError):
+            coin_change_mod(12, [4, 6])
+
+    def test_zero_coins_rejected(self):
+        with pytest.raises(ValueError):
+            coin_change_mod(12, [])
+        with pytest.raises(ValueError):
+            coin_change_mod(12, [12])  # 12 mod 12 == 0
+
+    def test_coins_normalized_mod_n(self):
+        routes_a = coin_change_mod(8, [1, 3])
+        routes_b = coin_change_mod(8, [9, 11])  # same residues
+        assert {d: len(c) for d, c in routes_a.items()} == {
+            d: len(c) for d, c in routes_b.items()
+        }
+
+
+class TestCoinChangeRouter:
+    def test_path_endpoints(self):
+        router = CoinChangeRouter(16, [1, 3, 7])
+        path = router.path(2, 11)
+        assert path[0] == 2 and path[-1] == 11
+
+    def test_path_follows_selected_strides(self):
+        router = CoinChangeRouter(16, [1, 3, 7])
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                path = router.path(src, dst)
+                for a, b in zip(path, path[1:]):
+                    assert (b - a) % 16 in {1, 3, 7}
+
+    def test_trivial_path(self):
+        router = CoinChangeRouter(8, [1, 3])
+        assert router.path(5, 5) == [5]
+        assert router.hops(5, 5) == 0
+
+    def test_hops_consistent_with_path(self):
+        router = CoinChangeRouter(20, [1, 3, 7])
+        for src, dst in [(0, 13), (5, 2), (19, 0)]:
+            assert router.hops(src, dst) == len(router.path(src, dst)) - 1
+
+    def test_max_hops_is_diameter(self):
+        router = CoinChangeRouter(16, [1, 3, 7])
+        worst = max(
+            router.hops(s, d)
+            for s in range(16)
+            for d in range(16)
+            if s != d
+        )
+        assert router.max_hops() == worst
+
+    def test_more_coins_never_increase_diameter(self):
+        few = CoinChangeRouter(32, [1])
+        many = CoinChangeRouter(32, [1, 5, 11])
+        assert many.max_hops() <= few.max_hops()
+
+    def test_out_of_range_rejected(self):
+        router = CoinChangeRouter(8, [1])
+        with pytest.raises(ValueError):
+            router.path(0, 8)
+
+    def test_all_paths_complete(self):
+        router = CoinChangeRouter(6, [1, 5])
+        triples = router.all_paths()
+        assert len(triples) == 6 * 5
+        for src, dst, path in triples:
+            assert path[0] == src and path[-1] == dst

@@ -1,0 +1,116 @@
+"""Unit tests for collective algorithms and their traffic."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.collectives import (
+    CollectiveAlgorithm,
+    allreduce_edge_bytes,
+    allreduce_time_lower_bound,
+    collective_traffic,
+    multi_ring_edges,
+)
+
+
+class TestAllReduceEdgeBytes:
+    def test_ring_formula(self):
+        assert allreduce_edge_bytes(1000.0, 4) == pytest.approx(
+            2 * 3 / 4 * 1000.0
+        )
+
+    def test_multi_ring_split(self):
+        single = allreduce_edge_bytes(1000.0, 8, 1)
+        quad = allreduce_edge_bytes(1000.0, 8, 4)
+        assert quad == pytest.approx(single / 4)
+
+    def test_trivial_group(self):
+        assert allreduce_edge_bytes(1000.0, 1) == 0.0
+
+    def test_invalid_rings_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_edge_bytes(1000.0, 4, 0)
+
+
+class TestTimeLowerBound:
+    def test_matches_formula(self):
+        t = allreduce_time_lower_bound(1e9, 8, 100e9)
+        assert t == pytest.approx(2 * 7 / 8 * 1e9 * 8 / 100e9)
+
+    def test_zero_for_singleton(self):
+        assert allreduce_time_lower_bound(1e9, 1, 100e9) == 0.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce_time_lower_bound(1e9, 4, 0.0)
+
+
+class TestCollectiveTraffic:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            CollectiveAlgorithm.RING,
+            CollectiveAlgorithm.MULTI_RING,
+            CollectiveAlgorithm.DOUBLE_BINARY_TREE,
+            CollectiveAlgorithm.HIERARCHICAL_RING,
+            CollectiveAlgorithm.PARAMETER_SERVER,
+        ],
+    )
+    def test_traffic_positive_for_all_algorithms(self, algorithm):
+        matrix = collective_traffic(
+            algorithm, list(range(8)), 1000.0, 8, strides=[1, 3]
+        )
+        assert matrix.sum() > 0
+
+    def test_ring_uses_first_stride(self):
+        matrix = collective_traffic(
+            CollectiveAlgorithm.RING, list(range(8)), 100.0, 8, strides=[3]
+        )
+        assert matrix[0, 3] > 0 and matrix[0, 1] == 0
+
+    def test_parameter_server_symmetric_many_to_many(self):
+        matrix = collective_traffic(
+            CollectiveAlgorithm.PARAMETER_SERVER, list(range(4)), 100.0, 4
+        )
+        off = matrix[~np.eye(4, dtype=bool)]
+        assert (off > 0).all()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_parameter_server_volume_matches_ring_aggregate(self):
+        # PS per-member in/out volume equals ring's 2 (k-1)/k S.
+        k, total = 4, 100.0
+        matrix = collective_traffic(
+            CollectiveAlgorithm.PARAMETER_SERVER, list(range(k)), total, k
+        )
+        per_member_out = matrix[0].sum()
+        assert per_member_out == pytest.approx(2 * (k - 1) / k * total)
+
+    def test_hierarchical_has_leader_ring(self):
+        matrix = collective_traffic(
+            CollectiveAlgorithm.HIERARCHICAL_RING,
+            list(range(16)),
+            100.0,
+            16,
+        )
+        # Pod leaders 0, 4, 8, 12 exchange data.
+        assert matrix[0, 4] > 0
+
+    def test_small_group_empty(self):
+        matrix = collective_traffic(
+            CollectiveAlgorithm.RING, [3], 100.0, 8
+        )
+        assert matrix.sum() == 0.0
+
+
+class TestMultiRingEdges:
+    def test_shares_sum_to_ring_count(self):
+        edges = multi_ring_edges(list(range(8)), [1, 3])
+        # Each ring contributes 8 edges with share 1/2.
+        assert sum(edges.values()) == pytest.approx(8.0)
+
+    def test_single_ring_full_share(self):
+        edges = multi_ring_edges(list(range(4)), [1])
+        assert all(v == pytest.approx(1.0) for v in edges.values())
+
+    def test_empty_strides_rejected(self):
+        with pytest.raises(ValueError):
+            multi_ring_edges(list(range(4)), [])

@@ -1,0 +1,119 @@
+"""Unit tests for the cost model (Table 2, Appendix G, Figure 10)."""
+
+import pytest
+
+from repro.network.cost import (
+    ARCHITECTURES,
+    COMPONENT_COSTS,
+    architecture_cost,
+    cost_equivalent_fattree_bandwidth,
+    costs_for_bandwidth,
+    interpolated_costs,
+    topoopt_cost,
+)
+
+
+class TestComponentTable:
+    def test_table2_classes(self):
+        assert sorted(COMPONENT_COSTS) == [10, 25, 40, 100, 200]
+
+    def test_100g_prices(self):
+        c = COMPONENT_COSTS[100]
+        assert c.transceiver == 99.0
+        assert c.nic == 678.0
+        assert c.electrical_switch_port == 187.0
+
+    def test_optical_prices_constant_across_speeds(self):
+        # Table 2: patch panel, OCS, and 1x2 switch prices do not vary
+        # with bandwidth -- the inherent advantage of optics.
+        for c in COMPONENT_COSTS.values():
+            assert c.patch_panel_port == 100.0
+            assert c.ocs_port == 520.0
+            assert c.one_by_two_switch == 25.0
+
+    def test_snapping_rounds_up(self):
+        assert costs_for_bandwidth(50).link_gbps == 100
+        assert costs_for_bandwidth(100).link_gbps == 100
+        assert costs_for_bandwidth(999).link_gbps == 200
+
+    def test_interpolation_between_classes(self):
+        mid = interpolated_costs(70)
+        assert (
+            COMPONENT_COSTS[40].transceiver
+            < mid.transceiver
+            < COMPONENT_COSTS[100].transceiver
+        )
+
+    def test_interpolation_extrapolates_beyond_200(self):
+        assert interpolated_costs(400).nic == pytest.approx(
+            2 * COMPONENT_COSTS[200].nic
+        )
+
+
+class TestArchitectureCosts:
+    def test_all_architectures_priced(self):
+        for arch in ARCHITECTURES:
+            assert architecture_cost(arch, 128, 4, 100) > 0
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            architecture_cost("Token Ring", 128, 4, 100)
+
+    def test_cost_scales_with_servers(self):
+        small = architecture_cost("TopoOpt", 128, 4, 100)
+        large = architecture_cost("TopoOpt", 1024, 4, 100)
+        assert large == pytest.approx(8 * small, rel=0.01)
+
+    def test_ocs_variant_more_expensive(self):
+        # Section 5.2: OCS-based TopoOpt is ~1.33x patch-panel TopoOpt.
+        panel = architecture_cost("TopoOpt", 432, 4, 100)
+        ocs = architecture_cost("OCS-reconfig", 432, 4, 100)
+        assert 1.1 < ocs / panel < 1.8
+
+    def test_ideal_switch_about_3x_topoopt(self):
+        # Section 5.2: Ideal Switch / TopoOpt cost ratio ~ 3.2x average.
+        ratios = []
+        for n in (128, 432, 1024, 2000):
+            ideal = architecture_cost("Ideal Switch", n, 4, 100)
+            topo = architecture_cost("TopoOpt", n, 4, 100)
+            ratios.append(ideal / topo)
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 2.0 < mean_ratio < 4.5
+
+    def test_expander_cheapest(self):
+        costs = {
+            arch: architecture_cost(arch, 432, 4, 100)
+            for arch in ARCHITECTURES
+        }
+        assert costs["Expander"] == min(costs.values())
+
+    def test_sipml_most_expensive(self):
+        costs = {
+            arch: architecture_cost(arch, 432, 4, 100)
+            for arch in ARCHITECTURES
+        }
+        assert costs["SiP-ML"] == max(costs.values())
+
+    def test_oversub_cheaper_than_full_fattree(self):
+        full = architecture_cost("Fat-tree", 432, 4, 100)
+        oversub = architecture_cost("Oversub Fat-tree", 432, 4, 100)
+        assert oversub < full
+
+
+class TestCostEquivalence:
+    def test_equivalent_bandwidth_below_raw(self):
+        b_equiv = cost_equivalent_fattree_bandwidth(128, 4, 100)
+        assert b_equiv < 4 * 100
+
+    def test_equivalent_bandwidth_meaningful(self):
+        # Figure 11's premise: the cost-equivalent Fat-tree runs at
+        # roughly a third of TopoOpt's aggregate bandwidth.
+        b_equiv = cost_equivalent_fattree_bandwidth(128, 4, 100)
+        assert 40 < b_equiv < 250
+
+    def test_fattree_at_equivalent_costs_no_more(self):
+        from repro.network.cost import fattree_cost
+
+        n, d, b = 432, 4, 100
+        b_equiv = cost_equivalent_fattree_bandwidth(n, d, b)
+        assert fattree_cost(n, b_equiv) <= topoopt_cost(n, d, b) * 1.01

@@ -1,0 +1,118 @@
+"""Tests for the hierarchical (ToR-layer) TopoOpt fabric."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology_finder import AllReduceGroup
+from repro.network.hierarchical import (
+    HierarchicalTopoOptFabric,
+    aggregate_rack_traffic,
+)
+from repro.parallel.traffic import TrafficSummary
+from repro.sim.network_sim import simulate_iteration
+
+
+def traffic_for(n, allreduce_bytes=1e9, mp_pairs=()):
+    mp = np.zeros((n, n))
+    for (src, dst), volume in mp_pairs:
+        mp[src, dst] = volume
+    return TrafficSummary(
+        n=n,
+        allreduce_groups=[
+            AllReduceGroup(
+                members=tuple(range(n)), total_bytes=allreduce_bytes
+            )
+        ],
+        mp_matrix=mp,
+    )
+
+
+class TestAggregation:
+    def test_cross_rack_group_kept(self):
+        traffic = traffic_for(8)
+        groups, mp, racks = aggregate_rack_traffic(traffic, 4)
+        assert racks == 2
+        assert len(groups) == 1
+        assert groups[0].members == (0, 1)
+
+    def test_intra_rack_group_dropped(self):
+        traffic = TrafficSummary(
+            n=8,
+            allreduce_groups=[
+                AllReduceGroup(members=(0, 1, 2, 3), total_bytes=1e9)
+            ],
+            mp_matrix=np.zeros((8, 8)),
+        )
+        groups, _, _ = aggregate_rack_traffic(traffic, 4)
+        assert groups == []
+
+    def test_mp_summed_per_rack_pair(self):
+        traffic = traffic_for(
+            8, mp_pairs=[((0, 5), 100.0), ((1, 6), 50.0), ((0, 1), 7.0)]
+        )
+        _, mp, _ = aggregate_rack_traffic(traffic, 4)
+        assert mp[0, 1] == 150.0  # intra-rack (0,1) excluded
+        assert mp[1, 0] == 0.0
+
+    def test_invalid_rack_size(self):
+        with pytest.raises(ValueError):
+            aggregate_rack_traffic(traffic_for(8), 0)
+
+
+class TestHierarchicalFabric:
+    def make(self, n=16, rack=4, tor_degree=3):
+        return HierarchicalTopoOptFabric(
+            traffic_for(n, mp_pairs=[((0, 12), 1e8), ((12, 0), 1e8)]),
+            servers_per_rack=rack,
+            tor_degree=tor_degree,
+        )
+
+    def test_intra_rack_path_stays_local(self):
+        fabric = self.make()
+        path = fabric.paths(0, 3)[0]
+        assert path == [0, fabric.tor_node(0), 3]
+
+    def test_inter_rack_path_crosses_optical_layer(self):
+        fabric = self.make()
+        for path in fabric.paths(0, 12):
+            assert path[0] == 0 and path[-1] == 12
+            assert fabric.tor_node(0) in path
+            assert fabric.tor_node(3) in path
+
+    def test_all_pairs_routable(self):
+        fabric = self.make()
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    assert fabric.paths(src, dst)
+
+    def test_capacities_cover_paths(self):
+        fabric = self.make()
+        caps = fabric.capacities()
+        for src in (0, 5, 12):
+            for dst in (3, 9, 15):
+                if src == dst:
+                    continue
+                for path in fabric.paths(src, dst):
+                    for a, b in zip(path, path[1:]):
+                        assert (a, b) in caps, (path, (a, b))
+
+    def test_single_rack_has_no_optical_layer(self):
+        fabric = HierarchicalTopoOptFabric(
+            traffic_for(4), servers_per_rack=4, tor_degree=2
+        )
+        assert fabric.tor_result is None
+        assert fabric.tor_diameter() == 0
+
+    def test_simulates_an_iteration(self):
+        fabric = self.make()
+        traffic = traffic_for(16, mp_pairs=[((0, 12), 1e8), ((12, 0), 1e8)])
+        breakdown = simulate_iteration(fabric, traffic, compute_s=0.01)
+        assert breakdown.total_s > 0.01
+        assert breakdown.allreduce_s > 0
+
+    def test_tor_degree_respected(self):
+        fabric = self.make(n=32, rack=4, tor_degree=2)
+        topo = fabric.tor_result.topology
+        for rack in range(fabric.num_racks):
+            assert topo.out_degree(rack) <= 2

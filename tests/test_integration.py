@@ -1,0 +1,127 @@
+"""End-to-end integration tests: the full co-optimization pipeline."""
+
+import pytest
+
+from repro import (
+    AlternatingOptimizer,
+    IdealSwitchFabric,
+    MCMCSearch,
+    TopoOptFabric,
+    build_model,
+    compute_time_seconds,
+    extract_traffic,
+    hybrid_strategy,
+    simulate_iteration,
+    topology_finder,
+)
+from repro.models import build_dlrm
+from repro.network.cost import cost_equivalent_fattree_bandwidth
+from repro.network.fattree import FatTreeFabric
+
+GBPS = 1e9
+
+
+def small_dlrm():
+    return build_dlrm(
+        num_embedding_tables=8,
+        embedding_rows=500_000,
+        embedding_dim=128,
+        num_dense_layers=4,
+        dense_layer_size=1024,
+        num_feature_layers=4,
+        feature_layer_size=1024,
+        batch_per_gpu=32,
+    )
+
+
+class TestFullPipeline:
+    """The headline experiment at reduced scale: TopoOpt vs baselines."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        n, d, bandwidth = 16, 4, 100 * GBPS
+        model = small_dlrm()
+        search = MCMCSearch(model, num_servers=n, seed=0)
+        optimizer = AlternatingOptimizer(
+            num_servers=n,
+            degree=d,
+            link_bandwidth_bps=bandwidth,
+            search=search,
+            max_rounds=3,
+            mcmc_iterations=80,
+        )
+        result = optimizer.run()
+        compute = search.compute_s
+        return n, d, bandwidth, model, result, compute
+
+    def test_topoopt_beats_cost_equivalent_fattree(self, setup):
+        # Figure 11's headline: TopoOpt substantially beats the
+        # cost-equivalent Fat-tree on a communication-heavy model.
+        n, d, bandwidth, model, result, compute = setup
+        topo_iter = simulate_iteration(
+            result.fabric, result.traffic, compute
+        ).total_s
+        equiv_gbps = cost_equivalent_fattree_bandwidth(n, d, 100)
+        fattree = FatTreeFabric(n, 1, equiv_gbps * GBPS)
+        fat_iter = simulate_iteration(
+            fattree, result.traffic, compute
+        ).total_s
+        assert topo_iter < fat_iter
+        assert fat_iter / topo_iter > 1.3  # meaningful speedup
+
+    def test_topoopt_within_factor_of_ideal(self, setup):
+        n, d, bandwidth, model, result, compute = setup
+        topo_iter = simulate_iteration(
+            result.fabric, result.traffic, compute
+        ).total_s
+        ideal = IdealSwitchFabric(n, d, bandwidth)
+        ideal_iter = simulate_iteration(
+            ideal, result.traffic, compute
+        ).total_s
+        assert topo_iter < 2.5 * ideal_iter
+
+    def test_final_strategy_is_hybrid(self, setup):
+        # With 0.5M x 128 tables, DP AllReduce would be enormous: the
+        # search should keep tables model-parallel/sharded.
+        *_, result, _ = setup
+        assert not result.strategy.is_pure_data_parallel()
+
+
+class TestManualPipeline:
+    def test_explicit_stages_compose(self):
+        n, d = 12, 4
+        model = build_model("DLRM", scale="testbed")
+        strategy = hybrid_strategy(model, n)
+        traffic = extract_traffic(model, strategy, 64, 1)
+        result = topology_finder(
+            n, d, traffic.allreduce_groups, traffic.mp_matrix
+        )
+        fabric = TopoOptFabric(result, 25 * GBPS)
+        compute = compute_time_seconds(model, 64, 1)
+        breakdown = simulate_iteration(fabric, traffic, compute)
+        assert breakdown.total_s > 0
+        assert breakdown.allreduce_s > 0
+        assert breakdown.mp_s > 0
+
+    def test_quickstart_docstring_flow(self):
+        # The README / __init__ quick-start must keep working verbatim.
+        from repro import (
+            build_model,
+            hybrid_strategy,
+            extract_traffic,
+            topology_finder,
+            TopoOptFabric,
+            simulate_iteration,
+        )
+
+        model = build_model("DLRM", scale="testbed")
+        strategy = hybrid_strategy(model, num_servers=12)
+        traffic = extract_traffic(
+            model, strategy, batch_per_gpu=64, gpus_per_server=1
+        )
+        result = topology_finder(
+            12, 4, traffic.allreduce_groups, traffic.mp_matrix
+        )
+        fabric = TopoOptFabric(result, link_bandwidth_bps=25e9)
+        breakdown = simulate_iteration(fabric, traffic, compute_s=0.05)
+        assert breakdown.total_s > 0.05

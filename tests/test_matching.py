@@ -1,0 +1,98 @@
+"""Unit tests for the MP-sub-topology matching (Algorithm 1, step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import (
+    halve_discount,
+    matching_edge_counts,
+    max_weight_matching,
+    mp_matchings,
+)
+
+
+def demand_for(pairs, n):
+    matrix = np.zeros((n, n))
+    for (i, j), value in pairs.items():
+        matrix[i, j] = value
+    return matrix
+
+
+class TestMaxWeightMatching:
+    def test_picks_heaviest_pair(self):
+        demand = demand_for({(0, 1): 100.0, (2, 3): 1.0}, 4)
+        matched = max_weight_matching(demand)
+        assert (0, 1) in matched
+
+    def test_matching_is_disjoint(self):
+        demand = demand_for(
+            {(0, 1): 10, (1, 2): 10, (2, 3): 10, (0, 3): 10}, 4
+        )
+        matched = max_weight_matching(demand)
+        used = [node for pair in matched for node in pair]
+        assert len(used) == len(set(used))
+
+    def test_weight_beats_cardinality(self):
+        # One heavy pair (0,1) vs two light pairs (0,2) + (1,3):
+        # Blossom with maxcardinality=False takes the heavy edge.
+        demand = demand_for({(0, 1): 100, (0, 2): 1, (1, 3): 1}, 4)
+        matched = max_weight_matching(demand)
+        assert matched == {(0, 1)}
+
+    def test_zero_demand_empty(self):
+        assert max_weight_matching(np.zeros((4, 4))) == set()
+
+    def test_asymmetric_demand_symmetrized(self):
+        demand = demand_for({(0, 1): 10, (1, 0): 90, (2, 3): 50}, 4)
+        matched = max_weight_matching(demand)
+        assert (0, 1) in matched  # combined weight 100 > 50
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            max_weight_matching(np.zeros((3, 4)))
+
+
+class TestMpMatchings:
+    def test_round_count(self):
+        demand = demand_for({(0, 1): 10, (2, 3): 5}, 4)
+        assert len(mp_matchings(demand, rounds=3)) == 3
+
+    def test_zero_rounds(self):
+        assert mp_matchings(np.ones((4, 4)), rounds=0) == []
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            mp_matchings(np.ones((2, 2)), rounds=-1)
+
+    def test_halving_diversifies(self):
+        # Round 1: {(0,1),(2,3)} weighs 210 > 120.  After halving (0,1)
+        # to 100, round 2 flips to {(0,2),(1,3)} = 120 > 110.
+        demand = demand_for(
+            {(0, 1): 200, (0, 2): 60, (1, 3): 60, (2, 3): 10}, 4
+        )
+        rounds = mp_matchings(demand, rounds=2)
+        assert (0, 1) in rounds[0]
+        assert (0, 2) in rounds[1] and (1, 3) in rounds[1]
+
+    def test_no_discount_repeats_heaviest(self):
+        demand = demand_for(
+            {(0, 1): 200, (0, 2): 60, (1, 3): 60, (2, 3): 10}, 4
+        )
+        rounds = mp_matchings(demand, rounds=2, discount=lambda v: v)
+        assert (0, 1) in rounds[0] and (0, 1) in rounds[1]
+
+    def test_original_demand_unchanged(self):
+        demand = demand_for({(0, 1): 100}, 4)
+        snapshot = demand.copy()
+        mp_matchings(demand, rounds=3)
+        assert np.array_equal(demand, snapshot)
+
+
+class TestHelpers:
+    def test_halve_discount(self):
+        assert halve_discount(8.0) == 4.0
+
+    def test_matching_edge_counts(self):
+        rounds = [{(0, 1), (2, 3)}, {(0, 1)}, set()]
+        counts = matching_edge_counts(rounds)
+        assert counts == {(0, 1): 2, (2, 3): 1}

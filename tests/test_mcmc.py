@@ -1,0 +1,152 @@
+"""Unit and behavioural tests for the MCMC strategy search."""
+
+import math
+
+import pytest
+
+from repro.models import build_dlrm, build_vgg
+from repro.network.fattree import IdealSwitchFabric
+from repro.parallel.mcmc import IterationCostModel, MCMCSearch
+from repro.parallel.strategy import (
+    data_parallel_strategy,
+    hybrid_strategy,
+)
+from repro.parallel.traffic import extract_traffic
+
+GBPS = 1e9
+
+
+def small_dlrm():
+    return build_dlrm(
+        num_embedding_tables=4,
+        embedding_rows=100_000,
+        embedding_dim=256,
+        num_dense_layers=2,
+        dense_layer_size=512,
+        num_feature_layers=2,
+        feature_layer_size=512,
+        batch_per_gpu=32,
+    )
+
+
+class TestIterationCostModel:
+    def test_cost_includes_compute(self):
+        fabric = IdealSwitchFabric(4, 2, 100 * GBPS)
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 4), 8
+        )
+        cost_model = IterationCostModel(fabric, compute_s=1.0)
+        assert cost_model.cost(traffic) > 1.0
+
+    def test_allreduce_time_formula(self):
+        n, d, B = 8, 4, 100 * GBPS
+        fabric = IdealSwitchFabric(n, d, B)
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, n), 8
+        )
+        cost_model = IterationCostModel(fabric, 0.0)
+        expected = (
+            2 * (n - 1) / n * model.total_params_bytes * 8 / (d * B)
+        )
+        assert cost_model.allreduce_time(traffic) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_unroutable_traffic_is_infinite(self):
+        class DeadFabric:
+            name = "dead"
+
+            def capacities(self):
+                return {(0, 1): GBPS}
+
+            def paths(self, src, dst, kind="mp"):
+                return []
+
+        model = small_dlrm()
+        traffic = extract_traffic(model, hybrid_strategy(model, 4), 8)
+        cost_model = IterationCostModel(DeadFabric(), 0.0)
+        assert math.isinf(cost_model.cost(traffic))
+
+
+class TestProposals:
+    def test_vgg_has_no_moves(self):
+        model = build_vgg(16)
+        search = MCMCSearch(model, num_servers=4, batch_per_gpu=8)
+        strategy = search.initial_strategy()
+        assert search.propose(strategy) is strategy
+
+    def test_dlrm_moves_change_placement(self):
+        model = small_dlrm()
+        search = MCMCSearch(model, num_servers=8, seed=3)
+        strategy = search.initial_strategy()
+        changed = 0
+        for _ in range(20):
+            candidate = search.propose(strategy)
+            if candidate is not strategy:
+                changed += 1
+        assert changed > 0
+
+
+class TestSearch:
+    def test_best_cost_never_worse_than_initial(self):
+        model = small_dlrm()
+        search = MCMCSearch(model, num_servers=8, seed=0)
+        fabric = IdealSwitchFabric(8, 4, 100 * GBPS)
+        initial = search.initial_strategy()
+        initial_traffic = extract_traffic(
+            model, initial, search.batch_per_gpu
+        )
+        initial_cost = IterationCostModel(fabric, search.compute_s).cost(
+            initial_traffic
+        )
+        result = search.search(fabric, iterations=100)
+        assert result.cost_s <= initial_cost + 1e-12
+
+    def test_cost_trace_length(self):
+        model = small_dlrm()
+        search = MCMCSearch(model, num_servers=4, seed=1)
+        fabric = IdealSwitchFabric(4, 4, 100 * GBPS)
+        result = search.search(fabric, iterations=50)
+        assert len(result.cost_trace) == 51  # initial + one per step
+
+    def test_deterministic_for_seed(self):
+        model = small_dlrm()
+        fabric = IdealSwitchFabric(4, 4, 100 * GBPS)
+        r1 = MCMCSearch(model, 4, seed=7).search(fabric, iterations=60)
+        r2 = MCMCSearch(model, 4, seed=7).search(fabric, iterations=60)
+        assert r1.cost_s == pytest.approx(r2.cost_s)
+
+    def test_pure_dp_model_stays_dp(self):
+        model = build_vgg(16)
+        search = MCMCSearch(model, num_servers=4, batch_per_gpu=8)
+        fabric = IdealSwitchFabric(4, 4, 100 * GBPS)
+        result = search.search(fabric, iterations=10)
+        assert result.strategy.is_pure_data_parallel()
+
+    def test_search_avoids_pure_dp_for_huge_embeddings(self):
+        # The whole point of hybrid parallelism: with enormous embedding
+        # tables, data parallelism's AllReduce is ruinous, so the search
+        # should keep embeddings model-parallel.
+        model = build_dlrm(
+            num_embedding_tables=4,
+            embedding_rows=5_000_000,
+            embedding_dim=512,
+            num_dense_layers=2,
+            dense_layer_size=256,
+            num_feature_layers=2,
+            feature_layer_size=256,
+            batch_per_gpu=8,
+        )
+        search = MCMCSearch(model, num_servers=8, seed=2)
+        fabric = IdealSwitchFabric(8, 4, 100 * GBPS)
+        result = search.search(fabric, iterations=150)
+        placements = result.strategy.mp_owner_servers()
+        sharded = [
+            name
+            for name, p in result.strategy.placements.items()
+            if p.kind.value == "sharded"
+        ]
+        # Every huge table stays off the AllReduce path.
+        assert len(placements) + len(sharded) == 4

@@ -1,0 +1,230 @@
+"""Unit tests for the DNN model zoo."""
+
+import pytest
+
+from repro.models import (
+    DNNModel,
+    Layer,
+    LayerKind,
+    build_bert,
+    build_candle,
+    build_dlrm,
+    build_model,
+    build_ncf,
+    build_resnet50,
+    build_vgg,
+)
+from repro.models.base import (
+    attention_block,
+    conv_layer,
+    dense_layer,
+    embedding_layer,
+)
+from repro.models.configs import (
+    SHARED_CLUSTER_CONFIGS,
+    SIMULATION_CONFIGS,
+    TESTBED_CONFIGS,
+)
+
+GB = 1e9
+
+
+class TestLayerBuilders:
+    def test_dense_layer_params(self):
+        layer = dense_layer("fc", 100, 50)
+        assert layer.params_bytes == (100 * 50 + 50) * 4
+
+    def test_dense_layer_flops(self):
+        layer = dense_layer("fc", 100, 50)
+        assert layer.flops_per_sample == 2 * 100 * 50
+
+    def test_conv_layer_accounting(self):
+        layer = conv_layer("c", 3, 64, 3, 112)
+        assert layer.params_bytes == (9 * 3 * 64 + 64) * 4
+        assert layer.flops_per_sample == 2 * 9 * 3 * 64 * 112 * 112
+
+    def test_embedding_layer_size(self):
+        layer = embedding_layer("e", 1000, 64)
+        assert layer.kind == LayerKind.EMBEDDING
+        assert layer.params_bytes == 1000 * 64 * 4
+        assert layer.activation_bytes_per_sample == 64 * 4
+
+    def test_embedding_multi_lookup(self):
+        layer = embedding_layer("e", 1000, 64, lookups_per_sample=8)
+        assert layer.activation_bytes_per_sample == 8 * 64 * 4
+
+    def test_attention_block_param_count(self):
+        blocks = attention_block("b", 1024, 64, 16)
+        total = sum(layer.params_bytes for layer in blocks)
+        # 4 h^2 attention + 8 h^2 FFN = 12 h^2 params.
+        assert total == 12 * 1024 * 1024 * 4
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Layer("bad", LayerKind.DENSE, -1.0, 0.0, 0.0)
+
+
+class TestDNNModel:
+    def test_duplicate_names_rejected(self):
+        layer = dense_layer("fc", 4, 4)
+        with pytest.raises(ValueError):
+            DNNModel("m", (layer, layer), 8)
+
+    def test_layer_lookup(self):
+        model = build_vgg(16)
+        assert model.layer("fc1").params_bytes > 0
+        with pytest.raises(KeyError):
+            model.layer("nope")
+
+    def test_embedding_split(self):
+        model = build_dlrm(num_embedding_tables=4, embedding_rows=1000)
+        assert len(model.embedding_layers) == 4
+        assert model.dense_params_bytes + model.embedding_params_bytes == (
+            model.total_params_bytes
+        )
+
+
+class TestVgg:
+    def test_vgg16_parameter_count(self):
+        # The canonical VGG-16 has ~138.4M parameters.
+        model = build_vgg(16)
+        params = model.total_params_bytes / 4
+        assert 135e6 < params < 142e6
+
+    def test_vgg16_flops(self):
+        # ~15.5 GMACs forward per 224x224 sample (widely reported);
+        # we count 2 FLOPs per MAC, so ~31 GFLOPs.
+        model = build_vgg(16)
+        assert 28e9 < model.total_flops_per_sample < 34e9
+
+    def test_vgg19_larger_than_vgg16(self):
+        assert (
+            build_vgg(19).total_params_bytes > build_vgg(16).total_params_bytes
+        )
+
+    def test_fc1_dominates(self):
+        model = build_vgg(16)
+        fc1 = model.layer("fc1").params_bytes
+        assert fc1 > 0.7 * model.total_params_bytes / 2
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_vgg(13)
+
+
+class TestResNet:
+    def test_parameter_count(self):
+        # ResNet-50 has ~25.6M parameters.
+        model = build_resnet50()
+        params = model.total_params_bytes / 4
+        assert 23e6 < params < 28e6
+
+    def test_flops(self):
+        # ~4 GMACs forward per sample -> ~8 GFLOPs at 2 FLOPs/MAC.
+        model = build_resnet50()
+        assert 6.5e9 < model.total_flops_per_sample < 9e9
+
+    def test_compute_bound_profile(self):
+        # ResNet50 has fewer parameter bytes per FLOP than VGG16: the
+        # paper's "not communication-heavy" model.
+        resnet = build_resnet50()
+        vgg = build_vgg(16)
+        resnet_ratio = resnet.total_params_bytes / resnet.total_flops_per_sample
+        vgg_ratio = vgg.total_params_bytes / vgg.total_flops_per_sample
+        assert resnet_ratio < 0.8 * vgg_ratio
+
+
+class TestDlrm:
+    def test_embedding_tables_dominate(self):
+        model = build_dlrm()
+        assert model.embedding_params_bytes > 0.9 * model.total_params_bytes
+
+    def test_section_2_example_scale(self):
+        # Section 2.1: 4 tables of 512 x 1e7 -> ~22 GB model (8B params
+        # in the paper; 4B here gives half).
+        model = build_dlrm(
+            num_embedding_tables=4,
+            embedding_dim=512,
+            embedding_rows=10_000_000,
+        )
+        assert model.embedding_params_bytes == pytest.approx(
+            4 * 512 * 1e7 * 4
+        )
+
+    def test_table_count_respected(self):
+        model = build_dlrm(num_embedding_tables=12, embedding_rows=1000)
+        assert len(model.embedding_layers) == 12
+
+
+class TestBert:
+    def test_block_count(self):
+        model = build_bert(num_blocks=12)
+        attn = [l for l in model.layers if l.kind == LayerKind.ATTENTION]
+        assert len(attn) == 12
+
+    def test_hidden_heads_divisibility(self):
+        with pytest.raises(ValueError):
+            build_bert(hidden=1000, heads=16)
+
+    def test_params_scale_with_hidden(self):
+        small = build_bert(hidden=512, heads=8)
+        large = build_bert(hidden=1024, heads=16)
+        assert large.total_params_bytes > 2 * small.total_params_bytes
+
+
+class TestNcf:
+    def test_embedding_table_count(self):
+        model = build_ncf(num_user_tables=4, num_item_tables=4)
+        # Each table family has MF + MLP variants.
+        assert len(model.embedding_layers) == 16
+
+    def test_many_embeddings_profile(self):
+        # NCF's defining property for the paper: many mid-size tables,
+        # hence high MP communication degree.
+        model = build_ncf()
+        assert len(model.embedding_layers) == 128
+
+
+class TestCandle:
+    def test_dense_only(self):
+        model = build_candle()
+        assert not model.embedding_layers
+
+    def test_communication_heavy(self):
+        # CANDLE at 16384-wide layers is AllReduce-dominated: several GB
+        # of dense parameters.
+        model = build_candle()
+        assert model.total_params_bytes > 10 * GB
+
+
+class TestConfigs:
+    def test_all_simulation_presets_build(self):
+        for name, config in SIMULATION_CONFIGS.items():
+            model = config.build()
+            assert model.total_params_bytes > 0, name
+
+    def test_all_shared_presets_build(self):
+        for config in SHARED_CLUSTER_CONFIGS.values():
+            assert config.build().total_params_bytes > 0
+
+    def test_all_testbed_presets_build(self):
+        for config in TESTBED_CONFIGS.values():
+            assert config.build().total_params_bytes > 0
+
+    def test_build_model_scales(self):
+        big = build_model("BERT", scale="simulation")
+        small = build_model("BERT", scale="shared")
+        assert big.total_params_bytes > small.total_params_bytes
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("BERT", scale="nope")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("AlexNet", scale="simulation")
+
+    def test_testbed_models_smaller(self):
+        sim = build_model("CANDLE", scale="simulation")
+        tb = build_model("CANDLE", scale="testbed")
+        assert tb.total_params_bytes < sim.total_params_bytes

@@ -1,0 +1,117 @@
+"""Tests for the MoE limitation workload and the ECMP leaf-spine fabric."""
+
+import numpy as np
+import pytest
+
+from repro.models.moe import (
+    MoeTrafficSampler,
+    build_moe_transformer,
+    pattern_drift,
+)
+from repro.network.fattree import LeafSpineFabric
+
+
+class TestMoeModel:
+    def test_expert_count(self):
+        model = build_moe_transformer(num_blocks=2, num_experts=8)
+        experts = [l for l in model.layers if ".expert" in l.name]
+        assert len(experts) == 16
+
+    def test_experts_hold_most_parameters(self):
+        model = build_moe_transformer(num_blocks=4, num_experts=16)
+        expert_bytes = sum(
+            l.params_bytes for l in model.layers if ".expert" in l.name
+        )
+        assert expert_bytes > 0.5 * model.total_params_bytes
+
+
+class TestMoeTrafficSampler:
+    def make(self, seed=0):
+        return MoeTrafficSampler(
+            num_servers=8,
+            tokens_per_server=1024,
+            bytes_per_token=512.0,
+            seed=seed,
+        )
+
+    def test_matrix_shape_and_diagonal(self):
+        matrix = self.make().iteration_matrix()
+        assert matrix.shape == (8, 8)
+        assert np.diag(matrix).sum() == 0.0
+
+    def test_patterns_drift_between_iterations(self):
+        matrices = self.make().iteration_matrices(5)
+        assert pattern_drift(matrices) > 0.2
+
+    def test_static_pattern_has_zero_drift(self):
+        matrix = self.make().iteration_matrix()
+        assert pattern_drift([matrix, matrix.copy()]) == 0.0
+
+    def test_deterministic_per_seed(self):
+        a = self.make(seed=3).iteration_matrix()
+        b = self.make(seed=3).iteration_matrix()
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MoeTrafficSampler(1, 10, 1.0)
+        with pytest.raises(ValueError):
+            MoeTrafficSampler(4, 10, 1.0, concentration=0.0)
+
+    def test_drift_of_short_sequences(self):
+        assert pattern_drift([]) == 0.0
+        assert pattern_drift([np.ones((2, 2))]) == 0.0
+
+
+class TestLeafSpine:
+    def make(self):
+        return LeafSpineFabric(
+            16, 4, 25e9, servers_per_rack=4, num_spines=4
+        )
+
+    def test_intra_rack_avoids_spines(self):
+        fabric = self.make()
+        path = fabric.paths(0, 3)[0]
+        assert len(path) == 3
+        assert all(node < 16 + 4 for node in path)
+
+    def test_cross_rack_uses_one_spine(self):
+        fabric = self.make()
+        path = fabric.paths(0, 12)[0]
+        assert len(path) == 5
+        spine = path[2]
+        assert spine >= 16 + 4
+
+    def test_ecmp_is_deterministic_per_pair(self):
+        fabric = self.make()
+        assert fabric.paths(0, 12) == fabric.paths(0, 12)
+
+    def test_ecmp_spreads_across_spines(self):
+        fabric = self.make()
+        spines = {
+            fabric.paths(src, dst)[0][2]
+            for src in range(4)
+            for dst in range(12, 16)
+        }
+        assert len(spines) >= 2  # different pairs hash differently
+
+    def test_full_bisection_capacity(self):
+        fabric = self.make()
+        caps = fabric.capacities()
+        # Rack uplink total equals the rack's server bandwidth.
+        leaf0 = fabric.leaf_of(0)
+        uplinks = sum(
+            cap
+            for (src, dst), cap in caps.items()
+            if src == leaf0 and dst >= 16 + 4
+        )
+        assert uplinks == pytest.approx(4 * fabric.server_bandwidth_bps)
+
+    def test_paths_covered_by_capacities(self):
+        fabric = self.make()
+        caps = fabric.capacities()
+        for src in (0, 5):
+            for dst in (10, 15):
+                for path in fabric.paths(src, dst):
+                    for a, b in zip(path, path[1:]):
+                        assert (a, b) in caps

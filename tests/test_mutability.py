@@ -1,0 +1,131 @@
+"""Unit tests for AllReduce mutability (section 4.3, Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mutability import (
+    dbt_traffic_matrix,
+    double_binary_trees,
+    permutation_traffic_matrix,
+    permute_allreduce_order,
+    ring_traffic_matrix,
+    tree_is_valid,
+)
+
+
+class TestRingTrafficMatrix:
+    def test_per_edge_bytes(self):
+        n, total = 16, 1000.0
+        matrix = ring_traffic_matrix(list(range(n)), total, n)
+        expected = 2.0 * 15 / 16 * total
+        assert matrix[0, 1] == pytest.approx(expected)
+
+    def test_edges_follow_stride(self):
+        n = 16
+        matrix = ring_traffic_matrix(list(range(n)), 1.0, n, stride=3)
+        assert matrix[0, 3] > 0
+        assert matrix[0, 1] == 0
+
+    def test_total_traffic_is_k_edges(self):
+        n, total = 12, 600.0
+        matrix = ring_traffic_matrix(list(range(n)), total, n)
+        per_edge = 2.0 * 11 / 12 * total
+        assert matrix.sum() == pytest.approx(n * per_edge)
+
+    def test_multi_ring_split(self):
+        n = 12
+        single = ring_traffic_matrix(list(range(n)), 120.0, n, num_rings=1)
+        split = ring_traffic_matrix(list(range(n)), 120.0, n, num_rings=3)
+        assert split.max() == pytest.approx(single.max() / 3)
+
+    def test_tiny_group_is_empty(self):
+        assert ring_traffic_matrix([5], 100.0, 8).sum() == 0.0
+
+    def test_mutability_same_volume_different_pattern(self):
+        # The paper's core claim: permuting changes the pattern, not the
+        # volume or the per-edge load.
+        n = 16
+        m1 = ring_traffic_matrix(list(range(n)), 1.0, n, stride=1)
+        m3 = ring_traffic_matrix(list(range(n)), 1.0, n, stride=3)
+        assert m1.sum() == pytest.approx(m3.sum())
+        assert m1.max() == pytest.approx(m3.max())
+        assert not np.array_equal(m1, m3)
+
+
+class TestPermuteOrder:
+    def test_identity(self):
+        group = [4, 5, 6]
+        assert permute_allreduce_order(group, [0, 1, 2]) == group
+
+    def test_relabel(self):
+        assert permute_allreduce_order([4, 5, 6], [2, 0, 1]) == [6, 4, 5]
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            permute_allreduce_order([4, 5, 6], [0, 0, 2])
+
+    def test_permutation_traffic_preserves_volume(self):
+        base = permutation_traffic_matrix([0, 1, 2, 3], 100.0, 4)
+        shuffled = permutation_traffic_matrix([2, 0, 3, 1], 100.0, 4)
+        assert base.sum() == pytest.approx(shuffled.sum())
+
+
+class TestDoubleBinaryTrees:
+    def test_trees_are_valid(self):
+        group = list(range(16))
+        t1, t2 = double_binary_trees(group)
+        assert tree_is_valid(group, t1)
+        assert tree_is_valid(group, t2)
+
+    def test_leaf_sets_flip(self):
+        # Appendix A: a node that is a leaf in tree 1 should be in-tree
+        # in tree 2 (except possibly at the boundary roots).
+        group = list(range(16))
+        t1, t2 = double_binary_trees(group)
+        leaves1 = {node for node, kids in t1.items() if not kids}
+        leaves2 = {node for node, kids in t2.items() if not kids}
+        assert len(leaves1 & leaves2) <= 1
+
+    def test_small_group_rejected(self):
+        with pytest.raises(ValueError):
+            double_binary_trees([3])
+
+    def test_various_sizes_valid(self):
+        for k in (2, 3, 5, 8, 12, 17, 32):
+            group = list(range(k))
+            t1, t2 = double_binary_trees(group)
+            assert tree_is_valid(group, t1), k
+            assert tree_is_valid(group, t2), k
+
+
+class TestDbtTraffic:
+    def test_volume_matches_tree_edges(self):
+        group = list(range(8))
+        matrix = dbt_traffic_matrix(group, 100.0, 8)
+        # Two trees x 7 edges x (reduce + broadcast) x S/2 bytes.
+        assert matrix.sum() == pytest.approx(2 * 7 * 2 * 50.0)
+
+    def test_symmetric_per_edge(self):
+        group = list(range(8))
+        matrix = dbt_traffic_matrix(group, 100.0, 8)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_permuted_group_same_volume(self):
+        base = dbt_traffic_matrix(list(range(8)), 100.0, 8)
+        perm = dbt_traffic_matrix([3, 1, 7, 0, 5, 2, 6, 4], 100.0, 8)
+        assert base.sum() == pytest.approx(perm.sum())
+        assert not np.array_equal(base, perm)
+
+
+class TestTreeValidation:
+    def test_detects_two_roots(self):
+        tree = {0: [1], 1: [], 2: [3], 3: []}
+        assert not tree_is_valid([0, 1, 2, 3], tree)
+
+    def test_detects_cycle(self):
+        tree = {0: [1], 1: [0]}
+        assert not tree_is_valid([0, 1], tree)
+
+    def test_detects_foreign_node(self):
+        tree = {0: [1], 1: [9]}
+        assert not tree_is_valid([0, 1], tree)

@@ -1,0 +1,138 @@
+"""Unit tests for the OCS-reconfig heuristic (Algorithm 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ocs_reconfig import (
+    exponential_discount,
+    ocs_reconfig,
+    topology_utility,
+    unit_discount,
+)
+from repro.network.topology import DirectConnectTopology
+
+
+def demand_for(pairs, n):
+    matrix = np.zeros((n, n))
+    for (i, j), value in pairs.items():
+        matrix[i, j] = value
+    return matrix
+
+
+class TestDiscounts:
+    def test_exponential_values(self):
+        assert exponential_discount(0) == 0.0
+        assert exponential_discount(1) == pytest.approx(0.5)
+        assert exponential_discount(2) == pytest.approx(0.75)
+        assert exponential_discount(3) == pytest.approx(0.875)
+
+    def test_exponential_monotone_diminishing(self):
+        gains = [
+            exponential_discount(k + 1) - exponential_discount(k)
+            for k in range(5)
+        ]
+        assert all(a > b for a, b in zip(gains, gains[1:]))
+
+    def test_exponential_rejects_negative(self):
+        with pytest.raises(ValueError):
+            exponential_discount(-1)
+
+    def test_unit_discount(self):
+        assert unit_discount(0) == 0.0
+        assert unit_discount(1) == 1.0
+        assert unit_discount(5) == 1.0
+
+
+class TestTopologyUtility:
+    def test_counts_demand_on_links(self):
+        topo = DirectConnectTopology(3, 2)
+        topo.add_link(0, 1)
+        demand = demand_for({(0, 1): 100.0, (1, 2): 50.0}, 3)
+        # Only the (0,1) link exists: utility = 100 * Discount(1).
+        assert topology_utility(topo, demand) == pytest.approx(50.0)
+
+    def test_parallel_links_diminish(self):
+        topo = DirectConnectTopology(2, 4)
+        topo.add_link(0, 1, count=3)
+        demand = demand_for({(0, 1): 100.0}, 2)
+        assert topology_utility(topo, demand) == pytest.approx(87.5)
+
+    def test_unit_discount_flat(self):
+        topo = DirectConnectTopology(2, 4)
+        topo.add_link(0, 1, count=3)
+        demand = demand_for({(0, 1): 100.0}, 2)
+        assert topology_utility(topo, demand, unit_discount) == 100.0
+
+
+class TestOcsReconfig:
+    def test_hottest_pair_served_first(self):
+        demand = demand_for({(0, 1): 1000.0, (2, 3): 10.0}, 4)
+        topo = ocs_reconfig(demand, degree=1, ensure_connected=False)
+        assert topo.has_link(0, 1)
+
+    def test_degree_respected(self):
+        n = 8
+        demand = np.random.RandomState(7).rand(n, n) * 100
+        topo = ocs_reconfig(demand, degree=3, ensure_connected=False)
+        for node in range(n):
+            assert topo.out_degree(node) <= 3
+            assert topo.in_degree(node) <= 3
+
+    def test_exponential_discount_adds_parallel_links(self):
+        # One overwhelming pair: with halving it still wins several times.
+        demand = demand_for({(0, 1): 1000.0, (0, 2): 10.0, (2, 1): 10.0}, 3)
+        topo = ocs_reconfig(demand, degree=3, ensure_connected=False)
+        assert topo.multiplicity(0, 1) >= 2
+
+    def test_unit_discount_never_parallel(self):
+        demand = demand_for({(0, 1): 1000.0, (0, 2): 10.0, (2, 1): 5.0}, 3)
+        topo = ocs_reconfig(
+            demand, degree=3, discount=unit_discount, ensure_connected=False
+        )
+        assert topo.multiplicity(0, 1) == 1
+
+    def test_connectivity_repair(self):
+        # Two hot cliques that would otherwise form disjoint islands.
+        n = 6
+        demand = np.zeros((n, n))
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    demand[i, j] = 100.0
+                    demand[i + 3, j + 3] = 100.0
+        topo = ocs_reconfig(demand, degree=4, ensure_connected=True)
+        assert topo.is_strongly_connected()
+
+    def test_zero_demand_gives_empty_topology(self):
+        topo = ocs_reconfig(np.zeros((4, 4)), degree=2, ensure_connected=False)
+        assert topo.num_links() == 0
+
+    def test_diagonal_ignored(self):
+        demand = np.eye(4) * 100.0
+        topo = ocs_reconfig(demand, degree=2, ensure_connected=False)
+        assert topo.num_links() == 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ocs_reconfig(np.zeros((2, 3)), degree=2)
+
+    def test_all_to_all_uses_full_degree(self):
+        n, d = 8, 3
+        demand = np.ones((n, n)) * 100.0
+        np.fill_diagonal(demand, 0.0)
+        topo = ocs_reconfig(demand, degree=d, ensure_connected=False)
+        # Uniform demand: the greedy loop should exhaust every interface.
+        assert topo.num_links() == n * d
+
+    def test_higher_utility_than_random_wiring(self):
+        rng = np.random.RandomState(3)
+        n, d = 8, 2
+        demand = rng.rand(n, n) * 100
+        np.fill_diagonal(demand, 0.0)
+        scheduled = ocs_reconfig(demand, degree=d, ensure_connected=False)
+        # Random ring wiring as the straw man.
+        random_topo = DirectConnectTopology(n, d)
+        random_topo.add_ring(list(range(n)))
+        assert topology_utility(scheduled, demand) >= topology_utility(
+            random_topo, demand
+        )

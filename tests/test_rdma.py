@@ -1,0 +1,113 @@
+"""Unit tests for the NPAR RDMA forwarding overlay (Appendix I)."""
+
+import pytest
+
+from repro.sim.flows import Flow
+from repro.sim.rdma import ForwardingRule, NparInterface, RdmaForwardingModel
+
+
+class TestNparInterface:
+    def test_function_names(self):
+        iface = NparInterface(server=3, port=1)
+        assert iface.if1_name == "s3p1f0"
+        assert iface.if2_name == "s3p1f1"
+
+    def test_if1_has_ip_if2_does_not(self):
+        iface = NparInterface(server=3, port=1)
+        assert iface.if1_ip.startswith("10.")
+        # if2 is MAC-only by design; it exposes a MAC, never an IP.
+        assert iface.if2_mac != iface.if1_mac
+
+    def test_macs_unique_across_servers(self):
+        macs = {
+            NparInterface(s, p).if2_mac
+            for s in range(20)
+            for p in range(4)
+        }
+        assert len(macs) == 80
+
+
+class TestForwardingRules:
+    def _model_and_ports(self):
+        model = RdmaForwardingModel(degree=4)
+        # 0 -> 1 -> 2 -> 3 chain; server i reaches i+1 via port i % 4.
+        ports = {(i, i + 1): i % 4 for i in range(3)}
+        return model, ports
+
+    def test_endpoint_rules_first(self):
+        model, ports = self._model_and_ports()
+        rules = model.rules_for_path([0, 1, 2, 3], ports)
+        assert rules[0].kind == "iproute"
+        assert rules[1].kind == "arp"
+
+    def test_relay_rules_are_tc_flower(self):
+        model, ports = self._model_and_ports()
+        rules = model.rules_for_path([0, 1, 2, 3], ports)
+        relay_rules = [r for r in rules if r.kind == "tc_flower"]
+        assert {r.server for r in relay_rules} == {1, 2}
+
+    def test_last_hop_targets_if1_mac(self):
+        # Appendix I: the final hop rewrites to the destination's if1 MAC
+        # so the packet is treated as RDMA again.
+        model, ports = self._model_and_ports()
+        rules = model.rules_for_path([0, 1, 2, 3], ports)
+        final_relay = [r for r in rules if r.server == 2][0]
+        dst_if1 = NparInterface(3, ports[(2, 3)]).if1_mac
+        assert final_relay.next_hop_mac == dst_if1
+
+    def test_intermediate_hops_target_if2_mac(self):
+        model, ports = self._model_and_ports()
+        rules = model.rules_for_path([0, 1, 2, 3], ports)
+        first_relay_mac = rules[0].next_hop_mac
+        relay_if2 = NparInterface(1, ports[(1, 2)]).if2_mac
+        assert first_relay_mac == relay_if2
+
+    def test_direct_path_has_no_relays(self):
+        model = RdmaForwardingModel(degree=4)
+        rules = model.rules_for_path([0, 1], {(0, 1): 0})
+        assert all(r.kind != "tc_flower" for r in rules)
+
+    def test_rules_render(self):
+        model, ports = self._model_and_ports()
+        for rule in model.rules_for_path([0, 1, 2, 3], ports):
+            text = rule.render()
+            assert str(rule.server) in text
+
+    def test_short_path_rejected(self):
+        model = RdmaForwardingModel(degree=4)
+        with pytest.raises(ValueError):
+            model.rules_for_path([0], {})
+
+
+class TestEffectiveRate:
+    def test_direct_runs_at_line_rate(self):
+        model = RdmaForwardingModel(degree=4, kernel_forwarding_penalty=0.05)
+        assert model.effective_rate_bps(1, 25e9) == 25e9
+
+    def test_each_relay_penalized(self):
+        model = RdmaForwardingModel(degree=4, kernel_forwarding_penalty=0.1)
+        assert model.effective_rate_bps(3, 100.0) == pytest.approx(81.0)
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            RdmaForwardingModel(degree=4, kernel_forwarding_penalty=1.0)
+
+    def test_invalid_hops_rejected(self):
+        model = RdmaForwardingModel(degree=4)
+        with pytest.raises(ValueError):
+            model.effective_rate_bps(0, 1e9)
+
+
+class TestRelayLoad:
+    def test_relay_bytes_accounted(self):
+        model = RdmaForwardingModel(degree=4)
+        flows = [
+            Flow(path=(0, 1, 2), size_bits=8e6),
+            Flow(path=(3, 1, 4), size_bits=16e6),
+        ]
+        load = model.relay_cpu_bytes(flows)
+        assert load == {1: pytest.approx(3e6)}
+
+    def test_direct_flows_no_relay_load(self):
+        model = RdmaForwardingModel(degree=4)
+        assert model.relay_cpu_bytes([Flow(path=(0, 1), size_bits=8.0)]) == {}

@@ -1,0 +1,135 @@
+"""Tests for the reconfigurable-fabric simulator (section 5.7)."""
+
+import numpy as np
+import pytest
+
+from repro.network.sipml import SipMLFabric
+from repro.sim.reconfig import ReconfigurableFabricSimulator
+
+GBPS = 1e9
+
+
+def uniform_demand(n, per_pair):
+    matrix = np.full((n, n), float(per_pair))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def single_pair_demand(n, src, dst, size):
+    matrix = np.zeros((n, n))
+    matrix[src, dst] = size
+    return matrix
+
+
+class TestDrainDemand:
+    def test_single_pair_time(self):
+        # Algorithm 5's exponential discount gives the lone hot pair
+        # both interfaces: 1.25 GB over 2 x 10 Gbps = 0.5 s.
+        sim = ReconfigurableFabricSimulator(
+            4, 2, 10 * GBPS, reconfiguration_latency_s=0.0,
+            demand_epoch_s=10.0,
+        )
+        t = sim.drain_demand(single_pair_demand(4, 0, 1, 1.25e9))
+        assert t == pytest.approx(0.5, rel=0.01)
+
+    def test_reconfiguration_latency_paid(self):
+        fast = ReconfigurableFabricSimulator(
+            4, 2, 10 * GBPS, reconfiguration_latency_s=0.0
+        )
+        slow = ReconfigurableFabricSimulator(
+            4, 2, 10 * GBPS, reconfiguration_latency_s=0.5
+        )
+        demand = single_pair_demand(4, 0, 1, 1.25e8)
+        assert slow.drain_demand(demand.copy()) >= (
+            fast.drain_demand(demand.copy()) + 0.5
+        )
+
+    def test_uniform_demand_drains(self):
+        sim = ReconfigurableFabricSimulator(
+            6, 2, 10 * GBPS, reconfiguration_latency_s=1e-3,
+            host_forwarding=True,
+        )
+        t = sim.drain_demand(uniform_demand(6, 1e7))
+        assert t > 0
+        assert sim.epochs  # at least one epoch ran
+
+    def test_no_forwarding_needs_more_epochs(self):
+        # Without host forwarding, unconnected pairs must wait for later
+        # circuit rounds, so serving all-to-all takes more epochs.
+        demand = uniform_demand(8, 1e7)
+        fw = ReconfigurableFabricSimulator(
+            8, 2, 10 * GBPS, reconfiguration_latency_s=1e-3,
+            host_forwarding=True,
+        )
+        nofw = ReconfigurableFabricSimulator(
+            8, 2, 10 * GBPS, reconfiguration_latency_s=1e-3,
+            host_forwarding=False,
+        )
+        fw.drain_demand(demand.copy())
+        nofw.drain_demand(demand.copy())
+        assert len(nofw.epochs) >= len(fw.epochs)
+
+    def test_reconfig_latency_dominates_many_to_many(self):
+        # Figure 17's message: with many-to-many demand and no
+        # forwarding, higher reconfiguration latency directly inflates
+        # the completion time.
+        demand = uniform_demand(8, 1e6)
+        times = []
+        for latency in (1e-6, 10e-3):
+            sim = ReconfigurableFabricSimulator(
+                8, 2, 10 * GBPS, reconfiguration_latency_s=latency,
+                host_forwarding=False,
+            )
+            times.append(sim.drain_demand(demand.copy()))
+        assert times[1] > times[0]
+
+    def test_timeout_guard(self):
+        sim = ReconfigurableFabricSimulator(4, 2, 10 * GBPS)
+        with pytest.raises(RuntimeError):
+            sim.drain_demand(
+                single_pair_demand(4, 0, 1, 1e18), max_time_s=0.5
+            )
+
+
+class TestIterationTime:
+    def test_phases_serialized(self):
+        sim = ReconfigurableFabricSimulator(
+            4, 2, 10 * GBPS, reconfiguration_latency_s=0.0,
+            demand_epoch_s=10.0,
+        )
+        mp = single_pair_demand(4, 0, 1, 1.25e9)
+        ar = single_pair_demand(4, 2, 3, 1.25e9)
+        # Each phase: 1.25 GB over 2 parallel 10 Gbps circuits = 0.5 s.
+        t = sim.iteration_time(mp, ar, compute_s=0.5)
+        assert t == pytest.approx(0.5 + 0.5 + 0.5, rel=0.02)
+
+    def test_empty_phases_skipped(self):
+        sim = ReconfigurableFabricSimulator(4, 2, 10 * GBPS)
+        t = sim.iteration_time(np.zeros((4, 4)), np.zeros((4, 4)), 0.25)
+        assert t == pytest.approx(0.25)
+
+
+class TestSipML:
+    def test_name_and_modes(self):
+        fabric = SipMLFabric(8, 4, 100 * GBPS)
+        assert fabric.name == "SiP-ML"
+        assert fabric.sipml_mode and not fabric.host_forwarding
+        assert not fabric.supports_multiple_jobs()
+
+    def test_low_latency_default(self):
+        fabric = SipMLFabric(8, 4, 100 * GBPS)
+        assert fabric.reconfiguration_latency_s == pytest.approx(25e-6)
+
+    def test_sipml_flat_for_many_to_many(self):
+        # Figure 11d/e: SiP-ML's iteration time barely improves with
+        # more bandwidth when the pattern needs many reconfigurations.
+        demand = uniform_demand(8, 1e6)
+        times = []
+        for bandwidth in (10 * GBPS, 100 * GBPS):
+            fabric = SipMLFabric(
+                8, 2, bandwidth, reconfiguration_latency_s=5e-3,
+                demand_epoch_s=10e-3,
+            )
+            times.append(fabric.drain_demand(demand.copy()))
+        speedup = times[0] / times[1]
+        assert speedup < 3.0  # nowhere near the 10x bandwidth increase

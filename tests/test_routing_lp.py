@@ -1,0 +1,121 @@
+"""Tests for the LP traffic-engineering router (section 5.5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.routing_lp import (
+    default_routing_max_utilization,
+    optimize_routing,
+)
+from repro.core.topology_finder import AllReduceGroup, topology_finder
+from repro.network.topoopt import TopoOptFabric
+
+
+def two_path_network():
+    """0 -> 3 via 1 (fast) or via 2 (slow)."""
+    capacities = {
+        (0, 1): 10.0,
+        (1, 3): 10.0,
+        (0, 2): 5.0,
+        (2, 3): 5.0,
+    }
+
+    def paths(src, dst):
+        if (src, dst) == (0, 3):
+            return [[0, 1, 3], [0, 2, 3]]
+        return []
+
+    return capacities, paths
+
+
+class TestOptimizeRouting:
+    def test_splits_proportional_to_capacity(self):
+        capacities, paths = two_path_network()
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 15.0
+        result = optimize_routing(demand, capacities, paths)
+        # Optimal: 10 on the fast path, 5 on the slow -> t = 1.0.
+        assert result.max_utilization == pytest.approx(1.0, rel=1e-6)
+        weights = dict(
+            (tuple(path), w) for path, w in result.splits[(0, 3)]
+        )
+        assert weights[(0, 1, 3)] == pytest.approx(2 / 3, abs=1e-6)
+        assert weights[(0, 2, 3)] == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_beats_even_split(self):
+        capacities, paths = two_path_network()
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 15.0
+        even = default_routing_max_utilization(demand, capacities, paths)
+        optimal = optimize_routing(demand, capacities, paths)
+        assert optimal.max_utilization < even
+
+    def test_single_path_gets_full_weight(self):
+        capacities = {(0, 1): 10.0}
+        demand = np.zeros((2, 2))
+        demand[0, 1] = 5.0
+        result = optimize_routing(
+            demand, capacities, lambda s, d: [[0, 1]]
+        )
+        assert result.splits[(0, 1)][0][1] == pytest.approx(1.0)
+        assert result.max_utilization == pytest.approx(0.5)
+
+    def test_empty_demand(self):
+        result = optimize_routing(
+            np.zeros((3, 3)), {(0, 1): 1.0}, lambda s, d: [[s, d]]
+        )
+        assert result.max_utilization == 0.0
+        assert result.splits == {}
+
+    def test_missing_path_rejected(self):
+        demand = np.zeros((2, 2))
+        demand[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            optimize_routing(demand, {(0, 1): 1.0}, lambda s, d: [])
+
+    def test_unknown_link_rejected(self):
+        demand = np.zeros((2, 2))
+        demand[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            optimize_routing(
+                demand, {(1, 0): 1.0}, lambda s, d: [[0, 1]]
+            )
+
+    def test_utilization_report_consistent(self):
+        capacities, paths = two_path_network()
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 15.0
+        result = optimize_routing(demand, capacities, paths)
+        utilization = result.link_utilization(demand, capacities)
+        assert max(utilization.values()) == pytest.approx(
+            result.max_utilization, rel=1e-6
+        )
+
+
+class TestOnTopoOptTopology:
+    def test_lp_never_worse_than_default(self):
+        n, d = 12, 4
+        mp = np.random.RandomState(0).rand(n, n) * 1e8
+        np.fill_diagonal(mp, 0.0)
+        group = AllReduceGroup(members=tuple(range(n)), total_bytes=1e8)
+        result = topology_finder(n, d, [group], mp)
+        fabric = TopoOptFabric(result, 25e9)
+        capacities = fabric.capacities()
+
+        def candidates(src, dst):
+            return result.topology.all_shortest_paths(src, dst, cap=6)
+
+        even = default_routing_max_utilization(mp, capacities, candidates)
+        lp = optimize_routing(mp, capacities, candidates)
+        assert lp.max_utilization <= even + 1e-9
+
+    def test_paths_fn_adapter(self):
+        capacities, paths = two_path_network()
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 15.0
+        result = optimize_routing(demand, capacities, paths)
+        adapter = result.paths_fn()
+        slots = adapter(0, 3)
+        fast = sum(1 for p in slots if p == [0, 1, 3])
+        slow = sum(1 for p in slots if p == [0, 2, 3])
+        assert fast > slow  # replication tracks the weights

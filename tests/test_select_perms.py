@@ -1,0 +1,107 @@
+"""Unit tests for SelectPermutations (Algorithm 3 / Theorem 1)."""
+
+import pytest
+
+from repro.core.select_perms import (
+    geometric_targets,
+    greedy_reach_bound,
+    select_permutations,
+)
+from repro.core.totient import coprime_strides
+
+
+class TestSelectPermutations:
+    def test_zero_degree_returns_empty(self):
+        assert select_permutations(16, 0, [1, 3, 5]) == []
+
+    def test_single_degree_picks_minimum(self):
+        assert select_permutations(16, 1, [3, 1, 5]) == [1]
+
+    def test_selects_requested_count(self):
+        chosen = select_permutations(64, 3, coprime_strides(64))
+        assert len(chosen) == 3
+
+    def test_degree_exceeding_candidates_repeats_for_parallel_rings(self):
+        candidates = [1, 5, 7, 11]
+        chosen = select_permutations(12, 10, candidates)
+        assert len(chosen) == 10  # the full degree budget is spent
+        assert set(chosen) == set(candidates)
+
+    def test_no_duplicates_when_candidates_suffice(self):
+        chosen = select_permutations(100, 4, coprime_strides(100))
+        assert len(chosen) == len(set(chosen))
+
+    def test_all_selected_are_candidates(self):
+        candidates = coprime_strides(48)
+        chosen = select_permutations(48, 4, candidates)
+        assert set(chosen) <= set(candidates)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_permutations(16, 2, [])
+
+    def test_geometric_spread(self):
+        # With n = 64 and dk = 3 the ratio is 4: expect ~ {1, 4, 16}.
+        chosen = select_permutations(64, 3, coprime_strides(64))
+        assert chosen[0] == 1
+        assert 3 <= chosen[1] <= 7
+        assert 11 <= chosen[2] <= 23
+
+    def test_chord_like_structure_for_128(self):
+        chosen = select_permutations(128, 4, coprime_strides(128))
+        # Ratio ~ 128^(1/4) ~ 3.36: strides should grow roughly 3x each.
+        for small, large in zip(chosen, chosen[1:]):
+            assert large > small
+
+
+class TestGeometricTargets:
+    def test_empty_for_zero_degree(self):
+        assert geometric_targets(64, 0) == []
+
+    def test_starts_at_one(self):
+        assert geometric_targets(64, 3)[0] == 1.0
+
+    def test_ratio_clamped_to_two(self):
+        # n^(1/dk) < 2 for n = 8, dk = 4 -> ratio clamps to 2.
+        targets = geometric_targets(8, 4)
+        assert targets == [1.0, 2.0, 4.0, 8.0]
+
+    def test_ratio_applied(self):
+        targets = geometric_targets(81, 4)
+        ratio = 81 ** 0.25
+        assert targets[1] == pytest.approx(ratio)
+
+
+class TestGreedyReachBound:
+    def test_single_stride_one(self):
+        # Only +1: reaching distance n-1 takes n-1 hops.
+        assert greedy_reach_bound(10, [1]) == 9
+
+    def test_two_strides_reduce_diameter(self):
+        with_two = greedy_reach_bound(64, [1, 8])
+        assert with_two < greedy_reach_bound(64, [1])
+
+    def test_selected_strides_meet_theorem_bound(self):
+        # Theorem 1: diameter is O(dA * n^(1/dA)).
+        for n, dk in [(64, 2), (64, 3), (128, 4), (256, 4)]:
+            chosen = select_permutations(n, dk, coprime_strides(n))
+            diameter = greedy_reach_bound(n, chosen)
+            bound = 2 * dk * (n ** (1.0 / dk))  # small constant slack
+            assert diameter <= bound, (n, dk, chosen, diameter, bound)
+
+    def test_geometric_beats_clustered_strides(self):
+        # Ablation seed: geometric spacing beats adjacent small strides.
+        n = 128
+        geometric = select_permutations(n, 4, coprime_strides(n))
+        clustered = [1, 3, 5, 7]
+        assert greedy_reach_bound(n, geometric) < greedy_reach_bound(
+            n, clustered
+        )
+
+    def test_non_generating_strides_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_reach_bound(12, [4, 8])  # gcd 4 with 12: cannot reach 1
+
+    def test_requires_nonzero_stride(self):
+        with pytest.raises(ValueError):
+            greedy_reach_bound(12, [12, 24])

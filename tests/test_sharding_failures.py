@@ -1,0 +1,147 @@
+"""Tests for cluster sharding (Appendix C) and failure handling (sec. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology_finder import AllReduceGroup
+from repro.network.sharding import ShardManager, ShardingError
+from repro.parallel.traffic import TrafficSummary
+from repro.sim.failures import FailureManager, LinkFailureError
+from repro.core.topology_finder import topology_finder
+
+
+def dp_traffic(n, total_bytes=1e9):
+    return TrafficSummary(
+        n=n,
+        allreduce_groups=[
+            AllReduceGroup(members=tuple(range(n)), total_bytes=total_bytes)
+        ],
+        mp_matrix=np.zeros((n, n)),
+    )
+
+
+class TestShardManager:
+    def make(self, servers=16, degree=2, lookahead=True):
+        return ShardManager(
+            num_servers=servers,
+            degree=degree,
+            link_bandwidth_bps=25e9,
+            lookahead=lookahead,
+        )
+
+    def test_admission_allocates_disjoint_servers(self):
+        mgr = self.make()
+        shard_a, _ = mgr.admit(dp_traffic(4))
+        shard_b, _ = mgr.admit(dp_traffic(4))
+        assert not set(shard_a.servers) & set(shard_b.servers)
+        assert mgr.free_servers == 8
+
+    def test_capacity_enforced(self):
+        mgr = self.make(servers=8)
+        mgr.admit(dp_traffic(6))
+        with pytest.raises(ShardingError):
+            mgr.admit(dp_traffic(4))
+
+    def test_release_returns_servers(self):
+        mgr = self.make()
+        shard, _ = mgr.admit(dp_traffic(8))
+        mgr.release(shard.job_id)
+        assert mgr.free_servers == 16
+        with pytest.raises(KeyError):
+            mgr.shard_of(shard.job_id)
+
+    def test_preprovisioned_admission_is_fast(self):
+        mgr = self.make()
+        robot_latency = mgr.preprovision(dp_traffic(4))
+        _, admit_latency = mgr.admit(dp_traffic(4))
+        # Look-ahead: admission pays the 1x2 flip, not the robot.
+        assert admit_latency < robot_latency
+
+    def test_cold_admission_pays_robot(self):
+        mgr = self.make()
+        _, latency = mgr.admit(dp_traffic(4))
+        panel = mgr._switch.planes[0]
+        assert latency == pytest.approx(panel.reconfiguration_latency_s)
+
+    def test_shard_fabric_uses_global_ids(self):
+        mgr = self.make()
+        mgr.admit(dp_traffic(4))  # occupies servers 0..3
+        shard, _ = mgr.admit(dp_traffic(4))  # gets 4..7
+        for (src, dst) in shard.fabric.capacities():
+            assert src in shard.servers and dst in shard.servers
+
+    def test_jobs_run_on_disjoint_links(self):
+        mgr = self.make()
+        shard_a, _ = mgr.admit(dp_traffic(4))
+        shard_b, _ = mgr.admit(dp_traffic(4))
+        links_a = set(shard_a.fabric.capacities())
+        links_b = set(shard_b.fabric.capacities())
+        assert not links_a & links_b
+
+
+class TestFailureManager:
+    def make_result(self, n=12, d=4):
+        mp = np.zeros((n, n))
+        mp[0, 5] = mp[5, 0] = 1e8
+        group = AllReduceGroup(members=tuple(range(n)), total_bytes=1e9)
+        return topology_finder(n, d, [group], mp)
+
+    def test_single_failure_recoverable(self):
+        manager = FailureManager(self.make_result())
+        action = manager.fail_link(0, 1)
+        assert action.kind == "mp_detour"
+        assert action.detour_path[0] == 0
+        assert action.detour_path[-1] == 1
+        assert action.extra_hops >= 1
+
+    def test_routing_patched_after_failure(self):
+        result = self.make_result()
+        manager = FailureManager(result)
+        manager.fail_link(0, 1)
+        # No routed path crosses the dead link any more.
+        for table in (
+            result.routing.allreduce_paths,
+            result.routing.mp_paths,
+        ):
+            for paths in table.values():
+                for path in paths:
+                    for a, b in zip(path, path[1:]):
+                        assert (a, b) != (0, 1)
+
+    def test_ring_remains_logically_complete(self):
+        result = self.make_result()
+        manager = FailureManager(result)
+        manager.fail_link(0, 1)
+        assert manager.ring_still_complete(tuple(range(12)))
+
+    def test_slowdown_bounded_by_detour(self):
+        result = self.make_result()
+        manager = FailureManager(result)
+        action = manager.fail_link(0, 1)
+        slow = manager.slowdown_factor(tuple(range(12)))
+        assert 1.0 <= slow <= action.extra_hops + 1
+
+    def test_permanent_repair_restores_routing(self):
+        result = self.make_result()
+        manager = FailureManager(result)
+        manager.fail_link(0, 1)
+        manager.repair_permanently(0, 1)
+        assert manager.slowdown_factor(tuple(range(12))) == 1.0
+
+    def test_double_failure_rejected(self):
+        manager = FailureManager(self.make_result())
+        manager.fail_link(0, 1)
+        with pytest.raises(ValueError):
+            manager.fail_link(0, 1)
+
+    def test_missing_link_rejected(self):
+        manager = FailureManager(self.make_result())
+        with pytest.raises(ValueError):
+            manager.fail_link(0, 6) if not manager.result.topology.has_link(
+                0, 6
+            ) else manager.fail_link(99, 0)
+
+    def test_repair_unfailed_rejected(self):
+        manager = FailureManager(self.make_result())
+        with pytest.raises(ValueError):
+            manager.repair_permanently(0, 1)

@@ -1,0 +1,143 @@
+"""Unit tests for parallelization strategies and placements."""
+
+import pytest
+
+from repro.models import build_dlrm, build_vgg
+from repro.parallel.strategy import (
+    LayerPlacement,
+    ParallelizationStrategy,
+    PlacementKind,
+    all_sharded_strategy,
+    data_parallel_strategy,
+    hybrid_strategy,
+)
+
+
+class TestLayerPlacement:
+    def test_model_parallel_needs_owner(self):
+        with pytest.raises(ValueError):
+            LayerPlacement(PlacementKind.MODEL_PARALLEL, ())
+
+    def test_duplicate_servers_rejected(self):
+        with pytest.raises(ValueError):
+            LayerPlacement(PlacementKind.DATA_PARALLEL, (0, 0))
+
+    def test_sharded_needs_no_servers(self):
+        placement = LayerPlacement(PlacementKind.SHARDED)
+        assert placement.servers == ()
+
+
+class TestStrategyValidation:
+    def test_out_of_range_server_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelizationStrategy(
+                4,
+                {
+                    "l": LayerPlacement(
+                        PlacementKind.MODEL_PARALLEL, (7,)
+                    )
+                },
+            )
+
+    def test_validate_against_detects_missing(self):
+        model = build_vgg(16)
+        strategy = ParallelizationStrategy(4, {})
+        with pytest.raises(ValueError):
+            strategy.validate_against(model)
+
+    def test_validate_against_detects_extra(self):
+        model = build_vgg(16)
+        strategy = data_parallel_strategy(model, 4)
+        extra = strategy.with_placement(
+            "ghost", LayerPlacement(PlacementKind.DATA_PARALLEL, (0, 1))
+        )
+        with pytest.raises(ValueError):
+            extra.validate_against(model)
+
+    def test_placement_lookup_missing_raises(self):
+        strategy = ParallelizationStrategy(4, {})
+        with pytest.raises(KeyError):
+            strategy.placement("x")
+
+
+class TestDataParallel:
+    def test_covers_all_layers(self):
+        model = build_vgg(16)
+        strategy = data_parallel_strategy(model, 8)
+        strategy.validate_against(model)
+        assert strategy.is_pure_data_parallel()
+
+    def test_all_servers_replicate(self):
+        model = build_vgg(16)
+        strategy = data_parallel_strategy(model, 8)
+        for layer in model.layers:
+            assert strategy.placement(layer.name).servers == tuple(range(8))
+
+
+class TestHybrid:
+    def test_embeddings_become_model_parallel(self):
+        model = build_dlrm(num_embedding_tables=4, embedding_rows=1000)
+        strategy = hybrid_strategy(model, 16)
+        owners = strategy.mp_owner_servers()
+        assert len(owners) == 4
+        assert not strategy.is_pure_data_parallel()
+
+    def test_owner_spacing_spreads(self):
+        # Default placement spreads owners (the paper's E0->S0, E1->S3...).
+        model = build_dlrm(num_embedding_tables=4, embedding_rows=1000)
+        strategy = hybrid_strategy(model, 16)
+        owners = sorted(
+            servers[0] for servers in strategy.mp_owner_servers().values()
+        )
+        assert owners == [0, 4, 8, 12]
+
+    def test_explicit_owners_respected(self):
+        model = build_dlrm(num_embedding_tables=4, embedding_rows=1000)
+        names = [l.name for l in model.embedding_layers]
+        owners = {names[0]: 0, names[1]: 3, names[2]: 8, names[3]: 13}
+        strategy = hybrid_strategy(model, 16, embedding_owners=owners)
+        placed = strategy.mp_owner_servers()
+        assert placed[names[1]] == (3,)
+        assert placed[names[3]] == (13,)
+
+    def test_sharded_subset(self):
+        model = build_dlrm(num_embedding_tables=4, embedding_rows=1000)
+        names = [l.name for l in model.embedding_layers]
+        strategy = hybrid_strategy(
+            model, 8, sharded_embeddings=[names[0]]
+        )
+        assert (
+            strategy.placement(names[0]).kind == PlacementKind.SHARDED
+        )
+        assert (
+            strategy.placement(names[1]).kind
+            == PlacementKind.MODEL_PARALLEL
+        )
+
+    def test_no_embeddings_degenerates_to_dp(self):
+        model = build_vgg(16)
+        strategy = hybrid_strategy(model, 8)
+        assert strategy.is_pure_data_parallel()
+
+
+class TestAllSharded:
+    def test_every_table_sharded(self):
+        model = build_dlrm(num_embedding_tables=6, embedding_rows=1000)
+        strategy = all_sharded_strategy(model, 8)
+        for layer in model.embedding_layers:
+            assert (
+                strategy.placement(layer.name).kind == PlacementKind.SHARDED
+            )
+
+
+class TestWithPlacement:
+    def test_returns_new_strategy(self):
+        model = build_dlrm(num_embedding_tables=2, embedding_rows=1000)
+        strategy = hybrid_strategy(model, 4)
+        name = model.embedding_layers[0].name
+        updated = strategy.with_placement(
+            name, LayerPlacement(PlacementKind.MODEL_PARALLEL, (2,))
+        )
+        assert updated is not strategy
+        assert updated.placement(name).servers == (2,)
+        assert strategy.placement(name).servers != (2,)

@@ -1,0 +1,118 @@
+"""Unit tests for the iteration task graph."""
+
+import pytest
+
+from repro.models import build_dlrm, build_vgg
+from repro.parallel.strategy import data_parallel_strategy, hybrid_strategy
+from repro.parallel.taskgraph import build_iteration_plan
+
+
+def small_dlrm():
+    return build_dlrm(
+        num_embedding_tables=4,
+        embedding_rows=10_000,
+        embedding_dim=64,
+        num_dense_layers=2,
+        dense_layer_size=256,
+        num_feature_layers=2,
+        feature_layer_size=256,
+    )
+
+
+class TestDataParallelPlan:
+    def test_compute_task_per_server(self):
+        model = build_vgg(16)
+        plan = build_iteration_plan(
+            model, data_parallel_strategy(model, 4), batch_per_gpu=8
+        )
+        assert len(plan.compute_tasks) == 4
+
+    def test_balanced_compute(self):
+        model = build_vgg(16)
+        plan = build_iteration_plan(
+            model, data_parallel_strategy(model, 4), batch_per_gpu=8
+        )
+        durations = [t.duration_s for t in plan.compute_tasks]
+        assert max(durations) == pytest.approx(min(durations))
+
+    def test_no_mp_phase(self):
+        model = build_vgg(16)
+        plan = build_iteration_plan(
+            model, data_parallel_strategy(model, 4), batch_per_gpu=8
+        )
+        assert not plan.mp_phase.tasks
+
+    def test_allreduce_ring_task_count(self):
+        model = build_vgg(16)
+        plan = build_iteration_plan(
+            model, data_parallel_strategy(model, 4), batch_per_gpu=8
+        )
+        assert len(plan.allreduce_phase.tasks) == 4  # one per ring edge
+
+    def test_every_server_runs_all_layers(self):
+        model = build_vgg(16)
+        plan = build_iteration_plan(
+            model, data_parallel_strategy(model, 4), batch_per_gpu=8
+        )
+        for task in plan.compute_tasks:
+            assert len(task.layer_names) == len(model.layers)
+
+
+class TestHybridPlan:
+    def test_mp_tasks_created(self):
+        model = small_dlrm()
+        plan = build_iteration_plan(
+            model, hybrid_strategy(model, 8), batch_per_gpu=8
+        )
+        assert plan.mp_phase.tasks
+        assert plan.mp_phase.total_bytes > 0
+
+    def test_embedding_layers_only_on_owners(self):
+        model = small_dlrm()
+        strategy = hybrid_strategy(model, 8)
+        plan = build_iteration_plan(model, strategy, batch_per_gpu=8)
+        owners = {
+            servers[0]
+            for servers in strategy.mp_owner_servers().values()
+        }
+        embedding_names = {l.name for l in model.embedding_layers}
+        for task in plan.compute_tasks:
+            has_embedding = embedding_names & set(task.layer_names)
+            if task.server not in owners:
+                assert not has_embedding
+
+    def test_owner_compute_heavier(self):
+        model = small_dlrm()
+        strategy = hybrid_strategy(model, 8)
+        plan = build_iteration_plan(model, strategy, batch_per_gpu=8)
+        owners = {
+            servers[0]
+            for servers in strategy.mp_owner_servers().values()
+        }
+        owner_time = max(
+            t.duration_s for t in plan.compute_tasks if t.server in owners
+        )
+        other_time = min(
+            t.duration_s
+            for t in plan.compute_tasks
+            if t.server not in owners
+        )
+        assert owner_time >= other_time
+
+    def test_critical_path_is_max(self):
+        model = small_dlrm()
+        plan = build_iteration_plan(
+            model, hybrid_strategy(model, 8), batch_per_gpu=8
+        )
+        assert plan.compute_s == max(
+            t.duration_s for t in plan.compute_tasks
+        )
+
+    def test_traffic_attached(self):
+        model = small_dlrm()
+        plan = build_iteration_plan(
+            model, hybrid_strategy(model, 8), batch_per_gpu=8
+        )
+        assert plan.traffic.total_mp_bytes == pytest.approx(
+            plan.mp_phase.total_bytes
+        )

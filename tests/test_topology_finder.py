@@ -1,0 +1,186 @@
+"""Unit and integration tests for TopologyFinder (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.topology_finder import (
+    AllReduceGroup,
+    _distribute_degree,
+    topology_finder,
+)
+
+
+def full_group(n, size_bytes):
+    return AllReduceGroup(members=tuple(range(n)), total_bytes=size_bytes)
+
+
+def uniform_mp(n, per_pair):
+    matrix = np.full((n, n), float(per_pair))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestAllReduceGroup:
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            AllReduceGroup(members=(0, 0, 1), total_bytes=10)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            AllReduceGroup(members=(0, 1), total_bytes=-1)
+
+    def test_size(self):
+        assert AllReduceGroup(members=(3, 5, 7), total_bytes=1).size == 3
+
+
+class TestDistributeDegree:
+    def test_pure_allreduce_takes_all(self):
+        assert _distribute_degree(4, 100.0, 0.0) == (4, 0)
+
+    def test_pure_mp_still_reserves_one(self):
+        d_ar, d_mp = _distribute_degree(4, 0.0, 100.0)
+        assert d_ar == 1 and d_mp == 3
+
+    def test_no_traffic_defaults_to_allreduce(self):
+        assert _distribute_degree(4, 0.0, 0.0) == (4, 0)
+
+    def test_proportional_split(self):
+        d_ar, d_mp = _distribute_degree(4, 50.0, 50.0)
+        assert d_ar + d_mp == 4
+        assert d_ar == 2
+
+    def test_ceiling_favors_allreduce(self):
+        d_ar, d_mp = _distribute_degree(4, 30.0, 70.0)
+        assert d_ar == 2  # ceil(1.2)
+
+
+class TestPureDataParallel:
+    def test_all_degree_to_rings(self):
+        n, d = 16, 4
+        result = topology_finder(n, d, [full_group(n, 1e9)])
+        assert result.allreduce_degree == d
+        assert result.mp_degree == 0
+        assert len(result.group_plans) == 1
+        assert len(result.group_plans[0].rings) == d
+
+    def test_topology_connected(self):
+        result = topology_finder(16, 4, [full_group(16, 1e9)])
+        assert result.topology.is_strongly_connected()
+
+    def test_rings_use_selected_strides(self):
+        result = topology_finder(16, 3, [full_group(16, 1e9)])
+        plan = result.group_plans[0]
+        assert len(plan.strides) == 3
+        assert plan.strides[0] == 1
+        for stride, ring in zip(plan.strides, plan.rings):
+            # Each ring hop advances by the stride (positions == ids here).
+            assert (ring[1] - ring[0]) % 16 == stride
+
+    def test_degree_budget_respected(self):
+        result = topology_finder(12, 4, [full_group(12, 1e9)])
+        topo = result.topology
+        for node in range(12):
+            assert topo.out_degree(node) <= 4
+            assert topo.in_degree(node) <= 4
+
+
+class TestHybrid:
+    def test_mp_degree_allocated(self):
+        n = 12
+        # MP volume dominates the (tiny) AllReduce volume.
+        result = topology_finder(
+            n, 4, [full_group(n, 1e3)], uniform_mp(n, 1e9)
+        )
+        assert result.mp_degree >= 1
+        assert result.mp_link_counts
+
+    def test_mp_links_bidirectional(self):
+        n = 8
+        result = topology_finder(
+            n, 4, [full_group(n, 1e3)], uniform_mp(n, 1e9)
+        )
+        for (a, b) in result.mp_link_counts:
+            assert result.topology.has_link(a, b)
+            assert result.topology.has_link(b, a)
+
+    def test_hot_pair_gets_direct_link(self):
+        n = 8
+        mp = np.zeros((n, n))
+        mp[2, 5] = mp[5, 2] = 1e9
+        result = topology_finder(n, 2, [full_group(n, 1e3)], mp)
+        assert result.topology.has_link(2, 5)
+
+    def test_small_diameter_from_totient_perms(self):
+        # 64 servers, d = 4 pure DP: diameter well below the +1-only 63.
+        result = topology_finder(64, 4, [full_group(64, 1e9)])
+        assert result.topology.diameter() <= 12
+
+
+class TestSubsetGroups:
+    def test_two_disjoint_groups(self):
+        g1 = AllReduceGroup(members=tuple(range(0, 8)), total_bytes=1e9)
+        g2 = AllReduceGroup(members=tuple(range(8, 16)), total_bytes=1e9)
+        result = topology_finder(16, 4, [g1, g2])
+        # Both groups got at least one ring.
+        ringed = [p for p in result.group_plans if p.rings]
+        assert len(ringed) == 2
+        assert result.topology.is_strongly_connected()
+
+    def test_tiny_group_skipped(self):
+        g1 = full_group(8, 1e9)
+        g2 = AllReduceGroup(members=(3,), total_bytes=1e9)
+        result = topology_finder(8, 4, [g1, g2])
+        assert all(p.group.size >= 2 for p in result.group_plans)
+
+
+class TestRouting:
+    def test_allreduce_paths_within_group(self):
+        n = 12
+        result = topology_finder(n, 4, [full_group(n, 1e9)])
+        paths = result.routing.paths_for(0, 7, "allreduce")
+        assert paths
+        for path in paths:
+            assert path[0] == 0 and path[-1] == 7
+
+    def test_allreduce_paths_use_physical_links(self):
+        n = 12
+        result = topology_finder(n, 4, [full_group(n, 1e9)])
+        for (src, dst), paths in result.routing.allreduce_paths.items():
+            for path in paths:
+                for a, b in zip(path, path[1:]):
+                    assert result.topology.has_link(a, b)
+
+    def test_mp_paths_exist_for_demands(self):
+        n = 8
+        mp = uniform_mp(n, 1e6)
+        result = topology_finder(n, 4, [full_group(n, 1e9)], mp)
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    assert result.routing.paths_for(src, dst, "mp")
+
+    def test_mp_paths_are_minimum_hop(self):
+        n = 8
+        mp = uniform_mp(n, 1e6)
+        result = topology_finder(n, 4, [full_group(n, 1e9)], mp)
+        for (src, dst), paths in result.routing.mp_paths.items():
+            shortest = result.topology.shortest_path(src, dst)
+            assert all(len(p) == len(shortest) for p in paths)
+
+
+class TestValidation:
+    def test_wrong_mp_shape_rejected(self):
+        with pytest.raises(ValueError):
+            topology_finder(8, 4, [full_group(8, 1)], np.zeros((4, 4)))
+
+    def test_primes_only_mode(self):
+        result = topology_finder(
+            16, 4, [full_group(16, 1e9)], primes_only=True
+        )
+        for plan in result.group_plans:
+            for stride in plan.strides:
+                assert stride == 1 or _is_prime(stride)
+
+
+def _is_prime(p):
+    return p >= 2 and all(p % q != 0 for q in range(2, int(p ** 0.5) + 1))

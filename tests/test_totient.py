@@ -1,0 +1,163 @@
+"""Unit tests for TotientPerms (Algorithm 2 / Theorem 2)."""
+
+import math
+
+import pytest
+
+from repro.core.totient import (
+    coprime_strides,
+    euler_phi,
+    prime_strides,
+    ring_edges,
+    ring_permutation,
+    strides_are_distinct_rings,
+    totient_perms,
+)
+
+
+class TestEulerPhi:
+    def test_phi_of_one(self):
+        assert euler_phi(1) == 1
+
+    def test_phi_of_prime(self):
+        assert euler_phi(13) == 12
+
+    def test_phi_of_prime_power(self):
+        assert euler_phi(8) == 4  # 2^3 -> 8 * (1 - 1/2)
+
+    def test_phi_of_composite(self):
+        assert euler_phi(12) == 4  # {1, 5, 7, 11}
+
+    def test_phi_multiplicative_for_coprimes(self):
+        assert euler_phi(3 * 5) == euler_phi(3) * euler_phi(5)
+
+    def test_phi_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            euler_phi(0)
+        with pytest.raises(ValueError):
+            euler_phi(-4)
+
+    def test_phi_matches_definition_up_to_60(self):
+        for n in range(1, 61):
+            brute = sum(1 for k in range(1, n + 1) if math.gcd(k, n) == 1)
+            assert euler_phi(n) == brute
+
+
+class TestCoprimeStrides:
+    def test_paper_example_n12(self):
+        # Section 4.3: for n = 12, p = 1, 5, 7, 11 generate distinct rings.
+        assert coprime_strides(12) == [1, 5, 7, 11]
+
+    def test_count_equals_phi(self):
+        for n in range(2, 40):
+            assert len(coprime_strides(n)) == euler_phi(n)
+
+    def test_all_coprime(self):
+        for p in coprime_strides(30):
+            assert math.gcd(p, 30) == 1
+
+    def test_stride_one_always_valid(self):
+        for n in range(2, 20):
+            assert 1 in coprime_strides(n)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            coprime_strides(0)
+
+
+class TestPrimeStrides:
+    def test_keeps_one(self):
+        assert 1 in prime_strides(16)
+
+    def test_subset_of_coprime(self):
+        for n in (10, 16, 24, 30):
+            assert set(prime_strides(n)) <= set(coprime_strides(n))
+
+    def test_only_primes_beyond_one(self):
+        for p in prime_strides(100):
+            if p > 1:
+                assert all(p % q != 0 for q in range(2, int(p ** 0.5) + 1))
+
+    def test_excludes_composite_coprimes(self):
+        # 9 is co-prime with 16 but composite.
+        assert 9 not in prime_strides(16)
+        assert 9 in coprime_strides(16)
+
+
+class TestRingPermutation:
+    def test_identity_stride(self):
+        group = [10, 11, 12, 13]
+        assert ring_permutation(group, 1) == [10, 11, 12, 13]
+
+    def test_plus_three_over_sixteen(self):
+        # Figure 7b: the "+3" permutation on 16 servers.
+        order = ring_permutation(list(range(16)), 3)
+        assert order[:6] == [0, 3, 6, 9, 12, 15]
+        assert len(set(order)) == 16
+
+    def test_visits_every_server_once(self):
+        group = list(range(15))
+        for stride in coprime_strides(15):
+            order = ring_permutation(group, stride)
+            assert sorted(order) == group
+
+    def test_non_coprime_stride_rejected(self):
+        with pytest.raises(ValueError):
+            ring_permutation(list(range(12)), 4)
+
+    def test_too_small_group_rejected(self):
+        with pytest.raises(ValueError):
+            ring_permutation([5], 1)
+
+    def test_arbitrary_server_ids(self):
+        group = [3, 8, 13, 42, 99]
+        order = ring_permutation(group, 2)
+        assert order == [3, 13, 99, 8, 42]
+
+
+class TestRingEdges:
+    def test_edge_count_equals_group_size(self):
+        edges = ring_edges(list(range(9)), 2)
+        assert len(edges) == 9
+
+    def test_edges_form_single_cycle(self):
+        edges = ring_edges(list(range(10)), 3)
+        succ = dict(edges)
+        node = 0
+        seen = set()
+        for _ in range(10):
+            seen.add(node)
+            node = succ[node]
+        assert node == 0 and len(seen) == 10
+
+    def test_unique_edge_per_stride(self):
+        # Theorem 2: stride p's ring contains (0, p), no other's does.
+        n = 14
+        for p in coprime_strides(n):
+            assert (0, p) in ring_edges(list(range(n)), p)
+
+
+class TestTotientPerms:
+    def test_small_group_returns_empty(self):
+        assert totient_perms([7]) == {}
+
+    def test_keys_are_coprime_strides(self):
+        perms = totient_perms(list(range(12)))
+        assert sorted(perms) == [1, 5, 7, 11]
+
+    def test_primes_only_filters(self):
+        perms = totient_perms(list(range(16)), primes_only=True)
+        assert all(p == 1 or _is_prime(p) for p in perms)
+
+    def test_each_value_is_a_permutation(self):
+        group = list(range(11))
+        for order in totient_perms(group).values():
+            assert sorted(order) == group
+
+    def test_distinct_rings_small_sizes(self):
+        for k in range(2, 30):
+            assert strides_are_distinct_rings(k)
+
+
+def _is_prime(p):
+    return p >= 2 and all(p % q != 0 for q in range(2, int(p ** 0.5) + 1))

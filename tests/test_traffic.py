@@ -1,0 +1,182 @@
+"""Unit tests for traffic extraction (Figures 1/8/9 accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_dlrm, build_vgg
+from repro.parallel.strategy import (
+    all_sharded_strategy,
+    data_parallel_strategy,
+    hybrid_strategy,
+)
+from repro.parallel.traffic import (
+    alltoall_to_allreduce_ratio,
+    extract_traffic,
+)
+
+GB = 1e9
+
+
+def paper_dlrm():
+    """The section 2.1 example: 4 tables of 512 x 1e7, 16 servers."""
+    return build_dlrm(
+        num_embedding_tables=4,
+        embedding_dim=512,
+        embedding_rows=10_000_000,
+        num_dense_layers=2,
+        dense_layer_size=512,
+        num_feature_layers=2,
+        feature_layer_size=512,
+    )
+
+
+class TestDataParallelTraffic:
+    def test_single_group_all_servers(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 8), batch_per_gpu=8
+        )
+        assert len(traffic.allreduce_groups) == 1
+        assert traffic.allreduce_groups[0].members == tuple(range(8))
+
+    def test_group_bytes_equal_model_params(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 8), batch_per_gpu=8
+        )
+        assert traffic.total_allreduce_bytes == pytest.approx(
+            model.total_params_bytes
+        )
+
+    def test_no_mp_traffic(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 8), batch_per_gpu=8
+        )
+        assert traffic.total_mp_bytes == 0.0
+
+    def test_figure_1a_pure_dp_dlrm(self):
+        # Figure 1a: pure data parallelism on the 22 GB DLRM produces
+        # ~44 GB ring-AllReduce transfers (2 (k-1)/k S with 8B params;
+        # 4B params here give half of each).
+        model = paper_dlrm()
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 16), batch_per_gpu=8
+        )
+        heatmap = traffic.heatmap()
+        per_edge = heatmap.max()
+        expected = 2.0 * 15 / 16 * model.total_params_bytes
+        assert per_edge == pytest.approx(expected, rel=1e-6)
+        assert per_edge > 15 * GB  # "44 GB" at 8B/param = ~19 GB at 4B
+
+
+class TestHybridTraffic:
+    def test_figure_1b_max_transfer_drops(self):
+        # Figure 1b: hybrid parallelism cuts the max transfer ~10x.
+        model = paper_dlrm()
+        dp = extract_traffic(
+            model, data_parallel_strategy(model, 16), batch_per_gpu=8
+        )
+        hybrid = extract_traffic(
+            model, hybrid_strategy(model, 16), batch_per_gpu=8
+        )
+        assert hybrid.max_transfer_bytes() < dp.max_transfer_bytes() / 5
+
+    def test_mp_bytes_match_paper_formula(self):
+        # Appendix D: per-worker MP transfer = batch/server x act bytes.
+        model = paper_dlrm()
+        names = [l.name for l in model.embedding_layers]
+        strategy = hybrid_strategy(
+            model, 16, embedding_owners={n: i for i, n in enumerate(names)}
+        )
+        batch_per_gpu, gpus = 8, 4
+        traffic = extract_traffic(model, strategy, batch_per_gpu, gpus)
+        act = model.embedding_layers[0].activation_bytes_per_sample
+        expected_per_worker = act * batch_per_gpu * gpus
+        # Owner 0 holds table 0: it sends that much to each other server.
+        assert traffic.mp_matrix[0, 5] == pytest.approx(expected_per_worker)
+
+    def test_mp_symmetric_forward_backward(self):
+        model = paper_dlrm()
+        traffic = extract_traffic(
+            model, hybrid_strategy(model, 16), batch_per_gpu=8
+        )
+        assert np.allclose(traffic.mp_matrix, traffic.mp_matrix.T)
+
+    def test_dense_params_still_allreduced(self):
+        model = paper_dlrm()
+        traffic = extract_traffic(
+            model, hybrid_strategy(model, 16), batch_per_gpu=8
+        )
+        assert traffic.total_allreduce_bytes == pytest.approx(
+            model.dense_params_bytes
+        )
+
+
+class TestShardedTraffic:
+    def test_all_to_all_pattern(self):
+        model = build_dlrm(num_embedding_tables=4, embedding_rows=1000)
+        traffic = extract_traffic(
+            model, all_sharded_strategy(model, 8), batch_per_gpu=4
+        )
+        off_diagonal = traffic.mp_matrix[~np.eye(8, dtype=bool)]
+        assert (off_diagonal > 0).all()
+        # Uniform all-to-all.
+        assert off_diagonal.max() == pytest.approx(off_diagonal.min())
+
+    def test_ratio_grows_with_batch(self):
+        # Figure 12's top axis: all-to-all share grows linearly in batch.
+        model = build_dlrm(num_embedding_tables=8, embedding_rows=10_000)
+        strategy = all_sharded_strategy(model, 8)
+        small = alltoall_to_allreduce_ratio(
+            extract_traffic(model, strategy, batch_per_gpu=16)
+        )
+        large = alltoall_to_allreduce_ratio(
+            extract_traffic(model, strategy, batch_per_gpu=64)
+        )
+        assert large == pytest.approx(4 * small, rel=1e-6)
+
+
+class TestHeatmaps:
+    def test_heatmap_diagonal_pattern_stride1(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 8), batch_per_gpu=8
+        )
+        heatmap = traffic.heatmap()
+        for i in range(8):
+            assert heatmap[i, (i + 1) % 8] > 0
+
+    def test_heatmap_stride_permutation_moves_diagonal(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 8), batch_per_gpu=8
+        )
+        h1 = traffic.heatmap(strides=[1])
+        h3 = traffic.heatmap(strides=[3])
+        assert h1[0, 1] > 0 and h3[0, 1] == 0
+        assert h3[0, 3] > 0
+        assert h1.sum() == pytest.approx(h3.sum())
+
+    def test_multi_stride_load_balances(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(
+            model, data_parallel_strategy(model, 16), batch_per_gpu=8
+        )
+        single = traffic.heatmap(strides=[1])
+        multi = traffic.heatmap(strides=[1, 3, 7])
+        assert multi.max() == pytest.approx(single.max() / 3)
+
+
+class TestValidation:
+    def test_strategy_model_mismatch_rejected(self):
+        model_a = build_vgg(16)
+        model_b = build_vgg(19)
+        strategy = data_parallel_strategy(model_a, 4)
+        with pytest.raises(ValueError):
+            extract_traffic(model_b, strategy, batch_per_gpu=4)
+
+    def test_default_batch_used(self):
+        model = build_vgg(16)
+        traffic = extract_traffic(model, data_parallel_strategy(model, 4))
+        assert traffic.total_allreduce_bytes > 0
