@@ -1,0 +1,49 @@
+"""Micro-benchmarks for the vectorized kernel layer (perf trajectory).
+
+Compares the retained seed implementations against the vectorized
+kernels on identical inputs across n in {16, 64, 128}:
+
+- phase simulation (uniform all-to-all ECMP flows, makespan checked
+  to agree between the two implementations),
+- all-pairs ECMP routing construction,
+- routing-LP constraint assembly (dense vs scipy.sparse).
+
+Writes ``BENCH_kernels.json`` at the repo root (and a text table under
+``benchmarks/results/``) so future PRs can track the perf trajectory.
+Acceptance targets: >=5x on the 64-server all-to-all phase simulation
+and >=5x on routing construction at n=128.
+"""
+
+from pathlib import Path
+
+from benchmarks.harness import emit
+from repro.perf.bench import (
+    FULL_SIZES,
+    format_results,
+    run_benchmarks,
+    write_results,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_kernels.json"
+
+
+def main() -> None:
+    results = run_benchmarks(FULL_SIZES)
+    write_results(results, str(BENCH_JSON))
+    lines = format_results(results)
+    lines.append(f"results written to {BENCH_JSON}")
+    emit("BENCH_kernels", lines)
+    phase = results["phase_sim"]["n=64"]["speedup"]
+    routing = results["routing"]["n=128"]["speedup"]
+    assert phase >= 5.0, f"phase_sim n=64 speedup {phase}x < 5x"
+    assert routing >= 5.0, f"routing n=128 speedup {routing}x < 5x"
+    assert results["phase_sim"]["n=64"]["makespan_rel_err"] < 1e-6
+
+
+def test_bench_perf_kernels():
+    main()
+
+
+if __name__ == "__main__":
+    main()

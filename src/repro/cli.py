@@ -10,13 +10,17 @@ matchings, diameter), the routing summary, and the simulated iteration
 time against the Ideal Switch and cost-equivalent Fat-tree baselines --
 the workflow a cluster operator would run before submitting a job to a
 TopoOpt fabric.
+
+``python -m repro.cli bench-smoke`` instead runs the kernel
+micro-benchmarks at reduced sizes (<60 s) as a pre-merge perf sanity
+check; see ``benchmarks/bench_perf_kernels.py`` for the full sweep.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.alternating import AlternatingOptimizer
 from repro.models.configs import SIMULATION_CONFIGS, build_model
@@ -38,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "TopoOpt co-optimization: find a topology + parallelization "
             "strategy for one training job and compare fabrics"
+        ),
+        epilog=(
+            "Perf tooling: 'repro bench-smoke [--json PATH]' runs the "
+            "vectorized-kernel micro-benchmarks at smoke scale (<60 s) "
+            "as a pre-merge perf sanity check."
         ),
     )
     parser.add_argument(
@@ -68,7 +77,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def bench_smoke(argv: Sequence[str] = ()) -> int:
+    """Run the kernel micro-benchmarks at smoke scale (<60 s).
+
+    A pre-merge perf sanity check: prints reference-vs-vectorized
+    timings for phase simulation, routing construction, and LP assembly
+    and fails (exit 1) if the vectorized kernels have regressed to
+    slower than the retained seed implementations at n=64.
+    """
+    from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
+
+    parser = argparse.ArgumentParser(prog="repro bench-smoke")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the results tree to PATH as JSON",
+    )
+    args = parser.parse_args(list(argv))
+    results = run_benchmarks(SMOKE_SIZES)
+    for line in format_results(results):
+        print(line)
+    if args.json:
+        from repro.perf.bench import write_results
+
+        write_results(results, args.json)
+        print(f"results written to {args.json}")
+    gate_key = f"n={max(SMOKE_SIZES)}"
+    regressed = [
+        scenario
+        for scenario in ("phase_sim", "routing")
+        if results[scenario][gate_key]["speedup"] < 1.0
+    ]
+    if regressed:
+        print(f"PERF REGRESSION: {', '.join(regressed)} slower than the "
+              f"seed implementation at {gate_key}", file=sys.stderr)
+        return 1
+    print("bench-smoke ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-smoke":
+        return bench_smoke(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         model = build_model(args.model, scale=args.scale)

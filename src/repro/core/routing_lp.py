@@ -15,8 +15,11 @@ implements it:
 
 over a candidate path set (all minimum-hop paths plus optional longer
 alternates), solved with :func:`scipy.optimize.linprog` (HiGHS).  The
-result is a fractional path split per pair that the fluid simulator can
-consume directly.
+constraint matrices are assembled as ``scipy.sparse`` COO/CSR matrices
+-- each path touches only its own links and its pair's equality row, so
+the dense formulation wasted O(pairs * links * paths) zeros and stopped
+scaling past a few hundred pairs.  The result is a fractional path
+split per pair that the fluid simulator can consume directly.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
+from scipy import sparse
 from scipy.optimize import linprog
 
 Link = Tuple[int, int]
@@ -74,6 +78,70 @@ class LpRoutingResult:
         }
 
 
+def assemble_lp_constraints(
+    volumes: Sequence[float],
+    paths: Sequence[Sequence[Sequence[int]]],
+    capacities: Dict[Link, float],
+) -> Tuple[
+    sparse.csr_matrix, np.ndarray, sparse.csr_matrix, np.ndarray, List[int], int
+]:
+    """Assemble the LP's sparse constraint matrices.
+
+    Variable layout is ``[x_0 ... x_{P-1}, t]`` where each demand pair
+    owns a contiguous block of path-fraction variables.  Returns
+    ``(a_eq, b_eq, a_ub, b_ub, var_offsets, t_index)``.  Shared by
+    :func:`optimize_routing` and the kernel micro-benchmarks so the
+    benchmarked assembly is exactly the production code path.
+    """
+    link_index = {link: i for i, link in enumerate(capacities)}
+    num_links = len(link_index)
+
+    var_offsets: List[int] = []
+    total_vars = 0
+    for candidates in paths:
+        var_offsets.append(total_vars)
+        total_vars += len(candidates)
+    t_index = total_vars
+    total_vars += 1
+
+    # Equality: per-pair fractions sum to 1 (one sparse entry per path).
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    for row, (offset, candidates) in enumerate(zip(var_offsets, paths)):
+        eq_rows.extend([row] * len(candidates))
+        eq_cols.extend(range(offset, offset + len(candidates)))
+    a_eq = sparse.csr_matrix(
+        (np.ones(len(eq_rows)), (eq_rows, eq_cols)),
+        shape=(len(paths), total_vars),
+    )
+    b_eq = np.ones(len(paths))
+
+    # Inequality: per-link load / capacity - t <= 0.  Entries only where
+    # a candidate path actually crosses a link.
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    for volume, offset, candidates in zip(volumes, var_offsets, paths):
+        for path_idx, path in enumerate(candidates):
+            for a, b in zip(path, path[1:]):
+                link = (a, b)
+                if link not in link_index:
+                    raise ValueError(
+                        f"candidate path {path} uses unknown link {link}"
+                    )
+                ub_rows.append(link_index[link])
+                ub_cols.append(offset + path_idx)
+                ub_vals.append(volume / capacities[link])
+    ub_rows.extend(range(num_links))
+    ub_cols.extend([t_index] * num_links)
+    ub_vals.extend([-1.0] * num_links)
+    a_ub = sparse.csr_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(num_links, total_vars)
+    )
+    b_ub = np.zeros(num_links)
+    return a_eq, b_eq, a_ub, b_ub, var_offsets, t_index
+
+
 def optimize_routing(
     demand: np.ndarray,
     capacities: Dict[Link, float],
@@ -116,41 +184,11 @@ def optimize_routing(
     if not pairs:
         return LpRoutingResult(splits={}, max_utilization=0.0)
 
-    link_index = {link: i for i, link in enumerate(capacities)}
-    num_links = len(link_index)
-
-    # Variable layout: [x_0 ... x_{P-1}, t]
-    var_offsets = []
-    total_vars = 0
-    for candidates in paths:
-        var_offsets.append(total_vars)
-        total_vars += len(candidates)
-    t_index = total_vars
-    total_vars += 1
-
-    # Equality: per-pair fractions sum to 1.
-    a_eq = np.zeros((len(pairs), total_vars))
-    b_eq = np.ones(len(pairs))
-    for row, (offset, candidates) in enumerate(zip(var_offsets, paths)):
-        a_eq[row, offset: offset + len(candidates)] = 1.0
-
-    # Inequality: per-link load / capacity - t <= 0.
-    a_ub = np.zeros((num_links, total_vars))
-    b_ub = np.zeros(num_links)
-    for pair_idx, (pair, candidates) in enumerate(zip(pairs, paths)):
-        volume = float(demand[pair])
-        offset = var_offsets[pair_idx]
-        for path_idx, path in enumerate(candidates):
-            for a, b in zip(path, path[1:]):
-                link = (a, b)
-                if link not in link_index:
-                    raise ValueError(
-                        f"candidate path {path} uses unknown link {link}"
-                    )
-                a_ub[link_index[link], offset + path_idx] += (
-                    volume / capacities[link]
-                )
-    a_ub[:, t_index] = -1.0
+    volumes = [float(demand[pair]) for pair in pairs]
+    a_eq, b_eq, a_ub, b_ub, var_offsets, t_index = assemble_lp_constraints(
+        volumes, paths, capacities
+    )
+    total_vars = t_index + 1
 
     cost = np.zeros(total_vars)
     cost[t_index] = 1.0
@@ -171,17 +209,36 @@ def optimize_routing(
     splits: Dict[Pair, List[Tuple[List[int], float]]] = {}
     for pair_idx, (pair, candidates) in enumerate(zip(pairs, paths)):
         offset = var_offsets[pair_idx]
-        entries = []
-        for path_idx, path in enumerate(candidates):
-            weight = float(solution.x[offset + path_idx])
-            if weight > 1e-9:
-                entries.append((path, weight))
-        # Renormalize away solver epsilon.
-        total = sum(w for _, w in entries)
-        splits[pair] = [(p, w / total) for p, w in entries]
+        weights = [
+            float(solution.x[offset + path_idx])
+            for path_idx in range(len(candidates))
+        ]
+        splits[pair] = _normalize_splits(candidates, weights)
     return LpRoutingResult(
         splits=splits, max_utilization=float(solution.x[t_index])
     )
+
+
+def _normalize_splits(
+    candidates: Sequence[List[int]], weights: Sequence[float]
+) -> List[Tuple[List[int], float]]:
+    """Renormalize solver weights away from epsilon noise.
+
+    When the solver rounds *all* of a pair's path weights below 1e-9
+    (degenerate vertices can smear a pair's unit of flow into noise),
+    fall back to the single highest-weight candidate instead of
+    dividing by zero.
+    """
+    entries = [
+        (path, weight)
+        for path, weight in zip(candidates, weights)
+        if weight > 1e-9
+    ]
+    if not entries:
+        best = int(np.argmax(weights)) if len(weights) else 0
+        return [(candidates[best], 1.0)]
+    total = sum(w for _, w in entries)
+    return [(p, w / total) for p, w in entries]
 
 
 def default_routing_max_utilization(

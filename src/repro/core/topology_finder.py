@@ -302,16 +302,18 @@ def _build_routing(
     # on the *combined* topology for every pair with MP demand, plus a
     # shortest-path default for all pairs so the simulator can always
     # route.  Splitting across the full shortest-path set is what keeps
-    # host-forwarded all-to-all traffic off a single hot relay.
+    # host-forwarded all-to-all traffic off a single hot relay.  Built
+    # as one layered sweep per source off the topology's cached
+    # all-pairs hop counts rather than an independent BFS per pair.
+    has_demand = (mp_traffic > 0).tolist()
     for src in range(n):
-        for dst in range(n):
-            if src == dst:
+        demand_row = has_demand[src]
+        paths_by_dst = topology.min_hop_paths_from(src, mp_path_count)
+        for dst, paths in paths_by_dst.items():
+            if not paths:
                 continue
-            if mp_traffic[src, dst] > 0:
-                paths = topology.all_shortest_paths(src, dst, mp_path_count)
-            else:
-                sp = topology.shortest_path(src, dst)
-                paths = [sp] if sp else []
-            if paths:
+            if demand_row[dst]:
                 routing.mp_paths[(src, dst)] = paths
+            else:
+                routing.mp_paths[(src, dst)] = paths[:1]
     return routing

@@ -10,6 +10,18 @@ connected by several parallel links.
 :class:`DirectConnectTopology` stores that multigraph with per-direction
 link counts, enforces the degree budget, and provides the graph queries
 the optimization core needs (shortest paths, diameter, connectivity).
+
+Graph queries are backed by the vectorized kernel layer
+(:mod:`repro.perf.graph`): a lazily-built CSR adjacency matrix and an
+all-pairs hop-count matrix are cached on the instance and invalidated
+by a version counter that every mutation bumps, so cluster-scale sweeps
+(``diameter``, ``average_path_length``, routing construction) cost one
+C-level BFS sweep instead of ``n`` (or ``n^2``) Python BFS runs.
+In/out-degree counters are maintained incrementally -- ``add_link`` is
+O(1) instead of re-summing a Counter.  The pure-Python per-source BFS
+(:meth:`shortest_path_lengths_from`) is retained as the reference
+implementation for equivalence tests; Yen's k-shortest-paths remains
+pure Python.
 """
 
 from __future__ import annotations
@@ -18,6 +30,11 @@ import heapq
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.perf import graph as graph_kernels
 
 Edge = Tuple[int, int]
 
@@ -73,6 +90,19 @@ class DirectConnectTopology:
         self.enforce_degree = enforce_degree
         self._out: Dict[int, Counter] = {i: Counter() for i in range(n)}
         self._in: Dict[int, Counter] = {i: Counter() for i in range(n)}
+        # Incrementally-maintained degree counters (O(1) queries).
+        self._out_degree: List[int] = [0] * n
+        self._in_degree: List[int] = [0] * n
+        # Mutation stamp; lazily-built caches below are valid only when
+        # their recorded version matches.
+        self._version = 0
+        self._adjacency_cache: Optional[Tuple[int, sparse.csr_matrix]] = None
+        self._hops_cache: Optional[Tuple[int, np.ndarray]] = None
+        self._hops_int_cache: Optional[Tuple[int, List[List[int]]]] = None
+        self._pred_cache: Optional[Tuple[int, List[List[int]]]] = None
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -98,6 +128,9 @@ class DirectConnectTopology:
                 )
         self._out[src][dst] += count
         self._in[dst][src] += count
+        self._out_degree[src] += count
+        self._in_degree[dst] += count
+        self._bump_version()
 
     def add_bidirectional(self, a: int, b: int, count: int = 1) -> None:
         """Add ``count`` links in each direction between a and b."""
@@ -132,18 +165,21 @@ class DirectConnectTopology:
             )
         self._out[src][dst] -= count
         self._in[dst][src] -= count
+        self._out_degree[src] -= count
+        self._in_degree[dst] -= count
         if self._out[src][dst] == 0:
             del self._out[src][dst]
             del self._in[dst][src]
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def out_degree(self, node: int) -> int:
-        return sum(self._out[node].values())
+        return self._out_degree[node]
 
     def in_degree(self, node: int) -> int:
-        return sum(self._in[node].values())
+        return self._in_degree[node]
 
     def free_tx(self, node: int) -> int:
         return self.degree - self.out_degree(node)
@@ -179,6 +215,8 @@ class DirectConnectTopology:
         for src, dst, count in self.edges():
             clone._out[src][dst] = count
             clone._in[dst][src] = count
+            clone._out_degree[src] += count
+            clone._in_degree[dst] += count
         return clone
 
     def capacity_map(self, link_bandwidth_bps: float) -> LinkCapacityMap:
@@ -186,6 +224,91 @@ class DirectConnectTopology:
         return LinkCapacityMap(
             link_bandwidth_bps=link_bandwidth_bps,
             multiplicity={(s, d): c for s, d, c in self.edges()},
+        )
+
+    # ------------------------------------------------------------------
+    # Cached array views (kernel layer)
+    # ------------------------------------------------------------------
+    def adjacency(self) -> sparse.csr_matrix:
+        """CSR adjacency matrix (entries are link multiplicities).
+
+        Lazily built and cached; any mutation invalidates the cache via
+        the version counter.
+        """
+        if (
+            self._adjacency_cache is not None
+            and self._adjacency_cache[0] == self._version
+        ):
+            return self._adjacency_cache[1]
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[int] = []
+        for src, dst, count in self.edges():
+            rows.append(src)
+            cols.append(dst)
+            data.append(count)
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self.n, self.n), dtype=np.int64
+        )
+        self._adjacency_cache = (self._version, matrix)
+        return matrix
+
+    def all_pairs_hop_counts(self) -> np.ndarray:
+        """``(n, n)`` hop-count matrix (``np.inf`` for unreachable pairs).
+
+        One vectorized BFS sweep (scipy.sparse.csgraph) shared by
+        :meth:`diameter`, :meth:`average_path_length`,
+        :meth:`path_length_distribution`, :meth:`all_shortest_paths`,
+        and the batched routing builder.  Cached until the next
+        mutation.
+        """
+        if (
+            self._hops_cache is not None
+            and self._hops_cache[0] == self._version
+        ):
+            return self._hops_cache[1]
+        hops = graph_kernels.all_pairs_hop_counts(self.adjacency())
+        self._hops_cache = (self._version, hops)
+        return hops
+
+    def _hops_int_rows(self) -> List[List[int]]:
+        """Hop-count rows as plain int lists (fast path enumeration)."""
+        if (
+            self._hops_int_cache is not None
+            and self._hops_int_cache[0] == self._version
+        ):
+            return self._hops_int_cache[1]
+        hops = self.all_pairs_hop_counts()
+        rows = np.where(
+            np.isfinite(hops), hops, graph_kernels.UNREACHABLE
+        ).astype(np.int64).tolist()
+        self._hops_int_cache = (self._version, rows)
+        return rows
+
+    def _pred_lists(self) -> List[List[int]]:
+        """Per-node in-neighbor lists (cached view of ``_in``)."""
+        if (
+            self._pred_cache is not None
+            and self._pred_cache[0] == self._version
+        ):
+            return self._pred_cache[1]
+        preds = [list(self._in[node]) for node in range(self.n)]
+        self._pred_cache = (self._version, preds)
+        return preds
+
+    def min_hop_paths_from(
+        self, src: int, cap: int = 6
+    ) -> Dict[int, List[List[int]]]:
+        """Minimum-hop path sets from ``src`` to every reachable server.
+
+        Batched equivalent of calling :meth:`all_shortest_paths` for
+        each destination: the BFS layering comes from the cached
+        all-pairs matrix, so only the output-bounded path backtracking
+        remains per destination.
+        """
+        self._check_node(src)
+        return graph_kernels.min_hop_paths_from_source(
+            self._hops_int_rows()[src], self._pred_lists(), src, cap
         )
 
     # ------------------------------------------------------------------
@@ -227,9 +350,20 @@ class DirectConnectTopology:
     ) -> List[List[int]]:
         """Up to ``cap`` distinct minimum-hop paths (ECMP path set).
 
-        BFS layering from ``src`` followed by a bounded backtrack from
-        ``dst`` through strictly-decreasing-distance predecessors.
+        The BFS layering comes from the cached all-pairs hop-count
+        matrix; only the bounded backtrack from ``dst`` through
+        strictly-decreasing-distance predecessors runs per call.
         """
+        self._check_node(src)
+        self._check_node(dst)
+        return graph_kernels.enumerate_min_hop_paths(
+            self._hops_int_rows()[src], self._pred_lists(), src, dst, cap
+        )
+
+    def _all_shortest_paths_bfs(
+        self, src: int, dst: int, cap: int = 6
+    ) -> List[List[int]]:
+        """Seed per-pair BFS implementation (reference/benchmark only)."""
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
@@ -311,50 +445,31 @@ class DirectConnectTopology:
         return None
 
     def is_strongly_connected(self) -> bool:
-        if self.n == 1:
-            return True
-        if len(self.shortest_path_lengths_from(0)) < self.n:
-            return False
-        # Reverse reachability: BFS over incoming edges.
-        dist = {0}
-        queue = deque([0])
-        while queue:
-            node = queue.popleft()
-            for nbr in self._in[node]:
-                if nbr not in dist:
-                    dist.add(nbr)
-                    queue.append(nbr)
-        return len(dist) == self.n
+        return graph_kernels.is_strongly_connected(self.adjacency())
+
+    def _finite_hops(self) -> np.ndarray:
+        """All-pairs hop counts; raises if any pair is unreachable."""
+        hops = self.all_pairs_hop_counts()
+        if not np.all(np.isfinite(hops)):
+            raise ValueError("topology is not strongly connected")
+        return hops
 
     def diameter(self) -> int:
         """Longest shortest-path hop count; raises if disconnected."""
-        worst = 0
-        for src in range(self.n):
-            dist = self.shortest_path_lengths_from(src)
-            if len(dist) < self.n:
-                raise ValueError("topology is not strongly connected")
-            worst = max(worst, max(dist.values()))
-        return worst
+        return int(self._finite_hops().max())
 
     def average_path_length(self) -> float:
         """Mean hop count over all ordered server pairs."""
-        total = 0
-        pairs = 0
-        for src in range(self.n):
-            dist = self.shortest_path_lengths_from(src)
-            if len(dist) < self.n:
-                raise ValueError("topology is not strongly connected")
-            total += sum(dist.values())
-            pairs += self.n - 1
-        return total / pairs if pairs else 0.0
+        if self.n < 2:
+            return 0.0
+        return float(self._finite_hops().sum() / (self.n * (self.n - 1)))
 
     def path_length_distribution(self) -> List[int]:
         """Hop counts for every ordered pair of distinct servers."""
-        lengths: List[int] = []
-        for src in range(self.n):
-            dist = self.shortest_path_lengths_from(src)
-            lengths.extend(h for node, h in dist.items() if node != src)
-        return lengths
+        hops = self.all_pairs_hop_counts()
+        off_diagonal = ~np.eye(self.n, dtype=bool)
+        finite = np.isfinite(hops) & off_diagonal
+        return [int(h) for h in hops[finite]]
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,35 @@
+"""Vectorized performance kernels shared by the hot simulation paths.
+
+This package is the array-based kernel layer the rest of the system
+leans on for cluster-scale runs:
+
+- :mod:`repro.perf.fairshare` -- sparse flow--link incidence
+  construction plus a batched progressive-filling solver that computes
+  the max-min fair rate allocation with NumPy/scipy.sparse instead of
+  per-(link, flow) Python loops.
+- :mod:`repro.perf.graph` -- all-pairs hop counts (one C-level BFS
+  sweep per source via ``scipy.sparse.csgraph``), strong-connectivity
+  checks, and min-hop path enumeration from a precomputed distance
+  matrix.
+- :mod:`repro.perf.bench` -- the micro-benchmark runner behind
+  ``benchmarks/bench_perf_kernels.py`` and ``repro.cli bench-smoke``.
+
+Consumers: :mod:`repro.sim.fluid` (rate allocation, phase simulation),
+:mod:`repro.network.topology` (graph queries, routing support), and
+:mod:`repro.core.routing_lp` (sparse LP assembly).
+"""
+
+from repro.perf.fairshare import build_incidence, progressive_filling_rates
+from repro.perf.graph import (
+    all_pairs_hop_counts,
+    enumerate_min_hop_paths,
+    is_strongly_connected,
+)
+
+__all__ = [
+    "build_incidence",
+    "progressive_filling_rates",
+    "all_pairs_hop_counts",
+    "enumerate_min_hop_paths",
+    "is_strongly_connected",
+]

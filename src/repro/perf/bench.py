@@ -1,0 +1,259 @@
+"""Micro-benchmarks for the vectorized kernel layer.
+
+Three scenarios, each comparing the retained seed implementation
+against the vectorized kernel on identical inputs:
+
+- ``phase_sim``: uniform all-to-all ECMP flow set over a TotientPerms-
+  style ring topology, run to completion by
+  :func:`repro.sim.fluid.simulate_phase_reference` (pure Python) and
+  :func:`repro.sim.fluid.simulate_phase` (incidence-matrix kernel).
+- ``routing``: all-pairs minimum-hop ECMP path construction, seed
+  per-pair BFS vs. the batched shortest-path-DAG sweep behind
+  ``DirectConnectTopology.min_hop_paths_from``.
+- ``lp_assembly``: min-max-utilization routing-LP constraint assembly,
+  seed dense ``np.zeros`` formulation vs. the ``scipy.sparse`` COO
+  assembly now used by :func:`repro.core.routing_lp.optimize_routing`.
+
+Used by ``benchmarks/bench_perf_kernels.py`` (full sizes, writes
+``BENCH_kernels.json``) and ``python -m repro.cli bench-smoke`` (quick
+pre-merge sanity check).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.topology import DirectConnectTopology
+from repro.sim.flows import Flow
+from repro.sim.fluid import simulate_phase, simulate_phase_reference
+
+GBPS = 1e9
+
+#: Sizes the full benchmark sweeps (the acceptance targets live at
+#: n=64 for phase simulation and n=128 for routing construction).
+FULL_SIZES = (16, 64, 128)
+SMOKE_SIZES = (16, 64)
+
+
+def ring_topology(n: int, degree: int = 4) -> DirectConnectTopology:
+    """TotientPerms-style fabric: ``degree`` coprime-stride rings."""
+    topo = DirectConnectTopology(n, degree)
+    laid = 0
+    for stride in (1, 3, 5, 7, 9, 11, 13, 17):
+        if laid >= degree:
+            break
+        if np.gcd(stride, n) != 1:
+            continue
+        topo.add_ring([(i * stride) % n for i in range(n)])
+        laid += 1
+    if laid == 0:  # pragma: no cover - n would have to be even & tiny
+        topo.add_ring(list(range(n)))
+    return topo
+
+
+def alltoall_flows(
+    topo: DirectConnectTopology, ecmp_cap: int = 4, bits: float = 1e9
+) -> List[Flow]:
+    """Uniform all-to-all demand split over minimum-hop ECMP paths."""
+    flows: List[Flow] = []
+    for src in range(topo.n):
+        for dst, paths in topo.min_hop_paths_from(src, ecmp_cap).items():
+            share = bits / len(paths)
+            for path in paths:
+                flows.append(Flow(path=tuple(path), size_bits=share))
+    return flows
+
+
+def _record(reference_s: float, vectorized_s: float, **extra) -> Dict:
+    entry = {
+        "reference_s": round(reference_s, 6),
+        "vectorized_s": round(vectorized_s, 6),
+        "speedup": round(reference_s / max(vectorized_s, 1e-12), 2),
+    }
+    entry.update(extra)
+    return entry
+
+
+def bench_phase_sim(n: int, degree: int = 4) -> Dict:
+    """64-server all-to-all phase simulation is the acceptance target."""
+    topo = ring_topology(n, degree)
+    capacities = {
+        (s, d): count * 100 * GBPS for s, d, count in topo.edges()
+    }
+    flows_ref = alltoall_flows(topo)
+    start = time.perf_counter()
+    makespan_ref = simulate_phase_reference(capacities, flows_ref, False)
+    reference_s = time.perf_counter() - start
+    flows_vec = alltoall_flows(topo)
+    start = time.perf_counter()
+    makespan_vec = simulate_phase(capacities, flows_vec, False)
+    vectorized_s = time.perf_counter() - start
+    rel_err = abs(makespan_ref - makespan_vec) / max(makespan_ref, 1e-12)
+    return _record(
+        reference_s,
+        vectorized_s,
+        flows=len(flows_ref),
+        links=len(capacities),
+        makespan_rel_err=float(rel_err),
+    )
+
+
+def bench_routing(n: int, degree: int = 4, ecmp_cap: int = 6) -> Dict:
+    """All-pairs ECMP construction; n=128 is the acceptance target."""
+    topo = ring_topology(n, degree)
+    start = time.perf_counter()
+    reference: Dict[Tuple[int, int], List[List[int]]] = {}
+    for src in range(n):
+        for dst in range(n):
+            if src != dst:
+                reference[(src, dst)] = topo._all_shortest_paths_bfs(
+                    src, dst, ecmp_cap
+                )
+    reference_s = time.perf_counter() - start
+    # Invalidate caches so the batched side pays its full cost too.
+    topo._adjacency_cache = None
+    topo._hops_cache = None
+    topo._hops_int_cache = None
+    topo._pred_cache = None
+    start = time.perf_counter()
+    batched: Dict[Tuple[int, int], List[List[int]]] = {}
+    for src in range(n):
+        for dst, paths in topo.min_hop_paths_from(src, ecmp_cap).items():
+            batched[(src, dst)] = paths
+    vectorized_s = time.perf_counter() - start
+    hop_match = set(reference) == set(batched) and all(
+        len(reference[pair][0]) == len(batched[pair][0])
+        for pair in reference
+        if reference[pair] and batched[pair]
+    )
+    return _record(
+        reference_s,
+        vectorized_s,
+        pairs=len(reference),
+        hop_counts_match=bool(hop_match),
+    )
+
+
+def _dense_lp_assembly(
+    demand: np.ndarray,
+    capacities: Dict[Tuple[int, int], float],
+    pair_paths: Dict[Tuple[int, int], List[List[int]]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seed dense constraint assembly, kept inline for comparison."""
+    pairs = sorted(pair_paths)
+    link_index = {link: i for i, link in enumerate(capacities)}
+    var_offsets = []
+    total_vars = 0
+    for pair in pairs:
+        var_offsets.append(total_vars)
+        total_vars += len(pair_paths[pair])
+    t_index = total_vars
+    total_vars += 1
+    a_eq = np.zeros((len(pairs), total_vars))
+    for row, (pair, offset) in enumerate(zip(pairs, var_offsets)):
+        a_eq[row, offset: offset + len(pair_paths[pair])] = 1.0
+    a_ub = np.zeros((len(link_index), total_vars))
+    for pair, offset in zip(pairs, var_offsets):
+        volume = float(demand[pair])
+        for path_idx, path in enumerate(pair_paths[pair]):
+            for a, b in zip(path, path[1:]):
+                a_ub[link_index[(a, b)], offset + path_idx] += (
+                    volume / capacities[(a, b)]
+                )
+    a_ub[:, t_index] = -1.0
+    return a_eq, a_ub
+
+
+def bench_lp_assembly(
+    n: int, degree: int = 4, ecmp_cap: int = 4, peers: int = 8
+) -> Dict:
+    """Constraint-matrix assembly for the routing LP (dense vs sparse).
+
+    Demand is a ``peers``-regular MP matrix (each server talks to a few
+    power-of-two-offset peers, the paper's typical MP pattern) rather
+    than all-to-all: the dense reference is O(pairs * vars) memory, and
+    at n=128 the all-to-all formulation is a multi-GB allocation -- the
+    exact wall the sparse assembly removes.
+    """
+    from repro.core.routing_lp import assemble_lp_constraints
+
+    topo = ring_topology(n, degree)
+    capacities = {
+        (s, d): count * 100 * GBPS for s, d, count in topo.edges()
+    }
+    demand = np.zeros((n, n))
+    offsets = [1 << k for k in range(peers) if (1 << k) < n]
+    for src in range(n):
+        for off in offsets:
+            demand[src, (src + off) % n] = 1e9
+    pair_paths: Dict[Tuple[int, int], List[List[int]]] = {}
+    for src in range(n):
+        row = demand[src]
+        for dst, paths in topo.min_hop_paths_from(src, ecmp_cap).items():
+            if row[dst] > 0:
+                pair_paths[(src, dst)] = paths
+
+    start = time.perf_counter()
+    a_eq_dense, a_ub_dense = _dense_lp_assembly(demand, capacities, pair_paths)
+    reference_s = time.perf_counter() - start
+
+    pairs = sorted(pair_paths)
+    volumes = [float(demand[pair]) for pair in pairs]
+    paths = [pair_paths[pair] for pair in pairs]
+    start = time.perf_counter()
+    a_eq, _, a_ub, _, _, t_index = assemble_lp_constraints(
+        volumes, paths, capacities
+    )
+    vectorized_s = time.perf_counter() - start
+    eq_match = np.allclose(a_eq.toarray(), a_eq_dense)
+    ub_match = np.allclose(a_ub.toarray(), a_ub_dense)
+    return _record(
+        reference_s,
+        vectorized_s,
+        variables=t_index + 1,
+        matrices_match=bool(eq_match and ub_match),
+    )
+
+
+def run_benchmarks(
+    sizes: Sequence[int] = FULL_SIZES,
+    scenarios: Sequence[str] = ("phase_sim", "routing", "lp_assembly"),
+) -> Dict:
+    """Run the kernel micro-benchmarks and return the results tree."""
+    runners = {
+        "phase_sim": bench_phase_sim,
+        "routing": bench_routing,
+        "lp_assembly": bench_lp_assembly,
+    }
+    results: Dict = {"sizes": list(sizes)}
+    for scenario in scenarios:
+        results[scenario] = {}
+        for n in sizes:
+            results[scenario][f"n={n}"] = runners[scenario](n)
+    return results
+
+
+def format_results(results: Dict) -> List[str]:
+    lines = ["kernel micro-benchmarks (reference vs vectorized)", ""]
+    for scenario, per_size in results.items():
+        if scenario == "sizes":
+            continue
+        lines.append(f"{scenario}:")
+        for size_key, entry in per_size.items():
+            lines.append(
+                f"  {size_key:>6}: ref {entry['reference_s']:8.4f}s  "
+                f"vec {entry['vectorized_s']:8.4f}s  "
+                f"speedup {entry['speedup']:6.1f}x"
+            )
+        lines.append("")
+    return lines
+
+
+def write_results(results: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -21,7 +21,12 @@ piecewise-constant rates and 1 us per-hop propagation latency.
 """
 
 from repro.sim.flows import Flow, LinkState
-from repro.sim.fluid import FluidNetwork, simulate_phase
+from repro.sim.fluid import (
+    FluidNetwork,
+    ReferenceFluidNetwork,
+    simulate_phase,
+    simulate_phase_reference,
+)
 from repro.sim.events import EventQueue
 from repro.sim.network_sim import (
     IterationBreakdown,
@@ -36,7 +41,9 @@ __all__ = [
     "Flow",
     "LinkState",
     "FluidNetwork",
+    "ReferenceFluidNetwork",
     "simulate_phase",
+    "simulate_phase_reference",
     "EventQueue",
     "IterationBreakdown",
     "TrainingSimulator",

@@ -6,6 +6,19 @@ saturates, every flow crossing it freezes at its fair share and the
 remaining flows keep growing.  The result is the unique max-min fair
 allocation, recomputed whenever the active flow set changes.
 
+Since the kernel-layer refactor the hot paths are array-based:
+:meth:`FluidNetwork.recompute_rates` assembles a sparse flow--link
+incidence matrix and calls
+:func:`repro.perf.fairshare.progressive_filling_rates`, which retires
+every tied bottleneck link per round with sparse mat-vecs, and
+:func:`simulate_phase` advances all flows with NumPy arrays, completing
+whole batches of (near-)simultaneous flows per rate recomputation.  The
+seed's pure-Python implementations survive as
+:class:`ReferenceFluidNetwork` and :func:`simulate_phase_reference` --
+the ground truth for the equivalence tests in
+``tests/test_perf_kernels.py`` and the baseline for
+``benchmarks/bench_perf_kernels.py``.
+
 :func:`simulate_phase` runs a set of flows that all start at time zero
 to completion, returning the makespan -- the building block for the
 paper's no-overlap iteration-time model (Eq. 1 in section 5.4).
@@ -16,6 +29,13 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.perf.fairshare import (
+    build_incidence,
+    build_incidence_from_paths,
+    progressive_filling_rates,
+)
 from repro.sim.flows import Flow, Link, LinkState
 
 _EPS = 1e-12
@@ -24,7 +44,13 @@ _TIME_QUANTUM = 1e-9
 
 
 class FluidNetwork:
-    """Tracks active flows on a capacitated link set and assigns rates."""
+    """Tracks active flows on a capacitated link set and assigns rates.
+
+    Rate recomputation is vectorized: the active flow set is lowered to
+    a sparse incidence matrix and solved by the shared progressive-
+    filling kernel.  The per-link :class:`LinkState` bookkeeping is kept
+    so utilization queries and callers poking at ``links`` keep working.
+    """
 
     def __init__(self, capacities: Dict[Link, float]):
         if not capacities:
@@ -33,6 +59,9 @@ class FluidNetwork:
             link: LinkState(capacity_bps=cap)
             for link, cap in capacities.items()
         }
+        # Capacities never change after construction; keep the plain
+        # dict the incidence builder consumes on every recompute.
+        self._capacities: Dict[Link, float] = dict(capacities)
         self.active: Dict[int, Flow] = {}
         self._rates_dirty = True
 
@@ -61,6 +90,61 @@ class FluidNetwork:
     # ------------------------------------------------------------------
     def recompute_rates(self) -> None:
         """Progressive filling: assign the max-min fair allocation."""
+        if not self._rates_dirty:
+            return
+        flows = list(self.active.values())
+        if flows:
+            incidence, cap_vec, _ = build_incidence(
+                [flow.links for flow in flows], self._capacities
+            )
+            rates = progressive_filling_rates(cap_vec, incidence)
+            for flow, rate in zip(flows, rates):
+                flow.rate_bps = float(rate)
+        self._rates_dirty = False
+
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> List[Flow]:
+        """Progress all flows by ``dt`` seconds; return completed flows."""
+        if dt < 0:
+            raise ValueError(f"cannot advance time backwards (dt={dt})")
+        completed: List[Flow] = []
+        for flow in self.active.values():
+            flow.remaining_bits -= flow.rate_bps * dt
+            if flow.remaining_bits <= _EPS * max(1.0, flow.size_bits):
+                flow.remaining_bits = 0.0
+                completed.append(flow)
+        for flow in completed:
+            self.remove_flow(flow)
+        return completed
+
+    def time_to_next_completion(self) -> Optional[float]:
+        """Seconds until the earliest active flow finishes (rates fixed)."""
+        self.recompute_rates()
+        best = math.inf
+        for flow in self.active.values():
+            if flow.rate_bps > _EPS:
+                best = min(best, flow.remaining_bits / flow.rate_bps)
+        return None if math.isinf(best) else max(best, 0.0)
+
+    def utilization(self) -> Dict[Link, float]:
+        """Current per-link utilization in [0, 1]."""
+        self.recompute_rates()
+        result = {}
+        for link, state in self.links.items():
+            used = sum(f.rate_bps for f in state.flows)
+            result[link] = used / state.capacity_bps
+        return result
+
+
+class ReferenceFluidNetwork(FluidNetwork):
+    """Seed pure-Python allocator, kept as the equivalence ground truth.
+
+    Identical semantics to :class:`FluidNetwork`; rate recomputation
+    walks every (link, flow) pair per bottleneck round and freezes one
+    link at a time, exactly as the seed implementation did.
+    """
+
+    def recompute_rates(self) -> None:
         if not self._rates_dirty:
             return
         unfrozen = set(self.active.values())
@@ -99,39 +183,6 @@ class FluidNetwork:
                     residual[link] = max(0.0, residual[link] - best_share)
         self._rates_dirty = False
 
-    # ------------------------------------------------------------------
-    def advance(self, dt: float) -> List[Flow]:
-        """Progress all flows by ``dt`` seconds; return completed flows."""
-        if dt < 0:
-            raise ValueError(f"cannot advance time backwards (dt={dt})")
-        completed: List[Flow] = []
-        for flow in self.active.values():
-            flow.remaining_bits -= flow.rate_bps * dt
-            if flow.remaining_bits <= _EPS * max(1.0, flow.size_bits):
-                flow.remaining_bits = 0.0
-                completed.append(flow)
-        for flow in completed:
-            self.remove_flow(flow)
-        return completed
-
-    def time_to_next_completion(self) -> Optional[float]:
-        """Seconds until the earliest active flow finishes (rates fixed)."""
-        self.recompute_rates()
-        best = math.inf
-        for flow in self.active.values():
-            if flow.rate_bps > _EPS:
-                best = min(best, flow.remaining_bits / flow.rate_bps)
-        return None if math.isinf(best) else max(best, 0.0)
-
-    def utilization(self) -> Dict[Link, float]:
-        """Current per-link utilization in [0, 1]."""
-        self.recompute_rates()
-        result = {}
-        for link, state in self.links.items():
-            used = sum(f.rate_bps for f in state.flows)
-            result[link] = used / state.capacity_bps
-        return result
-
 
 def simulate_phase(
     capacities: Dict[Link, float],
@@ -140,15 +191,82 @@ def simulate_phase(
 ) -> float:
     """Run flows that all start at t=0 to completion; return the makespan.
 
-    Simultaneous completions (within 1 ns) are batched so symmetric
-    workloads (AllReduce rings, uniform all-to-all) finish in a handful
-    of rate recomputations.  Propagation delay adds each flow's per-hop
-    latency to its completion (flows are long; the paper's 1 us/hop only
-    matters for the reconfiguration studies).
+    Fully array-based: rates come from the vectorized progressive-
+    filling kernel over a single incidence matrix built up front, and
+    each step completes the whole batch of flows finishing within
+    :data:`_TIME_QUANTUM` (1 ns) of the earliest completion, so
+    symmetric workloads (AllReduce rings, uniform all-to-all) finish in
+    a handful of rate recomputations.  Time advances by the *latest*
+    completion of the merged batch -- the quantum only pads the clock
+    when genuinely simultaneous completions are merged, never on every
+    step, so the makespan is exact for isolated completions.
+    Propagation delay adds the worst per-hop latency to the makespan
+    (flows are long; the paper's 1 us/hop only matters for the
+    reconfiguration studies).
     """
     if not flows:
         return 0.0
-    network = FluidNetwork(capacities)
+    incidence, cap_vec, _ = build_incidence_from_paths(
+        [flow.path for flow in flows], capacities
+    )
+    incidence_t = incidence.T.tocsr()
+    remaining = np.fromiter(
+        (flow.size_bits for flow in flows), dtype=float, count=len(flows)
+    )
+    for flow in flows:
+        flow.remaining_bits = float(flow.size_bits)
+    active = np.ones(len(flows), dtype=bool)
+    now = 0.0
+    steps = 0
+    # Every step retires at least one distinct completion time, so the
+    # number of steps is bounded by the number of flows.
+    limit = len(flows) + 1
+    while active.any():
+        rates = progressive_filling_rates(
+            cap_vec, incidence, active, incidence_t=incidence_t
+        )
+        idx = np.flatnonzero(active)
+        rate = rates[idx]
+        with np.errstate(divide="ignore"):
+            ttc = np.where(rate > _EPS, remaining[idx] / np.maximum(rate, _EPS), np.inf)
+        earliest = ttc.min()
+        if not np.isfinite(earliest):
+            raise RuntimeError(
+                "deadlock: active flows have zero rate; check capacities"
+            )
+        done = ttc <= earliest + _TIME_QUANTUM
+        dt = float(ttc[done].max())
+        remaining[idx] -= rate * dt
+        finished = idx[done]
+        remaining[finished] = 0.0
+        active[finished] = False
+        np.maximum(remaining, 0.0, out=remaining)
+        now += dt
+        steps += 1
+        if steps > limit:  # pragma: no cover - safety net
+            raise RuntimeError("phase simulation failed to converge")
+    max_propagation = 0.0
+    for flow, rate in zip(flows, rates):
+        flow.remaining_bits = 0.0
+        flow.rate_bps = float(rate)
+        if include_propagation:
+            max_propagation = max(max_propagation, flow.propagation_delay_s)
+    return now + max_propagation
+
+
+def simulate_phase_reference(
+    capacities: Dict[Link, float],
+    flows: Sequence[Flow],
+    include_propagation: bool = True,
+) -> float:
+    """Seed event loop over :class:`ReferenceFluidNetwork` (baseline).
+
+    Kept verbatim for the equivalence tests and micro-benchmarks; new
+    code should call :func:`simulate_phase`.
+    """
+    if not flows:
+        return 0.0
+    network = ReferenceFluidNetwork(capacities)
     max_propagation = 0.0
     for flow in flows:
         flow.remaining_bits = float(flow.size_bits)
