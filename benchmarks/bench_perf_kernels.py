@@ -6,12 +6,16 @@ kernels on identical inputs across n in {16, 64, 128}:
 - phase simulation (uniform all-to-all ECMP flows, makespan checked
   to agree between the two implementations),
 - all-pairs ECMP routing construction,
-- routing-LP constraint assembly (dense vs scipy.sparse).
+- routing-LP constraint assembly (dense vs scipy.sparse),
+- staggered phase simulation (chunked AllReduce + MP flows, all
+  completions at distinct times; per-event full recompute vs the
+  incremental frontier solver).
 
 Writes ``BENCH_kernels.json`` at the repo root (and a text table under
 ``benchmarks/results/``) so future PRs can track the perf trajectory.
-Acceptance targets: >=5x on the 64-server all-to-all phase simulation
-and >=5x on routing construction at n=128.
+Acceptance targets: >=5x on the 64-server all-to-all phase simulation,
+>=5x on routing construction at n=128, and >=5x on the 64-server
+staggered phase vs the per-event full recompute.
 """
 
 from pathlib import Path
@@ -36,9 +40,12 @@ def main() -> None:
     emit("BENCH_kernels", lines)
     phase = results["phase_sim"]["n=64"]["speedup"]
     routing = results["routing"]["n=128"]["speedup"]
+    staggered = results["staggered_phase"]["n=64"]["speedup"]
     assert phase >= 5.0, f"phase_sim n=64 speedup {phase}x < 5x"
     assert routing >= 5.0, f"routing n=128 speedup {routing}x < 5x"
+    assert staggered >= 5.0, f"staggered_phase n=64 speedup {staggered}x < 5x"
     assert results["phase_sim"]["n=64"]["makespan_rel_err"] < 1e-6
+    assert results["staggered_phase"]["n=64"]["makespan_rel_err"] < 1e-6
 
 
 def test_bench_perf_kernels():

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Pre-merge perf sanity check: run the kernel micro-benchmarks at smoke
-# scale (<60 s).  Exits non-zero if a vectorized kernel has regressed
-# to slower than the retained seed implementation.
+# Pre-merge sanity check: documentation checks first (fast), then the
+# kernel micro-benchmarks at smoke scale (<60 s).  Exits non-zero if
+# the docs are broken or a vectorized kernel has regressed to slower
+# than the retained seed implementation.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli check-docs
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.cli bench-smoke "$@"

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Documentation check: run the public-API doctests, the doctests
+# embedded in README.md / docs/*.md, and validate every repro.cli
+# command the docs reference.  Exits non-zero on any breakage.
+#
+# Usage: scripts/check_docs.sh
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.cli check-docs "$@"

@@ -14,6 +14,9 @@ TopoOpt fabric.
 ``python -m repro.cli bench-smoke`` instead runs the kernel
 micro-benchmarks at reduced sizes (<60 s) as a pre-merge perf sanity
 check; see ``benchmarks/bench_perf_kernels.py`` for the full sweep.
+``python -m repro.cli check-docs`` verifies the documentation layer:
+doctests in the public API modules and in ``README.md``/``docs/*.md``,
+and every ``repro.cli`` command the docs reference.
 """
 
 from __future__ import annotations
@@ -44,9 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
             "strategy for one training job and compare fabrics"
         ),
         epilog=(
-            "Perf tooling: 'repro bench-smoke [--json PATH]' runs the "
+            "Tooling: 'repro bench-smoke [--json PATH]' runs the "
             "vectorized-kernel micro-benchmarks at smoke scale (<60 s) "
-            "as a pre-merge perf sanity check."
+            "as a pre-merge perf sanity check; 'repro check-docs' "
+            "verifies doctests and repro.cli references in the docs."
         ),
     )
     parser.add_argument(
@@ -104,7 +108,7 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     gate_key = f"n={max(SMOKE_SIZES)}"
     regressed = [
         scenario
-        for scenario in ("phase_sim", "routing")
+        for scenario in ("phase_sim", "routing", "staggered_phase")
         if results[scenario][gate_key]["speedup"] < 1.0
     ]
     if regressed:
@@ -115,11 +119,98 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     return 0
 
 
+#: Subcommands of ``python -m repro.cli``; the docs checker validates
+#: every command reference in README.md / docs/*.md against this set.
+SUBCOMMANDS = ("bench-smoke", "check-docs")
+
+#: Modules whose doctests document the public API (ISSUE 2 docstring
+#: pass); ``check-docs`` runs them all.
+DOCTEST_MODULES = (
+    "repro.network.topology",
+    "repro.perf.fairshare",
+    "repro.sim.fluid",
+)
+
+
+def check_docs(argv: Sequence[str] = ()) -> int:
+    """Verify the documentation layer; exit non-zero on any breakage.
+
+    Three checks, in order:
+
+    1. doctests of the public-API modules (:data:`DOCTEST_MODULES`);
+    2. doctests embedded in ``README.md`` and ``docs/*.md``;
+    3. every ``python -m repro.cli <subcommand>`` reference in those
+       files must name a real subcommand, and every script referenced
+       as ``scripts/<name>.sh`` must exist.
+    """
+    import doctest
+    import importlib
+    import re
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(prog="repro check-docs")
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root holding README.md and docs/ "
+             "(default: two levels above this package)",
+    )
+    args = parser.parse_args(list(argv))
+    root = (
+        Path(args.root) if args.root
+        else Path(__file__).resolve().parents[2]
+    )
+    failures = 0
+
+    for name in DOCTEST_MODULES:
+        result = doctest.testmod(importlib.import_module(name))
+        print(f"doctest {name:28s}: {result.attempted} examples, "
+              f"{result.failed} failed")
+        failures += result.failed
+
+    doc_paths = [root / "README.md"]
+    doc_paths += sorted((root / "docs").glob("*.md"))
+    command_ref = re.compile(r"python -m repro\.cli\s+([a-z][a-z0-9-]*)")
+    script_ref = re.compile(r"scripts/([a-z0-9_-]+\.sh)")
+    for path in doc_paths:
+        if not path.exists():
+            print(f"MISSING {path.relative_to(root)}", file=sys.stderr)
+            failures += 1
+            continue
+        result = doctest.testfile(
+            str(path), module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        rel = path.relative_to(root)
+        print(f"doctest {str(rel):28s}: {result.attempted} examples, "
+              f"{result.failed} failed")
+        failures += result.failed
+        text = path.read_text()
+        for command in command_ref.findall(text):
+            if command not in SUBCOMMANDS:
+                print(f"{rel}: unknown repro.cli subcommand "
+                      f"{command!r} (have: {', '.join(SUBCOMMANDS)})",
+                      file=sys.stderr)
+                failures += 1
+        for script in script_ref.findall(text):
+            if not (root / "scripts" / script).exists():
+                print(f"{rel}: references missing scripts/{script}",
+                      file=sys.stderr)
+                failures += 1
+
+    if failures:
+        print(f"check-docs: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("check-docs ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench-smoke":
         return bench_smoke(argv[1:])
+    if argv and argv[0] == "check-docs":
+        return check_docs(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         model = build_model(args.model, scale=args.scale)

@@ -78,6 +78,26 @@ class DirectConnectTopology:
         :class:`DegreeExceededError` if the degree budget would be violated.
         Infrastructure fabrics (Fat-tree cores, Ideal Switch hubs) disable
         the check for their internal nodes.
+
+    Mutations are O(1) (incremental degree counters plus a version
+    bump); the version counter lazily invalidates the cached CSR
+    adjacency and all-pairs hop-count matrices, so graph queries cost
+    one C-level BFS sweep per mutation *epoch*, however many queries
+    run in between.
+
+    Example -- a 4-server bidirectional ring:
+
+    >>> from repro.network.topology import DirectConnectTopology
+    >>> topo = DirectConnectTopology(n=4, degree=2)
+    >>> topo.add_ring([0, 1, 2, 3])
+    >>> topo.add_ring([3, 2, 1, 0])
+    >>> topo.diameter()
+    2
+    >>> topo.shortest_path(0, 2)
+    [0, 1, 2]
+    >>> topo.remove_link(1, 2)
+    >>> topo.shortest_path(0, 2)  # cache invalidated by the mutation
+    [0, 3, 2]
     """
 
     def __init__(self, n: int, degree: int, enforce_degree: bool = True):
@@ -108,7 +128,19 @@ class DirectConnectTopology:
     # Mutation
     # ------------------------------------------------------------------
     def add_link(self, src: int, dst: int, count: int = 1) -> None:
-        """Add ``count`` parallel unidirectional links from src to dst."""
+        """Add ``count`` parallel unidirectional links from src to dst.
+
+        O(1): degree counters are maintained incrementally and cache
+        invalidation is a version bump, not a rebuild.
+
+        Raises
+        ------
+        DegreeExceededError
+            If ``enforce_degree`` is set and either endpoint would
+            exceed its interface budget.
+        ValueError
+            For self-links, out-of-range server ids, or ``count <= 0``.
+        """
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
@@ -158,6 +190,7 @@ class DirectConnectTopology:
             self.add_link(order[i], order[(i + 1) % k])
 
     def remove_link(self, src: int, dst: int, count: int = 1) -> None:
+        """Remove ``count`` parallel links from src to dst (O(1))."""
         have = self._out[src][dst]
         if have < count:
             raise ValueError(
@@ -260,7 +293,7 @@ class DirectConnectTopology:
         :meth:`diameter`, :meth:`average_path_length`,
         :meth:`path_length_distribution`, :meth:`all_shortest_paths`,
         and the batched routing builder.  Cached until the next
-        mutation.
+        mutation: O(n * (n + E)) on a cache miss, O(1) after.
         """
         if (
             self._hops_cache is not None
@@ -304,7 +337,13 @@ class DirectConnectTopology:
         Batched equivalent of calling :meth:`all_shortest_paths` for
         each destination: the BFS layering comes from the cached
         all-pairs matrix, so only the output-bounded path backtracking
-        remains per destination.
+        (O(cap * path length) per destination) remains per call.
+
+        Returns
+        -------
+        Mapping of destination -> list of up to ``cap`` minimum-hop
+        paths (each a node list starting at ``src``); unreachable
+        destinations are absent.
         """
         self._check_node(src)
         return graph_kernels.min_hop_paths_from_source(

@@ -13,6 +13,11 @@ against the vectorized kernel on identical inputs:
 - ``lp_assembly``: min-max-utilization routing-LP constraint assembly,
   seed dense ``np.zeros`` formulation vs. the ``scipy.sparse`` COO
   assembly now used by :func:`repro.core.routing_lp.optimize_routing`.
+- ``staggered_phase``: chunked ring-AllReduce plus model-parallel
+  flows, sizes jittered so every flow completes at a distinct time --
+  the per-event full recompute (``solver="batch"``) vs. the
+  incremental frontier solver
+  (:class:`repro.perf.fairshare.IncrementalFairShare`).
 
 Used by ``benchmarks/bench_perf_kernels.py`` (full sizes, writes
 ``BENCH_kernels.json``) and ``python -m repro.cli bench-smoke`` (quick
@@ -66,6 +71,76 @@ def alltoall_flows(
             for path in paths:
                 flows.append(Flow(path=tuple(path), size_bits=share))
     return flows
+
+
+def staggered_phase_flows(
+    topo: DirectConnectTopology,
+    seed: int = 1,
+    chunks: int = 16,
+    mp_peers: int = 8,
+) -> List[Flow]:
+    """A realistic staggered phase: chunked AllReduce plus MP flows.
+
+    TopoOpt's dominant traffic is ring AllReduce over dedicated ring
+    edges (one hop per flow) with a lighter model-parallel component
+    between power-of-two-offset peers (section 2.2 of the paper).
+    Splitting each ring edge's volume into ``chunks`` independently
+    sized flows and jittering every size gives a phase where *all*
+    completions land at distinct times -- the workload shape that makes
+    per-event full rate recomputation ruinous.
+    """
+    rng = np.random.default_rng(seed)
+    flows: List[Flow] = []
+    for src, dst, count in topo.edges():
+        for _ in range(count * chunks):
+            flows.append(Flow(
+                path=(src, dst),
+                size_bits=1e9 * float(rng.uniform(0.5, 1.5)),
+                kind="allreduce",
+            ))
+    for src in range(topo.n):
+        pathmap = topo.min_hop_paths_from(src, 1)
+        for k in range(mp_peers):
+            dst = (src + (1 << k)) % topo.n
+            if dst == src or dst not in pathmap:
+                continue
+            flows.append(Flow(
+                path=tuple(pathmap[dst][0]),
+                size_bits=1e9 * float(rng.uniform(0.5, 1.5)),
+                kind="mp",
+            ))
+    return flows
+
+
+def bench_staggered_phase(n: int, degree: int = 4, chunks: int = 16) -> Dict:
+    """All-distinct-completion phase; n=64 is the acceptance target.
+
+    Both sides run the exact same :class:`repro.sim.events.
+    FlowEventEngine` event loop; the reference re-solves max-min rates
+    from scratch on every completion (``solver="batch"``, the PR-1
+    behavior) while the vectorized side repairs the allocation
+    incrementally (``solver="incremental"``).
+    """
+    topo = ring_topology(n, degree)
+    capacities = {
+        (s, d): count * 100 * GBPS for s, d, count in topo.edges()
+    }
+    flows_ref = staggered_phase_flows(topo, chunks=chunks)
+    start = time.perf_counter()
+    makespan_ref = simulate_phase(capacities, flows_ref, False, solver="batch")
+    reference_s = time.perf_counter() - start
+    flows_inc = staggered_phase_flows(topo, chunks=chunks)
+    start = time.perf_counter()
+    makespan_inc = simulate_phase(capacities, flows_inc, False)
+    vectorized_s = time.perf_counter() - start
+    rel_err = abs(makespan_ref - makespan_inc) / max(makespan_ref, 1e-12)
+    return _record(
+        reference_s,
+        vectorized_s,
+        flows=len(flows_ref),
+        links=len(capacities),
+        makespan_rel_err=float(rel_err),
+    )
 
 
 def _record(reference_s: float, vectorized_s: float, **extra) -> Dict:
@@ -219,20 +294,32 @@ def bench_lp_assembly(
     )
 
 
+#: Sizes the staggered-phase scenario runs at: the batch baseline is
+#: quadratic-ish in events x flows, so n=128 would dominate the whole
+#: suite without changing the verdict (the acceptance gate is n=64).
+STAGGERED_SIZES = (16, 64)
+
+
 def run_benchmarks(
     sizes: Sequence[int] = FULL_SIZES,
-    scenarios: Sequence[str] = ("phase_sim", "routing", "lp_assembly"),
+    scenarios: Sequence[str] = (
+        "phase_sim", "routing", "lp_assembly", "staggered_phase",
+    ),
 ) -> Dict:
     """Run the kernel micro-benchmarks and return the results tree."""
     runners = {
         "phase_sim": bench_phase_sim,
         "routing": bench_routing,
         "lp_assembly": bench_lp_assembly,
+        "staggered_phase": bench_staggered_phase,
     }
     results: Dict = {"sizes": list(sizes)}
     for scenario in scenarios:
         results[scenario] = {}
-        for n in sizes:
+        scenario_sizes = sizes
+        if scenario == "staggered_phase":
+            scenario_sizes = [n for n in sizes if n in STAGGERED_SIZES]
+        for n in scenario_sizes:
             results[scenario][f"n={n}"] = runners[scenario](n)
     return results
 

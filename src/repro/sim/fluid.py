@@ -11,13 +11,17 @@ Since the kernel-layer refactor the hot paths are array-based:
 incidence matrix and calls
 :func:`repro.perf.fairshare.progressive_filling_rates`, which retires
 every tied bottleneck link per round with sparse mat-vecs, and
-:func:`simulate_phase` advances all flows with NumPy arrays, completing
-whole batches of (near-)simultaneous flows per rate recomputation.  The
-seed's pure-Python implementations survive as
+:func:`simulate_phase` drives the array-backed
+:class:`repro.sim.events.FlowEventEngine`, which repairs the allocation
+incrementally (:class:`repro.perf.fairshare.IncrementalFairShare`)
+after each completion batch instead of re-solving from scratch --
+the fast path for staggered workloads where every flow finishes at a
+distinct time.  ``solver="batch"`` restores the per-event full
+recompute.  The seed's pure-Python implementations survive as
 :class:`ReferenceFluidNetwork` and :func:`simulate_phase_reference` --
 the ground truth for the equivalence tests in
-``tests/test_perf_kernels.py`` and the baseline for
-``benchmarks/bench_perf_kernels.py``.
+``tests/test_perf_kernels.py`` and ``tests/test_incremental_fairshare.py``
+and the baseline for ``benchmarks/bench_perf_kernels.py``.
 
 :func:`simulate_phase` runs a set of flows that all start at time zero
 to completion, returning the makespan -- the building block for the
@@ -31,16 +35,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.perf.fairshare import (
-    build_incidence,
-    build_incidence_from_paths,
-    progressive_filling_rates,
-)
+from repro.perf.fairshare import build_incidence, progressive_filling_rates
+from repro.sim.events import TIME_QUANTUM, FlowEventEngine
 from repro.sim.flows import Flow, Link, LinkState
 
 _EPS = 1e-12
 #: Completion times closer than this are merged into one batch.
-_TIME_QUANTUM = 1e-9
+_TIME_QUANTUM = TIME_QUANTUM
 
 
 class FluidNetwork:
@@ -188,70 +189,88 @@ def simulate_phase(
     capacities: Dict[Link, float],
     flows: Sequence[Flow],
     include_propagation: bool = True,
+    solver: str = "incremental",
 ) -> float:
     """Run flows that all start at t=0 to completion; return the makespan.
 
-    Fully array-based: rates come from the vectorized progressive-
-    filling kernel over a single incidence matrix built up front, and
-    each step completes the whole batch of flows finishing within
-    :data:`_TIME_QUANTUM` (1 ns) of the earliest completion, so
-    symmetric workloads (AllReduce rings, uniform all-to-all) finish in
-    a handful of rate recomputations.  Time advances by the *latest*
-    completion of the merged batch -- the quantum only pads the clock
-    when genuinely simultaneous completions are merged, never on every
-    step, so the makespan is exact for isolated completions.
-    Propagation delay adds the worst per-hop latency to the makespan
-    (flows are long; the paper's 1 us/hop only matters for the
-    reconfiguration studies).
+    Fully array-based: the flow set is lowered once to a sparse
+    incidence matrix and driven by
+    :class:`repro.sim.events.FlowEventEngine`.  Each step completes the
+    whole batch of flows finishing within :data:`_TIME_QUANTUM` (1 ns)
+    of the earliest completion; time advances by the *latest* completion
+    of the merged batch, so the quantum only pads the clock when
+    genuinely simultaneous completions are merged, never per step, and
+    the makespan is exact for isolated completions.
+
+    Parameters
+    ----------
+    capacities:
+        Link -> bits/s table; must cover every link on every flow path.
+    flows:
+        Flows to run; ``flow.remaining_bits`` is reset to the full size
+        and zeroed on return, ``flow.rate_bps`` ends at the rate held
+        during the final completion event.
+    include_propagation:
+        Add the worst per-hop latency across flows to the makespan
+        (flows are long; the paper's 1 us/hop only matters for the
+        reconfiguration studies).
+    solver:
+        ``"incremental"`` (default) repairs the max-min allocation per
+        completion batch through
+        :class:`repro.perf.fairshare.IncrementalFairShare` -- amortized
+        O(nnz touched) per event, the fast path when every flow
+        completes at a distinct time.  ``"batch"`` re-runs progressive
+        filling from scratch per batch (the PR-1 behavior, kept as the
+        equivalence baseline).
+
+    Returns
+    -------
+    Phase makespan in seconds (plus worst-case propagation delay when
+    requested).
+
+    Example -- two flows share one 8 Gb/s link; the short one finishes
+    at 0.5 s, the long one takes the whole link afterwards:
+
+    >>> from repro.sim.flows import Flow
+    >>> from repro.sim.fluid import simulate_phase
+    >>> flows = [Flow(path=(0, 1), size_bits=2e9),
+    ...          Flow(path=(0, 1), size_bits=6e9)]
+    >>> simulate_phase({(0, 1): 8e9}, flows, include_propagation=False)
+    1.0
+    """
+    makespan, _ = simulate_phase_completions(
+        capacities, flows, include_propagation, solver
+    )
+    return makespan
+
+
+def simulate_phase_completions(
+    capacities: Dict[Link, float],
+    flows: Sequence[Flow],
+    include_propagation: bool = True,
+    solver: str = "incremental",
+):
+    """:func:`simulate_phase` plus per-flow completion times.
+
+    Returns ``(makespan, completion_times)`` where ``completion_times``
+    is one absolute completion time (seconds since phase start) per
+    flow, in ``flows`` order -- the raw material for flow-completion-
+    time CDFs.  Used by :mod:`repro.sim.network_sim`.
     """
     if not flows:
-        return 0.0
-    incidence, cap_vec, _ = build_incidence_from_paths(
-        [flow.path for flow in flows], capacities
-    )
-    incidence_t = incidence.T.tocsr()
-    remaining = np.fromiter(
-        (flow.size_bits for flow in flows), dtype=float, count=len(flows)
-    )
+        return 0.0, np.empty(0)
     for flow in flows:
         flow.remaining_bits = float(flow.size_bits)
-    active = np.ones(len(flows), dtype=bool)
-    now = 0.0
-    steps = 0
-    # Every step retires at least one distinct completion time, so the
-    # number of steps is bounded by the number of flows.
-    limit = len(flows) + 1
-    while active.any():
-        rates = progressive_filling_rates(
-            cap_vec, incidence, active, incidence_t=incidence_t
-        )
-        idx = np.flatnonzero(active)
-        rate = rates[idx]
-        with np.errstate(divide="ignore"):
-            ttc = np.where(rate > _EPS, remaining[idx] / np.maximum(rate, _EPS), np.inf)
-        earliest = ttc.min()
-        if not np.isfinite(earliest):
-            raise RuntimeError(
-                "deadlock: active flows have zero rate; check capacities"
-            )
-        done = ttc <= earliest + _TIME_QUANTUM
-        dt = float(ttc[done].max())
-        remaining[idx] -= rate * dt
-        finished = idx[done]
-        remaining[finished] = 0.0
-        active[finished] = False
-        np.maximum(remaining, 0.0, out=remaining)
-        now += dt
-        steps += 1
-        if steps > limit:  # pragma: no cover - safety net
-            raise RuntimeError("phase simulation failed to converge")
+    engine = FlowEventEngine(capacities, flows, solver=solver)
+    makespan = engine.run()
+    final_rates = engine.last_completion_rates
     max_propagation = 0.0
-    for flow, rate in zip(flows, rates):
+    for flow, rate in zip(flows, final_rates):
         flow.remaining_bits = 0.0
         flow.rate_bps = float(rate)
         if include_propagation:
             max_propagation = max(max_propagation, flow.propagation_delay_s)
-    return now + max_propagation
+    return makespan + max_propagation, engine.completion_times
 
 
 def simulate_phase_reference(

@@ -6,7 +6,10 @@ Follows the paper's no-overlap iteration model (section 5.4, Eq. 1):
 
 with both communication phases simulated by the max-min fluid network,
 so host-based forwarding, path length, and load imbalance all show up
-as they do in the paper's packet simulations.
+as they do in the paper's packet simulations.  Each phase is driven by
+the array-backed :class:`repro.sim.events.FlowEventEngine` (and through
+it the incremental max-min solver), which also yields per-flow
+completion times for tail-latency analysis.
 
 Also defines :class:`TopoOptFabric`, the fabric adapter exposing a
 TopologyFinder result (topology + routing + ring plans) to the
@@ -25,7 +28,7 @@ from repro.network.topoopt import TopoOptFabric
 from repro.parallel.collectives import allreduce_edge_bytes
 from repro.parallel.traffic import TrafficSummary
 from repro.sim.flows import Flow, flows_from_matrix
-from repro.sim.fluid import phase_link_bytes, simulate_phase
+from repro.sim.fluid import phase_link_bytes, simulate_phase_completions
 
 Link = Tuple[int, int]
 
@@ -39,12 +42,21 @@ __all__ = [
 
 @dataclass
 class IterationBreakdown:
-    """Timing of one simulated training iteration."""
+    """Timing of one simulated training iteration.
+
+    ``flow_completion_times`` maps phase name (``"mp"``,
+    ``"allreduce"``) to the absolute completion time of every flow of
+    that phase (seconds since phase start), as reported by the event
+    engine -- the raw material for flow-completion-time CDFs.
+    """
 
     compute_s: float
     mp_s: float
     allreduce_s: float
     link_bytes: Dict[Link, float] = field(default_factory=dict)
+    flow_completion_times: Dict[str, np.ndarray] = field(
+        default_factory=dict
+    )
 
     @property
     def total_s(self) -> float:
@@ -124,23 +136,35 @@ def simulate_iteration(
     traffic: TrafficSummary,
     compute_s: float,
     collect_link_bytes: bool = False,
+    solver: str = "incremental",
 ) -> IterationBreakdown:
-    """Simulate one training iteration on ``fabric`` (Eq. 1 model)."""
+    """Simulate one training iteration on ``fabric`` (Eq. 1 model).
+
+    ``solver`` selects the max-min repair strategy of the underlying
+    event engine (``"incremental"`` or ``"batch"``; see
+    :class:`repro.sim.events.FlowEventEngine`).
+    """
     capacities = fabric.capacities()
     mp_flows = _mp_flows(fabric, traffic)
     allreduce_flows = _allreduce_flows(fabric, traffic)
     link_bytes: Dict[Link, float] = {}
     if collect_link_bytes:
         link_bytes = phase_link_bytes(mp_flows + allreduce_flows)
-    mp_s = simulate_phase(capacities, mp_flows) if mp_flows else 0.0
-    allreduce_s = (
-        simulate_phase(capacities, allreduce_flows) if allreduce_flows else 0.0
+    mp_s, mp_completions = simulate_phase_completions(
+        capacities, mp_flows, solver=solver
+    )
+    allreduce_s, ar_completions = simulate_phase_completions(
+        capacities, allreduce_flows, solver=solver
     )
     return IterationBreakdown(
         compute_s=compute_s,
         mp_s=mp_s,
         allreduce_s=allreduce_s,
         link_bytes=link_bytes,
+        flow_completion_times={
+            "mp": mp_completions,
+            "allreduce": ar_completions,
+        },
     )
 
 
@@ -158,9 +182,12 @@ class TrainingSimulator:
     fabric: object
     traffic: TrafficSummary
     compute_s: float
+    solver: str = "incremental"
 
     def run_iteration(self) -> IterationBreakdown:
-        return simulate_iteration(self.fabric, self.traffic, self.compute_s)
+        return simulate_iteration(
+            self.fabric, self.traffic, self.compute_s, solver=self.solver
+        )
 
     def run(self, iterations: int = 1) -> List[IterationBreakdown]:
         if iterations < 1:

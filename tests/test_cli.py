@@ -63,3 +63,33 @@ class TestMain:
         out = capsys.readouterr().out
         assert "model-parallel" in out
         assert "strides" in out
+
+
+class TestCheckDocs:
+    def test_check_docs_passes_on_repo(self, capsys):
+        code = main(["check-docs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check-docs ok" in out
+        assert "README.md" in out
+
+    def test_broken_command_reference_fails(self, tmp_path, capsys):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "scripts").mkdir()
+        (tmp_path / "README.md").write_text(
+            "Run `python -m repro.cli frobnicate` and scripts/nope.sh\n"
+        )
+        code = main(["check-docs", "--root", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "frobnicate" in err
+        assert "nope.sh" in err
+
+    def test_broken_doctest_fails(self, tmp_path, capsys):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "scripts").mkdir()
+        (tmp_path / "README.md").write_text(
+            ">>> 1 + 1\n3\n"
+        )
+        code = main(["check-docs", "--root", str(tmp_path)])
+        assert code == 1
