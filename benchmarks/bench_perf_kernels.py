@@ -9,13 +9,17 @@ kernels on identical inputs across n in {16, 64, 128}:
 - routing-LP constraint assembly (dense vs scipy.sparse),
 - staggered phase simulation (chunked AllReduce + MP flows, all
   completions at distinct times; per-event full recompute vs the
-  incremental frontier solver).
+  incremental frontier solver),
+- MCMC strategy-search steps/sec on a TopoOpt fabric (full-rebuild
+  scoring vs the sparse incremental cost-model kernel, n in {32, 64}),
+- end-to-end alternating optimization (old vs new search plane).
 
 Writes ``BENCH_kernels.json`` at the repo root (and a text table under
 ``benchmarks/results/``) so future PRs can track the perf trajectory.
 Acceptance targets: >=5x on the 64-server all-to-all phase simulation,
->=5x on routing construction at n=128, and >=5x on the 64-server
-staggered phase vs the per-event full recompute.
+>=5x on routing construction at n=128, >=5x on the 64-server staggered
+phase vs the per-event full recompute, and >=5x MCMC steps/sec at n=64
+with per-step costs matching the full-rebuild oracle to 1e-12 relative.
 """
 
 from pathlib import Path
@@ -41,11 +45,15 @@ def main() -> None:
     phase = results["phase_sim"]["n=64"]["speedup"]
     routing = results["routing"]["n=128"]["speedup"]
     staggered = results["staggered_phase"]["n=64"]["speedup"]
+    mcmc = results["mcmc_steps"]["n=64"]["speedup"]
     assert phase >= 5.0, f"phase_sim n=64 speedup {phase}x < 5x"
     assert routing >= 5.0, f"routing n=128 speedup {routing}x < 5x"
     assert staggered >= 5.0, f"staggered_phase n=64 speedup {staggered}x < 5x"
+    assert mcmc >= 5.0, f"mcmc_steps n=64 speedup {mcmc}x < 5x"
     assert results["phase_sim"]["n=64"]["makespan_rel_err"] < 1e-6
     assert results["staggered_phase"]["n=64"]["makespan_rel_err"] < 1e-6
+    assert results["mcmc_steps"]["n=64"]["cost_rel_err"] < 1e-12
+    assert results["alternating"]["n=64"]["cost_rel_err"] < 1e-9
 
 
 def test_bench_perf_kernels():

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Pre-merge sanity check: documentation checks first (fast), then the
-# kernel micro-benchmarks at smoke scale (<60 s).  Exits non-zero if
-# the docs are broken or a vectorized kernel has regressed to slower
-# than the retained seed implementation.
+# kernel micro-benchmarks at smoke scale (<60 s) -- flow simulation,
+# routing, LP assembly, and the search plane (MCMC steps/sec plus
+# end-to-end alternating optimization).  Exits non-zero if the docs
+# are broken, a vectorized kernel has regressed to slower than the
+# retained seed implementation, or the incremental cost model drifts
+# from its full-rebuild oracle.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu

@@ -72,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rounds", type=int, default=3,
                         help="alternating-optimization rounds")
     parser.add_argument("--mcmc-iterations", type=int, default=150)
+    parser.add_argument(
+        "--mcmc-restarts", type=int, default=1,
+        help="independent MCMC chains per round (best-of)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--primes-only",
@@ -85,9 +89,12 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     """Run the kernel micro-benchmarks at smoke scale (<60 s).
 
     A pre-merge perf sanity check: prints reference-vs-vectorized
-    timings for phase simulation, routing construction, and LP assembly
-    and fails (exit 1) if the vectorized kernels have regressed to
-    slower than the retained seed implementations at n=64.
+    timings for phase simulation, routing construction, LP assembly,
+    the staggered-phase event engine, and the search plane (MCMC
+    steps/sec and end-to-end alternating optimization), and fails
+    (exit 1) if a vectorized kernel has regressed to slower than the
+    retained seed implementation at n=64 or the incremental MCMC costs
+    drift from the full-rebuild oracle.
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -108,12 +115,19 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     gate_key = f"n={max(SMOKE_SIZES)}"
     regressed = [
         scenario
-        for scenario in ("phase_sim", "routing", "staggered_phase")
+        for scenario in (
+            "phase_sim", "routing", "staggered_phase",
+            "mcmc_steps", "alternating",
+        )
         if results[scenario][gate_key]["speedup"] < 1.0
     ]
     if regressed:
         print(f"PERF REGRESSION: {', '.join(regressed)} slower than the "
               f"seed implementation at {gate_key}", file=sys.stderr)
+        return 1
+    if results["mcmc_steps"][gate_key]["cost_rel_err"] >= 1e-12:
+        print("EQUIVALENCE REGRESSION: incremental MCMC costs drifted "
+              "from the full-rebuild oracle", file=sys.stderr)
         return 1
     print("bench-smoke ok")
     return 0
@@ -238,6 +252,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         search=search,
         max_rounds=args.rounds,
         mcmc_iterations=args.mcmc_iterations,
+        mcmc_restarts=args.mcmc_restarts,
         primes_only=args.primes_only,
     )
     result = optimizer.run()

@@ -62,6 +62,8 @@ class AlternatingOptimizer:
         mcmc_iterations: int = 200,
         primes_only: bool = False,
         tolerance: float = 1e-3,
+        incremental: bool = True,
+        mcmc_restarts: int = 1,
     ):
         if max_rounds < 1:
             raise ValueError("need at least one round")
@@ -73,6 +75,13 @@ class AlternatingOptimizer:
         self.mcmc_iterations = mcmc_iterations
         self.primes_only = primes_only
         self.tolerance = tolerance
+        #: Score through the sparse incremental cost-model kernel (the
+        #: default); False selects the retained seed full-rebuild path
+        #: (benchmark baseline / equivalence oracle).
+        self.incremental = incremental
+        #: Independent MCMC chains per round (best-of); cheap with the
+        #: incremental kernel since chains share the routing matrices.
+        self.mcmc_restarts = mcmc_restarts
 
     # ------------------------------------------------------------------
     def _initial_fabric(self):
@@ -94,16 +103,33 @@ class AlternatingOptimizer:
         return TopoOptFabric(topology_result, self.link_bandwidth_bps)
 
     def run(self, seed: int = 0) -> AlternatingResult:
-        """Run the alternating loop and return the best configuration."""
-        from repro.parallel.mcmc import IterationCostModel
+        """Run the alternating loop and return the best configuration.
+
+        The per-fabric routing kernel is assembled once per round and
+        shared between the round's scoring pass and the *next* round's
+        MCMC search on the same fabric, so the search plane never
+        re-routes a fabric it has already seen.
+        """
+        from repro.parallel.mcmc import (
+            IterationCostModel,
+            ReferenceIterationCostModel,
+        )
+        from repro.perf.costmodel import CostModelKernel
 
         fabric = self._initial_fabric()
+        kernel = CostModelKernel(fabric) if self.incremental else None
         best: Optional[AlternatingResult] = None
         rounds: List[AlternatingRound] = []
         previous_cost = float("inf")
 
         for round_index in range(self.max_rounds):
-            mcmc = self.search.search(fabric, iterations=self.mcmc_iterations)
+            mcmc = self.search.search(
+                fabric,
+                iterations=self.mcmc_iterations,
+                incremental=self.incremental,
+                restarts=self.mcmc_restarts,
+                kernel=kernel,
+            )
             traffic = mcmc.traffic
             topology_result = topology_finder(
                 self.num_servers,
@@ -113,8 +139,17 @@ class AlternatingOptimizer:
                 primes_only=self.primes_only,
             )
             fabric = self._fabric_for(topology_result)
-            # Score the strategy on its own optimized topology.
-            cost_model = IterationCostModel(fabric, self.search.compute_s)
+            # Score the strategy on its own optimized topology; the
+            # kernel carries over to the next round's search.
+            if self.incremental:
+                kernel = CostModelKernel(fabric)
+                cost_model = IterationCostModel(
+                    fabric, self.search.compute_s, kernel=kernel
+                )
+            else:
+                cost_model = ReferenceIterationCostModel(
+                    fabric, self.search.compute_s
+                )
             cost = cost_model.cost(traffic)
             rounds.append(
                 AlternatingRound(

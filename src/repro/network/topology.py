@@ -20,8 +20,11 @@ C-level BFS sweep instead of ``n`` (or ``n^2``) Python BFS runs.
 In/out-degree counters are maintained incrementally -- ``add_link`` is
 O(1) instead of re-summing a Counter.  The pure-Python per-source BFS
 (:meth:`shortest_path_lengths_from`) is retained as the reference
-implementation for equivalence tests; Yen's k-shortest-paths remains
-pure Python.
+implementation for equivalence tests.  Yen's ``k_shortest_paths`` runs
+its spur searches on out-neighbor lists sliced from the cached CSR
+adjacency, excluding root edges via a set instead of mutating the
+graph; the seed mutate-and-restore version is retained as
+:meth:`DirectConnectTopology._k_shortest_paths_reference`.
 """
 
 from __future__ import annotations
@@ -120,6 +123,7 @@ class DirectConnectTopology:
         self._hops_cache: Optional[Tuple[int, np.ndarray]] = None
         self._hops_int_cache: Optional[Tuple[int, List[List[int]]]] = None
         self._pred_cache: Optional[Tuple[int, List[List[int]]]] = None
+        self._succ_cache: Optional[Tuple[int, List[List[int]]]] = None
 
     def _bump_version(self) -> None:
         self._version += 1
@@ -329,6 +333,27 @@ class DirectConnectTopology:
         self._pred_cache = (self._version, preds)
         return preds
 
+    def _succ_lists(self) -> List[List[int]]:
+        """Per-node out-neighbor lists, sliced from the cached CSR arrays.
+
+        Plain int lists (CSR ``indices`` rows) are what the Yen spur
+        searches iterate; several times faster than walking the
+        dict-of-Counter rows.
+        """
+        if (
+            self._succ_cache is not None
+            and self._succ_cache[0] == self._version
+        ):
+            return self._succ_cache[1]
+        adjacency = self.adjacency()
+        indptr = adjacency.indptr
+        indices = adjacency.indices.tolist()
+        succ = [
+            indices[indptr[node]: indptr[node + 1]] for node in range(self.n)
+        ]
+        self._succ_cache = (self._version, succ)
+        return succ
+
     def min_hop_paths_from(
         self, src: int, cap: int = 6
     ) -> Dict[int, List[List[int]]]:
@@ -424,7 +449,60 @@ class DirectConnectTopology:
         return paths
 
     def k_shortest_paths(self, src: int, dst: int, k: int) -> List[List[int]]:
-        """Yen's algorithm for up to ``k`` loopless shortest paths."""
+        """Yen's algorithm for up to ``k`` loopless shortest paths.
+
+        The spur searches run on the out-neighbor lists sliced from the
+        cached CSR adjacency (:meth:`_succ_lists`): root-path edges are
+        excluded through a ``removed`` edge set instead of mutating and
+        restoring the graph, so the loop never invalidates the caches.
+        The seed implementation survives as
+        :meth:`_k_shortest_paths_reference` for the equivalence tests.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        succ = self._succ_lists()
+        first = graph_kernels.shortest_path_avoiding(succ, src, dst)
+        if first is None:
+            return []
+        paths = [first]
+        candidates: List[Tuple[int, List[int]]] = []
+        seen = {tuple(first)}
+        while len(paths) < k:
+            prev_path = paths[-1]
+            for i in range(len(prev_path) - 1):
+                spur_node = prev_path[i]
+                root = prev_path[: i + 1]
+                removed = {
+                    (path[i], path[i + 1])
+                    for path in paths
+                    if len(path) > i and path[: i + 1] == root
+                }
+                spur = graph_kernels.shortest_path_avoiding(
+                    succ, spur_node, dst, root[:-1], removed
+                )
+                if spur is None:
+                    continue
+                candidate = root[:-1] + spur
+                key = tuple(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    heapq.heappush(candidates, (len(candidate), candidate))
+            if not candidates:
+                break
+            _, best = heapq.heappop(candidates)
+            paths.append(best)
+        return paths
+
+    def _k_shortest_paths_reference(
+        self, src: int, dst: int, k: int
+    ) -> List[List[int]]:
+        """Seed Yen's implementation (mutate-and-restore spur searches).
+
+        Reference for the equivalence tests only: path *lengths* are
+        uniquely determined by Yen's algorithm, so the CSR-backed
+        :meth:`k_shortest_paths` must match it hop-for-hop even when
+        equal-length ties resolve to different concrete paths.
+        """
         first = self.shortest_path(src, dst)
         if first is None:
             return []

@@ -53,6 +53,18 @@ class TopoOptFabric:
             self._fallback_cache[key] = [path] if path else []
         return self._fallback_cache[key]
 
+    def bulk_paths(self, kind: str = "mp"):
+        """Yield ``(src, dst, paths)`` over the whole ordered pair space.
+
+        Bulk enumeration for the cost-model kernel's routing-matrix
+        assembly; same per-pair results as :meth:`paths` (routing-table
+        hit, then cached shortest-path fallback).
+        """
+        for src in range(self.num_servers):
+            for dst in range(self.num_servers):
+                if src != dst:
+                    yield src, dst, self.paths(src, dst, kind)
+
     def ring_strides_for(self, members: Tuple[int, ...]) -> List[int]:
         """Selected TotientPerms strides for an AllReduce group."""
         for plan in self.result.group_plans:
@@ -122,3 +134,8 @@ class RemappedFabric:
             ([self.server_map[node] for node in path], rings)
             for path, rings in self.fabric.ring_edge_paths(local_members)
         ]
+
+    def ring_strides_for(self, members: Tuple[int, ...]) -> List[int]:
+        """Selected strides of the underlying group (ids translated)."""
+        local_members = tuple(self._inverse[m] for m in members)
+        return self.fabric.ring_strides_for(local_members)

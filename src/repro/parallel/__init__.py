@@ -8,11 +8,14 @@ plane of the alternating optimization):
   strategies.
 * :mod:`repro.parallel.traffic` -- extraction of AllReduce groups and the
   MP traffic matrix from (model, strategy, batch), i.e. the traffic
-  heatmaps of Figures 1/4/8/9.
+  heatmaps of Figures 1/4/8/9, decomposed into additive per-layer
+  contributions (:func:`~repro.parallel.traffic.layer_traffic`).
 * :mod:`repro.parallel.collectives` -- collective algorithms (ring,
   multi-ring, double binary tree, parameter server, hierarchical).
 * :mod:`repro.parallel.mcmc` -- the MCMC strategy search with a
-  topology-aware iteration-time cost model.
+  topology-aware iteration-time cost model, delta-scored through the
+  sparse kernel in :mod:`repro.perf.costmodel` (seed full-rebuild path
+  retained as the oracle).
 * :mod:`repro.parallel.taskgraph` -- phase-structured task graphs for the
   flow simulator.
 """
@@ -24,13 +27,23 @@ from repro.parallel.strategy import (
     data_parallel_strategy,
     hybrid_strategy,
 )
-from repro.parallel.traffic import TrafficSummary, extract_traffic
+from repro.parallel.traffic import (
+    LayerTraffic,
+    TrafficSummary,
+    extract_traffic,
+    layer_traffic,
+)
 from repro.parallel.collectives import (
     CollectiveAlgorithm,
     allreduce_edge_bytes,
     collective_traffic,
 )
-from repro.parallel.mcmc import MCMCSearch, MCMCResult, IterationCostModel
+from repro.parallel.mcmc import (
+    IterationCostModel,
+    MCMCResult,
+    MCMCSearch,
+    ReferenceIterationCostModel,
+)
 from repro.parallel.taskgraph import CommPhase, IterationPlan, build_iteration_plan
 
 __all__ = [
@@ -39,14 +52,17 @@ __all__ = [
     "PlacementKind",
     "data_parallel_strategy",
     "hybrid_strategy",
+    "LayerTraffic",
     "TrafficSummary",
     "extract_traffic",
+    "layer_traffic",
     "CollectiveAlgorithm",
     "allreduce_edge_bytes",
     "collective_traffic",
     "MCMCSearch",
     "MCMCResult",
     "IterationCostModel",
+    "ReferenceIterationCostModel",
     "CommPhase",
     "IterationPlan",
     "build_iteration_plan",

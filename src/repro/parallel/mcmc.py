@@ -15,6 +15,18 @@ roofline, plus per-phase communication time lower-bounded by the most
 loaded link after routing all transfers over the fabric's paths.  The
 Metropolis criterion accepts worse states with probability
 ``exp(-delta / T)``, and the best state ever visited is returned.
+
+The paper's premise is that this cost model is "orders of magnitude
+faster than simulating", so the implementation treats the inner loop as
+a hot path: routing lives in a per-fabric sparse matrix
+(:class:`repro.perf.costmodel.CostModelKernel`), a proposal re-routes
+only the moved layer through a delta update on the cached link-load
+vector, and a rejected proposal undoes in O(delta)
+(:class:`repro.perf.costmodel.IncrementalCostEvaluator`).  The seed
+full-rebuild discipline -- re-extract the whole traffic summary and
+re-route all n^2 pairs in Python per proposal -- is retained as
+:class:`ReferenceIterationCostModel` + ``search(incremental=False)``,
+the equivalence oracle and benchmark baseline.
 """
 
 from __future__ import annotations
@@ -33,20 +45,35 @@ from repro.parallel.strategy import (
     data_parallel_strategy,
     hybrid_strategy,
 )
-from repro.parallel.traffic import TrafficSummary, extract_traffic
+from repro.parallel.traffic import (
+    TrafficSummary,
+    extract_traffic,
+    layer_traffic,
+)
+from repro.perf.costmodel import CostModelKernel, IncrementalCostEvaluator
 
 Link = Tuple[int, int]
 
+#: Cost deltas below this relative threshold are accepted without
+#: consuming a random draw.  An analytically-neutral move (e.g. moving
+#: an MP owner on a symmetric fabric) produces delta == 0.0 exactly
+#: under a full rebuild but an O(1e-16)-relative residue under delta
+#: updates; snapping both to "accept" keeps the incremental and
+#: full-rebuild scorers on identical trajectories -- the property the
+#: per-step equivalence tests rely on.  Real placement deltas in these
+#: models are many orders of magnitude above the threshold.
+ACCEPT_TOL = 1e-9
 
-class IterationCostModel:
-    """Analytic iteration-time estimate on a fabric (FlexNet coarse).
+
+class ReferenceIterationCostModel:
+    """Seed analytic iteration-time estimate (pure-Python routing loops).
 
     ``cost(traffic)`` = compute + busiest-link time of the MP phase +
     busiest-link time of the AllReduce phase.  The busiest-link bound is
     the fluid simulator's makespan when the bottleneck link is shared by
     flows of equal length, and a tight lower bound otherwise -- accurate
-    enough to rank strategies, orders of magnitude faster than
-    simulating, which is what lets MCMC take thousands of steps.
+    enough to rank strategies.  Retained verbatim as the equivalence
+    reference for the vectorized :class:`IterationCostModel`.
     """
 
     def __init__(self, fabric, compute_s: float):
@@ -134,9 +161,40 @@ class IterationCostModel:
         )
 
 
+class IterationCostModel:
+    """Analytic iteration-time estimate on a fabric (FlexNet coarse).
+
+    Same estimate as :class:`ReferenceIterationCostModel`, evaluated
+    through the sparse routing-matrix kernel: link loads are one
+    ``R.T @ demand`` mat-vec and the busiest-link time a NumPy max,
+    instead of per-path Python loops.  Pass ``kernel`` to share one
+    assembled :class:`~repro.perf.costmodel.CostModelKernel` across
+    cost models of the same fabric (the alternating optimizer does).
+    """
+
+    def __init__(
+        self,
+        fabric,
+        compute_s: float,
+        kernel: Optional[CostModelKernel] = None,
+    ):
+        self.fabric = fabric
+        self.compute_s = compute_s
+        self.kernel = kernel if kernel is not None else CostModelKernel(fabric)
+
+    def mp_time(self, traffic: TrafficSummary) -> float:
+        return self.kernel.mp_time(traffic)
+
+    def allreduce_time(self, traffic: TrafficSummary) -> float:
+        return self.kernel.allreduce_time(traffic)
+
+    def cost(self, traffic: TrafficSummary) -> float:
+        return self.kernel.cost(traffic, self.compute_s)
+
+
 @dataclass
 class MCMCResult:
-    """Outcome of one MCMC search."""
+    """Outcome of one MCMC search (best state over all chains)."""
 
     strategy: ParallelizationStrategy
     traffic: TrafficSummary
@@ -144,6 +202,104 @@ class MCMCResult:
     accepted_moves: int
     proposed_moves: int
     cost_trace: List[float] = field(default_factory=list)
+    chains: int = 1
+    chain_best_costs: List[float] = field(default_factory=list)
+
+
+class _FullRebuildScorer:
+    """Seed scoring discipline: rebuild everything for every proposal."""
+
+    def __init__(self, search: "MCMCSearch", fabric):
+        self.search = search
+        self.cost_model = ReferenceIterationCostModel(
+            fabric, search.compute_s
+        )
+
+    def _extract(self, strategy: ParallelizationStrategy) -> TrafficSummary:
+        return extract_traffic(
+            self.search.model,
+            strategy,
+            self.search.batch_per_gpu,
+            self.search.gpus_per_server,
+        )
+
+    def begin(self, strategy: ParallelizationStrategy) -> float:
+        return self.cost_model.cost(self._extract(strategy))
+
+    def candidate(
+        self,
+        candidate: ParallelizationStrategy,
+        name: str,
+        old_placement: LayerPlacement,
+        new_placement: LayerPlacement,
+    ) -> float:
+        return self.cost_model.cost(self._extract(candidate))
+
+    def accept(self) -> None:
+        pass
+
+    def reject(self) -> None:
+        pass
+
+
+class _IncrementalScorer:
+    """Kernel scoring discipline: delta-update only the moved layer."""
+
+    def __init__(
+        self,
+        search: "MCMCSearch",
+        fabric,
+        kernel: Optional[CostModelKernel] = None,
+    ):
+        self.search = search
+        self.kernel = kernel if kernel is not None else CostModelKernel(fabric)
+        self.evaluator = IncrementalCostEvaluator(
+            self.kernel, search.compute_s
+        )
+        self._layers = {layer.name: layer for layer in search.model.layers}
+        self._compiled: Dict[Tuple[str, LayerPlacement], object] = {}
+        self._pending: Optional[Tuple[str, object]] = None
+
+    def _compiled_for(self, name: str, placement: LayerPlacement):
+        key = (name, placement)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            contribution = layer_traffic(
+                self._layers[name],
+                placement,
+                self.search.batch_per_server,
+                self.search.num_servers,
+            )
+            compiled = self.kernel.compile_layer(contribution)
+            self._compiled[key] = compiled
+        return compiled
+
+    def begin(self, strategy: ParallelizationStrategy) -> float:
+        strategy.validate_against(self.search.model)
+        self.evaluator.reset({
+            name: self._compiled_for(name, strategy.placement(name))
+            for name in self._layers
+        })
+        return self.evaluator.cost()
+
+    def candidate(
+        self,
+        candidate: ParallelizationStrategy,
+        name: str,
+        old_placement: LayerPlacement,
+        new_placement: LayerPlacement,
+    ) -> float:
+        self._pending = (name, self.evaluator.layer(name))
+        self.evaluator.set_layer(name, self._compiled_for(name, new_placement))
+        return self.evaluator.cost()
+
+    def accept(self) -> None:
+        self._pending = None
+
+    def reject(self) -> None:
+        name, old = self._pending
+        self.evaluator.set_layer(name, old)  # O(delta) undo
+        self._pending = None
 
 
 class MCMCSearch:
@@ -165,11 +321,16 @@ class MCMCSearch:
         self.gpus_per_server = gpus_per_server
         self.gpu = gpu
         self.temperature = temperature
+        self.seed = seed
         self.rng = random.Random(seed)
         self.compute_s = compute_time_seconds(
             model, self.batch_per_gpu, gpus_per_server, gpu
         )
         self._movable = [layer.name for layer in model.embedding_layers]
+
+    @property
+    def batch_per_server(self) -> int:
+        return self.batch_per_gpu * self.gpus_per_server
 
     # ------------------------------------------------------------------
     def initial_strategy(self) -> ParallelizationStrategy:
@@ -178,76 +339,141 @@ class MCMCSearch:
             return hybrid_strategy(self.model, self.num_servers)
         return data_parallel_strategy(self.model, self.num_servers)
 
-    def propose(
-        self, strategy: ParallelizationStrategy
-    ) -> ParallelizationStrategy:
-        """One random placement move (identity when nothing is movable)."""
+    def _propose_move(
+        self, strategy: ParallelizationStrategy, rng: random.Random
+    ) -> Optional[Tuple[str, LayerPlacement]]:
+        """Draw one placement move; None when identity (nothing moves)."""
         if not self._movable:
-            return strategy
-        layer_name = self.rng.choice(self._movable)
+            return None
+        layer_name = rng.choice(self._movable)
         current = strategy.placement(layer_name)
-        move = self.rng.random()
+        move = rng.random()
         all_servers = tuple(range(self.num_servers))
         if move < 0.60:
             # Move / assign a model-parallel owner.
-            owner = self.rng.randrange(self.num_servers)
+            owner = rng.randrange(self.num_servers)
             new = LayerPlacement(PlacementKind.MODEL_PARALLEL, (owner,))
         elif move < 0.85:
             new = LayerPlacement(PlacementKind.DATA_PARALLEL, all_servers)
         else:
             new = LayerPlacement(PlacementKind.SHARDED)
         if new == current:
+            return None
+        return layer_name, new
+
+    def propose(
+        self, strategy: ParallelizationStrategy
+    ) -> ParallelizationStrategy:
+        """One random placement move (identity when nothing is movable)."""
+        move = self._propose_move(strategy, self.rng)
+        if move is None:
             return strategy
-        return strategy.with_placement(layer_name, new)
+        return strategy.with_placement(*move)
+
+    # ------------------------------------------------------------------
+    def _run_chain(
+        self,
+        iterations: int,
+        initial: Optional[ParallelizationStrategy],
+        rng: random.Random,
+        scorer,
+    ) -> MCMCResult:
+        """Run one Metropolis chain; return its best state."""
+        strategy = initial or self.initial_strategy()
+        cost = scorer.begin(strategy)
+        best_strategy, best_cost = strategy, cost
+        trace = [cost]
+        accepted = 0
+        for _ in range(iterations):
+            move = self._propose_move(strategy, rng)
+            if move is None:
+                trace.append(cost)
+                continue
+            name, new_placement = move
+            old_placement = strategy.placement(name)
+            candidate = strategy.with_placement(name, new_placement)
+            candidate_cost = scorer.candidate(
+                candidate, name, old_placement, new_placement
+            )
+            delta = candidate_cost - cost
+            scale = max(cost, 1e-9) * self.temperature
+            if delta <= ACCEPT_TOL * max(cost, 1e-9) or rng.random() < (
+                math.exp(-delta / scale)
+            ):
+                scorer.accept()
+                strategy, cost = candidate, candidate_cost
+                accepted += 1
+                if cost < best_cost:
+                    best_strategy, best_cost = strategy, cost
+            else:
+                scorer.reject()
+            trace.append(cost)
+        traffic = extract_traffic(
+            self.model, best_strategy, self.batch_per_gpu,
+            self.gpus_per_server,
+        )
+        return MCMCResult(
+            strategy=best_strategy,
+            traffic=traffic,
+            cost_s=best_cost,
+            accepted_moves=accepted,
+            proposed_moves=iterations,
+            cost_trace=trace,
+        )
+
+    def _chain_rng(self, chain: int) -> random.Random:
+        """Chain 0 reuses ``self.rng`` (seed-compatible); others derive.
+
+        Extra chains are seeded from ``self.rng`` *after* the previous
+        chain ran, so they stay deterministic for a given search seed
+        yet decorrelated across repeated ``search`` calls (the
+        alternating optimizer searches once per round).
+        """
+        if chain == 0:
+            return self.rng
+        return random.Random(self.rng.getrandbits(64))
 
     def search(
         self,
         fabric,
         iterations: int = 200,
         initial: Optional[ParallelizationStrategy] = None,
+        *,
+        incremental: bool = True,
+        restarts: int = 1,
+        kernel: Optional[CostModelKernel] = None,
     ) -> MCMCResult:
-        """Run the Metropolis chain on ``fabric``; return the best state."""
-        cost_model = IterationCostModel(fabric, self.compute_s)
-        strategy = initial or self.initial_strategy()
-        traffic = extract_traffic(
-            self.model, strategy, self.batch_per_gpu, self.gpus_per_server
-        )
-        cost = cost_model.cost(traffic)
-        best = MCMCResult(
-            strategy=strategy,
-            traffic=traffic,
-            cost_s=cost,
-            accepted_moves=0,
-            proposed_moves=0,
-            cost_trace=[cost],
-        )
-        accepted = 0
-        for _ in range(iterations):
-            candidate = self.propose(strategy)
-            if candidate is strategy:
-                best.cost_trace.append(cost)
-                continue
-            candidate_traffic = extract_traffic(
-                self.model,
-                candidate,
-                self.batch_per_gpu,
-                self.gpus_per_server,
-            )
-            candidate_cost = cost_model.cost(candidate_traffic)
-            delta = candidate_cost - cost
-            scale = max(cost, 1e-9) * self.temperature
-            if delta <= 0 or self.rng.random() < math.exp(-delta / scale):
-                strategy, traffic, cost = (
-                    candidate,
-                    candidate_traffic,
-                    candidate_cost,
-                )
-                accepted += 1
-                if cost < best.cost_s:
-                    best.strategy = strategy
-                    best.traffic = traffic
-                    best.cost_s = cost
-            best.cost_trace.append(cost)
-        best.accepted_moves = accepted
-        best.proposed_moves = iterations
+        """Run the Metropolis chain(s) on ``fabric``; return the best state.
+
+        Parameters
+        ----------
+        incremental:
+            Score proposals through the sparse incremental kernel (the
+            default); ``False`` selects the retained seed full-rebuild
+            path (:class:`ReferenceIterationCostModel`), used by the
+            equivalence tests and benchmarks.
+        restarts:
+            Number of independent seeded chains (best-of).  Cheap now
+            that a step no longer re-routes all n^2 pairs; chains share
+            one routing kernel and compiled-layer cache.
+        kernel:
+            Optional pre-assembled routing kernel for ``fabric``; the
+            alternating optimizer passes one to reuse it across rounds.
+        """
+        if restarts < 1:
+            raise ValueError("need at least one chain")
+        if incremental:
+            scorer = _IncrementalScorer(self, fabric, kernel)
+        else:
+            scorer = _FullRebuildScorer(self, fabric)
+        results = [
+            self._run_chain(iterations, initial, self._chain_rng(c), scorer)
+            for c in range(restarts)
+        ]
+        best = min(results, key=lambda result: result.cost_s)
+        best.chains = restarts
+        best.chain_best_costs = [result.cost_s for result in results]
+        if restarts > 1:
+            best.accepted_moves = sum(r.accepted_moves for r in results)
+            best.proposed_moves = sum(r.proposed_moves for r in results)
         return best

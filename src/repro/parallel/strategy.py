@@ -60,12 +60,17 @@ class ParallelizationStrategy:
 
     def __post_init__(self):
         for name, placement in self.placements.items():
-            for server in placement.servers:
-                if not 0 <= server < self.num_servers:
-                    raise ValueError(
-                        f"layer {name!r} placed on server {server}, but the "
-                        f"job only has {self.num_servers} servers"
-                    )
+            self._validate_placement(name, placement)
+
+    def _validate_placement(
+        self, name: str, placement: LayerPlacement
+    ) -> None:
+        for server in placement.servers:
+            if not 0 <= server < self.num_servers:
+                raise ValueError(
+                    f"layer {name!r} placed on server {server}, but the "
+                    f"job only has {self.num_servers} servers"
+                )
 
     def placement(self, layer_name: str) -> LayerPlacement:
         try:
@@ -88,9 +93,21 @@ class ParallelizationStrategy:
     def with_placement(
         self, layer_name: str, placement: LayerPlacement
     ) -> "ParallelizationStrategy":
+        """A copy with one placement replaced.
+
+        The MCMC hot path constructs one strategy per proposal, so only
+        the *changed* placement is validated -- every other placement
+        was already validated when this strategy was built.
+        """
+        if self.placements.get(layer_name) == placement:
+            return self
+        self._validate_placement(layer_name, placement)
         updated = dict(self.placements)
         updated[layer_name] = placement
-        return ParallelizationStrategy(self.num_servers, updated)
+        clone = object.__new__(ParallelizationStrategy)
+        object.__setattr__(clone, "num_servers", self.num_servers)
+        object.__setattr__(clone, "placements", updated)
+        return clone
 
     def mp_owner_servers(self) -> Dict[str, Tuple[int, ...]]:
         return {

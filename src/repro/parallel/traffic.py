@@ -24,13 +24,14 @@ Accounting follows the paper's DLRM example (section 2.1 / Appendix D):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.topology_finder import AllReduceGroup
-from repro.models.base import DNNModel
+from repro.models.base import DNNModel, Layer
 from repro.parallel.strategy import (
+    LayerPlacement,
     ParallelizationStrategy,
     PlacementKind,
 )
@@ -94,13 +95,110 @@ class TrafficSummary:
         return float(self.heatmap().max())
 
 
+@dataclass(frozen=True, eq=False)
+class LayerTraffic:
+    """One layer's additive contribution to a :class:`TrafficSummary`.
+
+    The traffic a strategy generates is a sum of independent per-layer
+    terms: an AllReduce byte count joining the layer's replica set, and
+    MP demand on a (usually sparse) set of server pairs.  Exposing the
+    decomposition is what lets the incremental cost evaluator
+    (:mod:`repro.perf.costmodel`) re-extract only the layer a placement
+    move touched instead of rebuilding the whole summary.
+
+    Attributes
+    ----------
+    n:
+        Number of servers (pair indices are flattened ``src * n + dst``).
+    dp_replicas / dp_bytes:
+        The replica set whose AllReduce group the layer's parameters
+        join (``None`` when the layer adds no AllReduce traffic).
+    mp_pair_indices / mp_pair_bytes:
+        Flattened pair indices and byte counts of the layer's MP
+        (activation/gradient) demand; indices may repeat and are summed.
+    """
+
+    n: int
+    dp_replicas: Optional[Tuple[int, ...]]
+    dp_bytes: float
+    mp_pair_indices: np.ndarray
+    mp_pair_bytes: np.ndarray
+
+
+_EMPTY_IDX = np.zeros(0, dtype=np.int64)
+_EMPTY_VAL = np.zeros(0)
+
+#: Flattened off-diagonal pair indices per n (sharded layers hit all of
+#: them; built once per cluster size).
+_OFFDIAG_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _offdiag_pair_indices(n: int) -> np.ndarray:
+    cached = _OFFDIAG_CACHE.get(n)
+    if cached is None:
+        idx = np.arange(n * n, dtype=np.int64)
+        cached = idx[idx // n != idx % n]
+        _OFFDIAG_CACHE[n] = cached
+    return cached
+
+
+def layer_traffic(
+    layer: Layer,
+    placement: LayerPlacement,
+    batch_per_server: int,
+    n: int,
+) -> LayerTraffic:
+    """The traffic contribution of one layer under one placement.
+
+    Accounting matches :func:`extract_traffic` exactly (which is built
+    on this function): DP parameters join the replica set's AllReduce
+    group; an MP layer exchanges activations/gradients between its
+    owner(s) and every worker; a sharded table is an all-to-all.
+    """
+    if placement.kind == PlacementKind.DATA_PARALLEL:
+        replicas = placement.servers or tuple(range(n))
+        if len(replicas) >= 2 and layer.params_bytes > 0:
+            return LayerTraffic(
+                n, replicas, layer.params_bytes, _EMPTY_IDX, _EMPTY_VAL
+            )
+        return LayerTraffic(n, None, 0.0, _EMPTY_IDX, _EMPTY_VAL)
+    if placement.kind == PlacementKind.MODEL_PARALLEL:
+        owners = placement.servers
+        per_worker = (
+            layer.activation_bytes_per_sample * batch_per_server / len(owners)
+        )
+        chunks: List[np.ndarray] = []
+        everyone = np.arange(n, dtype=np.int64)
+        for owner in owners:
+            workers = everyone[everyone != owner]
+            chunks.append(owner * n + workers)  # forward activations
+            chunks.append(workers * n + owner)  # backward gradients
+        indices = (
+            np.concatenate(chunks) if chunks else _EMPTY_IDX
+        )
+        values = np.full(indices.shape, per_worker)
+        return LayerTraffic(n, None, 0.0, indices, values)
+    if placement.kind == PlacementKind.SHARDED:
+        if n < 2:
+            return LayerTraffic(n, None, 0.0, _EMPTY_IDX, _EMPTY_VAL)
+        per_pair = layer.activation_bytes_per_sample * batch_per_server / n
+        indices = _offdiag_pair_indices(n)
+        values = np.full(indices.shape, 2.0 * per_pair)  # fwd + bwd
+        return LayerTraffic(n, None, 0.0, indices, values)
+    raise ValueError(f"unknown placement kind {placement.kind}")
+
+
 def extract_traffic(
     model: DNNModel,
     strategy: ParallelizationStrategy,
     batch_per_gpu: int = None,
     gpus_per_server: int = 4,
 ) -> TrafficSummary:
-    """Derive AllReduce groups and the MP matrix from a strategy."""
+    """Derive AllReduce groups and the MP matrix from a strategy.
+
+    A thin aggregation over :func:`layer_traffic`: the summary is the
+    sum of every layer's additive contribution, in layer order.
+    """
     strategy.validate_against(model)
     n = strategy.num_servers
     if batch_per_gpu is None:
@@ -108,34 +206,24 @@ def extract_traffic(
     batch_per_server = batch_per_gpu * gpus_per_server
 
     summary = TrafficSummary(n=n)
+    flat = summary.mp_matrix.reshape(-1)
     dp_bytes_by_replicas: Dict[Tuple[int, ...], float] = {}
 
     for layer in model.layers:
-        placement = strategy.placement(layer.name)
-        if placement.kind == PlacementKind.DATA_PARALLEL:
-            replicas = placement.servers or tuple(range(n))
-            if len(replicas) >= 2 and layer.params_bytes > 0:
-                dp_bytes_by_replicas[replicas] = (
-                    dp_bytes_by_replicas.get(replicas, 0.0)
-                    + layer.params_bytes
-                )
-        elif placement.kind == PlacementKind.MODEL_PARALLEL:
-            _add_model_parallel_traffic(
-                summary.mp_matrix,
-                placement.servers,
-                layer.activation_bytes_per_sample,
-                batch_per_server,
-                n,
+        contribution = layer_traffic(
+            layer, strategy.placement(layer.name), batch_per_server, n
+        )
+        if contribution.mp_pair_indices.size:
+            np.add.at(
+                flat,
+                contribution.mp_pair_indices,
+                contribution.mp_pair_bytes,
             )
-        elif placement.kind == PlacementKind.SHARDED:
-            _add_sharded_traffic(
-                summary.mp_matrix,
-                layer.activation_bytes_per_sample,
-                batch_per_server,
-                n,
+        if contribution.dp_replicas is not None:
+            dp_bytes_by_replicas[contribution.dp_replicas] = (
+                dp_bytes_by_replicas.get(contribution.dp_replicas, 0.0)
+                + contribution.dp_bytes
             )
-        else:  # pragma: no cover - enum is exhaustive
-            raise ValueError(f"unknown placement kind {placement.kind}")
 
     for replicas, params_bytes in dp_bytes_by_replicas.items():
         summary.allreduce_groups.append(

@@ -9,14 +9,21 @@ leans on for cluster-scale runs:
   per-(link, flow) Python loops.
 - :mod:`repro.perf.graph` -- all-pairs hop counts (one C-level BFS
   sweep per source via ``scipy.sparse.csgraph``), strong-connectivity
-  checks, and min-hop path enumeration from a precomputed distance
-  matrix.
+  checks, min-hop path enumeration from a precomputed distance matrix,
+  and the node/edge-avoiding BFS behind Yen's spur searches.
+- :mod:`repro.perf.costmodel` -- the sparse iteration-cost kernel for
+  the strategy search: per-fabric pair -> link routing matrices,
+  compiled per-layer load vectors, and the delta-updated
+  :class:`~repro.perf.costmodel.IncrementalCostEvaluator` the MCMC
+  inner loop mutates.
 - :mod:`repro.perf.bench` -- the micro-benchmark runner behind
   ``benchmarks/bench_perf_kernels.py`` and ``repro.cli bench-smoke``.
 
 Consumers: :mod:`repro.sim.fluid` (rate allocation, phase simulation),
-:mod:`repro.network.topology` (graph queries, routing support), and
-:mod:`repro.core.routing_lp` (sparse LP assembly).
+:mod:`repro.network.topology` (graph queries, routing support),
+:mod:`repro.core.routing_lp` (sparse LP assembly), and
+:mod:`repro.parallel.mcmc` / :mod:`repro.core.alternating` (the
+incremental cost model).
 """
 
 from repro.perf.fairshare import build_incidence, progressive_filling_rates

@@ -11,7 +11,16 @@ needed once the matrix exists.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 from scipy import sparse
@@ -46,6 +55,51 @@ def is_strongly_connected(adjacency: sparse.csr_matrix) -> bool:
         adjacency, directed=True, connection="strong"
     )
     return num_components == 1
+
+
+def shortest_path_avoiding(
+    successors: Sequence[Sequence[int]],
+    src: int,
+    dst: int,
+    banned: Iterable[int] = (),
+    removed_edges: Optional[Set[Tuple[int, int]]] = None,
+) -> Optional[List[int]]:
+    """BFS shortest path over out-neighbor lists, avoiding nodes/edges.
+
+    The workhorse of Yen's spur loop: ``successors`` comes from the
+    topology's cached CSR adjacency (plain int lists, one per node), so
+    the spur search neither iterates dict-of-Counter rows nor mutates
+    the graph -- root-path edges are excluded through ``removed_edges``
+    and root-path nodes through ``banned``.
+
+    Returns the node list from ``src`` to ``dst``, or ``None`` when no
+    path avoids the exclusions.
+    """
+    if src == dst:
+        return [src] if src not in set(banned) else None
+    prev = [-1] * len(successors)
+    for node in banned:
+        prev[node] = -2  # visited-marker: never expanded
+    if prev[src] == -2:
+        return None
+    prev[src] = src
+    queue = deque([src])
+    while queue:
+        node = queue.popleft()
+        for nbr in successors[node]:
+            if prev[nbr] != -1:
+                continue
+            if removed_edges and (node, nbr) in removed_edges:
+                continue
+            prev[nbr] = node
+            if nbr == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(prev[path[-1]])
+                path.reverse()
+                return path
+            queue.append(nbr)
+    return None
 
 
 def _shortest_path_dag_parents(

@@ -1,0 +1,347 @@
+"""Equivalence tests: the sparse cost-model kernel vs. the seed loops.
+
+The kernel layer (repro.perf.costmodel) must produce the same phase
+times and iteration costs as the retained pure-Python reference
+(ReferenceIterationCostModel), and the delta-updated incremental
+evaluator must track the full rebuild exactly across randomized move
+sequences -- including past the re-synchronization interval.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.topology_finder import topology_finder
+from repro.models import build_dlrm, build_vgg
+from repro.network.fattree import (
+    IdealSwitchFabric,
+    LeafSpineFabric,
+    OversubscribedFatTreeFabric,
+)
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.mcmc import MCMCSearch, ReferenceIterationCostModel
+from repro.parallel.strategy import (
+    LayerPlacement,
+    PlacementKind,
+    all_sharded_strategy,
+    data_parallel_strategy,
+    hybrid_strategy,
+)
+from repro.parallel.traffic import (
+    _add_model_parallel_traffic,
+    _add_sharded_traffic,
+    extract_traffic,
+    layer_traffic,
+)
+from repro.perf.costmodel import (
+    SYNC_INTERVAL,
+    CostModelKernel,
+    IncrementalCostEvaluator,
+)
+
+GBPS = 1e9
+N = 8
+
+
+def small_dlrm():
+    return build_dlrm(
+        num_embedding_tables=4,
+        embedding_rows=100_000,
+        embedding_dim=256,
+        num_dense_layers=2,
+        dense_layer_size=512,
+        num_feature_layers=2,
+        feature_layer_size=512,
+        batch_per_gpu=32,
+    )
+
+
+def topoopt_fabric(model, n=N, degree=4):
+    search = MCMCSearch(model, num_servers=n, seed=0)
+    traffic = extract_traffic(
+        model, search.initial_strategy(), search.batch_per_gpu
+    )
+    result = topology_finder(
+        n, degree, traffic.allreduce_groups, traffic.mp_matrix
+    )
+    return TopoOptFabric(result, 100 * GBPS)
+
+
+def fabrics_for(model):
+    return [
+        IdealSwitchFabric(N, 4, 100 * GBPS),
+        LeafSpineFabric(N, 4, 100 * GBPS, servers_per_rack=2, num_spines=2),
+        OversubscribedFatTreeFabric(N, 4, 100 * GBPS, servers_per_rack=4),
+        topoopt_fabric(model),
+    ]
+
+
+def strategies_for(model):
+    return [
+        data_parallel_strategy(model, N),
+        hybrid_strategy(model, N),
+        all_sharded_strategy(model, N),
+    ]
+
+
+class TestKernelEquivalence:
+    def test_phase_times_match_reference(self):
+        model = small_dlrm()
+        for fabric in fabrics_for(model):
+            kernel = CostModelKernel(fabric)
+            reference = ReferenceIterationCostModel(fabric, 0.0)
+            for strategy in strategies_for(model):
+                traffic = extract_traffic(model, strategy, 32)
+                assert kernel.mp_time(traffic) == pytest.approx(
+                    reference.mp_time(traffic), rel=1e-12
+                )
+                assert kernel.allreduce_time(traffic) == pytest.approx(
+                    reference.allreduce_time(traffic), rel=1e-12
+                )
+
+    def test_pure_dp_model_matches(self):
+        model = build_vgg(16)
+        strategy = data_parallel_strategy(model, N)
+        traffic = extract_traffic(model, strategy, 8)
+        for fabric in fabrics_for(model):
+            kernel = CostModelKernel(fabric)
+            reference = ReferenceIterationCostModel(fabric, 1.0)
+            assert kernel.cost(traffic, 1.0) == pytest.approx(
+                reference.cost(traffic), rel=1e-12
+            )
+
+    def test_unroutable_traffic_is_infinite(self):
+        class DeadFabric:
+            name = "dead"
+
+            def capacities(self):
+                return {(0, 1): GBPS}
+
+            def paths(self, src, dst, kind="mp"):
+                return []
+
+        model = small_dlrm()
+        traffic = extract_traffic(model, hybrid_strategy(model, 4), 8)
+        kernel = CostModelKernel(DeadFabric())
+        assert math.isinf(kernel.cost(traffic, 0.0))
+
+
+class TestLayerDecomposition:
+    def test_contributions_sum_to_extracted_matrix(self):
+        model = small_dlrm()
+        for strategy in strategies_for(model):
+            summary = extract_traffic(model, strategy, 32)
+            total = np.zeros(N * N)
+            groups = {}
+            for layer in model.layers:
+                contribution = layer_traffic(
+                    layer, strategy.placement(layer.name), 32 * 4, N
+                )
+                np.add.at(
+                    total,
+                    contribution.mp_pair_indices,
+                    contribution.mp_pair_bytes,
+                )
+                if contribution.dp_replicas is not None:
+                    groups[contribution.dp_replicas] = (
+                        groups.get(contribution.dp_replicas, 0.0)
+                        + contribution.dp_bytes
+                    )
+            assert np.array_equal(total.reshape(N, N), summary.mp_matrix)
+            assert groups == {
+                g.members: g.total_bytes for g in summary.allreduce_groups
+            }
+
+    def test_matches_seed_accumulators(self):
+        model = small_dlrm()
+        layer = model.embedding_layers[0]
+        batch_per_server = 128
+
+        mp = layer_traffic(
+            layer,
+            LayerPlacement(PlacementKind.MODEL_PARALLEL, (3,)),
+            batch_per_server,
+            N,
+        )
+        expected = np.zeros((N, N))
+        _add_model_parallel_traffic(
+            expected, (3,), layer.activation_bytes_per_sample,
+            batch_per_server, N,
+        )
+        got = np.zeros(N * N)
+        np.add.at(got, mp.mp_pair_indices, mp.mp_pair_bytes)
+        assert np.array_equal(got.reshape(N, N), expected)
+
+        sharded = layer_traffic(
+            layer, LayerPlacement(PlacementKind.SHARDED), batch_per_server, N
+        )
+        expected = np.zeros((N, N))
+        _add_sharded_traffic(
+            expected, layer.activation_bytes_per_sample, batch_per_server, N
+        )
+        got = np.zeros(N * N)
+        np.add.at(got, sharded.mp_pair_indices, sharded.mp_pair_bytes)
+        assert np.array_equal(got.reshape(N, N), expected)
+
+
+def random_placement(rng, n):
+    move = rng.random()
+    if move < 0.45:
+        return LayerPlacement(
+            PlacementKind.MODEL_PARALLEL, (rng.randrange(n),)
+        )
+    if move < 0.8:
+        return LayerPlacement(PlacementKind.DATA_PARALLEL, tuple(range(n)))
+    return LayerPlacement(PlacementKind.SHARDED)
+
+
+class TestIncrementalEvaluator:
+    def _evaluator(self, model, fabric, strategy):
+        search = MCMCSearch(model, num_servers=N, seed=0)
+        kernel = CostModelKernel(fabric)
+        evaluator = IncrementalCostEvaluator(kernel, search.compute_s)
+        compiled = {
+            layer.name: kernel.compile_layer(layer_traffic(
+                layer,
+                strategy.placement(layer.name),
+                search.batch_per_server,
+                N,
+            ))
+            for layer in model.layers
+        }
+        evaluator.reset(compiled)
+        return search, kernel, evaluator
+
+    def test_random_moves_track_full_rebuild_oracle(self):
+        model = small_dlrm()
+        rng = random.Random(11)
+        movable = [layer.name for layer in model.embedding_layers]
+        for fabric in (
+            IdealSwitchFabric(N, 4, 100 * GBPS),
+            topoopt_fabric(model),
+        ):
+            strategy = hybrid_strategy(model, N)
+            search, kernel, evaluator = self._evaluator(
+                model, fabric, strategy
+            )
+            reference = ReferenceIterationCostModel(fabric, search.compute_s)
+            layers = {layer.name: layer for layer in model.layers}
+            for _ in range(120):
+                name = rng.choice(movable)
+                placement = random_placement(rng, N)
+                strategy = strategy.with_placement(name, placement)
+                evaluator.set_layer(name, kernel.compile_layer(layer_traffic(
+                    layers[name], placement, search.batch_per_server, N
+                )))
+                expected = reference.cost(extract_traffic(
+                    model, strategy, search.batch_per_gpu
+                ))
+                assert evaluator.cost() == pytest.approx(
+                    expected, rel=1e-12
+                )
+
+    def test_undo_is_exact(self):
+        model = small_dlrm()
+        fabric = topoopt_fabric(model)
+        strategy = hybrid_strategy(model, N)
+        search, kernel, evaluator = self._evaluator(model, fabric, strategy)
+        name = model.embedding_layers[0].name
+        layers = {layer.name: layer for layer in model.layers}
+        before = evaluator.cost()
+        old = evaluator.layer(name)
+        evaluator.set_layer(name, kernel.compile_layer(layer_traffic(
+            layers[name],
+            LayerPlacement(PlacementKind.SHARDED),
+            search.batch_per_server,
+            N,
+        )))
+        assert evaluator.cost() != pytest.approx(before, rel=1e-6)
+        evaluator.set_layer(name, old)
+        assert evaluator.cost() == pytest.approx(before, rel=1e-12)
+
+    def test_unroutable_state_is_exact_after_moves(self):
+        # Regression: unroutability must be tracked by exact counting,
+        # not float byte sums -- moving every unroutable layer away
+        # must return the evaluator to a finite cost immediately (not
+        # only at the next re-sync), matching the rebuild oracle.
+        class OneWayBlockedFabric:
+            # Fully routable except 0 -> 2 (the reverse direction and
+            # the AllReduce ring 0 -> 1 -> 2 -> 0 still work).
+            name = "partial"
+            num_servers = 3
+
+            def capacities(self):
+                caps = {}
+                for a in range(3):
+                    for b in range(3):
+                        if a != b and (a, b) != (0, 2):
+                            caps[(a, b)] = GBPS
+                return caps
+
+            def paths(self, src, dst, kind="mp"):
+                if src == dst:
+                    return [[src]]
+                if (src, dst) == (0, 2):
+                    return []
+                return [[src, dst]]
+
+        model = small_dlrm()
+        n = 3
+        fabric = OneWayBlockedFabric()
+        search = MCMCSearch(model, num_servers=n, seed=0)
+        kernel = CostModelKernel(fabric)
+        evaluator = IncrementalCostEvaluator(kernel, search.compute_s)
+        # Two embedding tables model-parallel on server 0: each puts
+        # MP demand on the pathless (0, 2) pair.
+        strategy = hybrid_strategy(
+            model, n,
+            embedding_owners={
+                layer.name: 0 for layer in model.embedding_layers
+            },
+        )
+        compiled = {
+            layer.name: kernel.compile_layer(layer_traffic(
+                layer, strategy.placement(layer.name),
+                search.batch_per_server, n,
+            ))
+            for layer in model.layers
+        }
+        evaluator.reset(compiled)
+        assert math.isinf(evaluator.cost())
+        layers = {layer.name: layer for layer in model.layers}
+        dp = LayerPlacement(PlacementKind.DATA_PARALLEL, tuple(range(n)))
+        for layer in model.embedding_layers:
+            strategy = strategy.with_placement(layer.name, dp)
+            evaluator.set_layer(layer.name, kernel.compile_layer(
+                layer_traffic(
+                    layers[layer.name], dp, search.batch_per_server, n
+                )
+            ))
+        cost = evaluator.cost()
+        assert math.isfinite(cost)
+        expected = ReferenceIterationCostModel(fabric, search.compute_s).cost(
+            extract_traffic(model, strategy, search.batch_per_gpu)
+        )
+        assert cost == pytest.approx(expected, rel=1e-12)
+
+    def test_drift_bounded_past_sync_interval(self):
+        model = small_dlrm()
+        fabric = IdealSwitchFabric(N, 4, 100 * GBPS)
+        strategy = hybrid_strategy(model, N)
+        search, kernel, evaluator = self._evaluator(model, fabric, strategy)
+        name = model.embedding_layers[0].name
+        layers = {layer.name: layer for layer in model.layers}
+        rng = random.Random(3)
+        for _ in range(SYNC_INTERVAL + 50):
+            placement = random_placement(rng, N)
+            strategy = strategy.with_placement(name, placement)
+            evaluator.set_layer(name, kernel.compile_layer(layer_traffic(
+                layers[name], placement, search.batch_per_server, N
+            )))
+        reference = ReferenceIterationCostModel(fabric, search.compute_s)
+        expected = reference.cost(extract_traffic(
+            model, strategy, search.batch_per_gpu
+        ))
+        assert evaluator.cost() == pytest.approx(expected, rel=1e-12)

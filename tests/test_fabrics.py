@@ -197,3 +197,52 @@ class TestRemappedFabric:
         fabric = _topoopt(n=4, d=2)
         with pytest.raises(ValueError):
             RemappedFabric(fabric, [1, 1, 2, 3])
+
+    def test_ring_strides_delegated(self):
+        # A relabeled shard must expose the same fabric interface as
+        # TopoOptFabric: ring_strides_for translates members back to
+        # local ids and returns the underlying plan's strides.
+        fabric = _topoopt(n=12, d=4)
+        server_map = [20 + i for i in range(12)]
+        remapped = fabric.relabel(server_map)
+        local_members = tuple(range(12))
+        global_members = tuple(server_map[m] for m in local_members)
+        assert remapped.ring_strides_for(global_members) == (
+            fabric.ring_strides_for(local_members)
+        )
+        assert remapped.ring_strides_for(tuple(server_map[:3])) == [1]
+
+    def test_relabel_round_trip(self):
+        # Translating every query through the map and back must
+        # reproduce the local fabric exactly.
+        fabric = _topoopt(n=6, d=3)
+        server_map = [13, 7, 42, 0, 9, 21]
+        remapped = fabric.relabel(server_map)
+        inverse = {g: l for l, g in enumerate(server_map)}
+
+        assert {
+            (inverse[s], inverse[d]): cap
+            for (s, d), cap in remapped.capacities().items()
+        } == fabric.capacities()
+        for src in range(6):
+            for dst in range(6):
+                if src == dst:
+                    continue
+                for kind in ("mp", "allreduce"):
+                    local = fabric.paths(src, dst, kind)
+                    translated = [
+                        [inverse[node] for node in path]
+                        for path in remapped.paths(
+                            server_map[src], server_map[dst], kind
+                        )
+                    ]
+                    assert translated == local
+        members = tuple(range(6))
+        mapped = tuple(server_map[m] for m in members)
+        assert [
+            ([inverse[node] for node in path], rings)
+            for path, rings in remapped.ring_edge_paths(mapped)
+        ] == fabric.ring_edge_paths(members)
+        assert remapped.ring_strides_for(mapped) == (
+            fabric.ring_strides_for(members)
+        )

@@ -2,11 +2,18 @@
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.models import build_dlrm, build_vgg
+from repro.core.topology_finder import topology_finder
+from repro.models import build_bert, build_dlrm, build_vgg
 from repro.network.fattree import IdealSwitchFabric
-from repro.parallel.mcmc import IterationCostModel, MCMCSearch
+from repro.network.topoopt import TopoOptFabric
+from repro.parallel.mcmc import (
+    IterationCostModel,
+    MCMCSearch,
+    ReferenceIterationCostModel,
+)
 from repro.parallel.strategy import (
     data_parallel_strategy,
     hybrid_strategy,
@@ -27,6 +34,22 @@ def small_dlrm():
         feature_layer_size=512,
         batch_per_gpu=32,
     )
+
+
+def small_bert():
+    return build_bert(num_blocks=2, hidden=256, seq_len=32, heads=4,
+                      embedding_size=128, vocab_size=10_000, batch_per_gpu=8)
+
+
+def topoopt_fabric(model, n=8, degree=4):
+    search = MCMCSearch(model, num_servers=n, seed=0)
+    traffic = extract_traffic(
+        model, search.initial_strategy(), search.batch_per_gpu
+    )
+    result = topology_finder(
+        n, degree, traffic.allreduce_groups, traffic.mp_matrix
+    )
+    return TopoOptFabric(result, 100 * GBPS)
 
 
 class TestIterationCostModel:
@@ -124,6 +147,69 @@ class TestSearch:
         fabric = IdealSwitchFabric(4, 4, 100 * GBPS)
         result = search.search(fabric, iterations=10)
         assert result.strategy.is_pure_data_parallel()
+
+    def test_identical_trace_for_same_seed(self):
+        # Determinism of the incremental default path: two fresh
+        # searches with the same seed must walk the exact same chain.
+        model = small_dlrm()
+        fabric = topoopt_fabric(model)
+        t1 = MCMCSearch(model, 8, seed=9).search(fabric, 80).cost_trace
+        t2 = MCMCSearch(model, 8, seed=9).search(fabric, 80).cost_trace
+        assert t1 == t2
+
+    def test_incremental_matches_full_rebuild_oracle(self):
+        # The headline equivalence: the delta-updated kernel must score
+        # every step of the chain like the seed full-rebuild discipline
+        # (same seed => same proposal stream => comparable traces).
+        for model in (small_dlrm(), small_bert()):
+            for fabric in (
+                topoopt_fabric(model),
+                IdealSwitchFabric(8, 4, 100 * GBPS),
+            ):
+                ref = MCMCSearch(model, 8, seed=4).search(
+                    fabric, 120, incremental=False
+                )
+                inc = MCMCSearch(model, 8, seed=4).search(
+                    fabric, 120, incremental=True
+                )
+                a = np.asarray(ref.cost_trace)
+                b = np.asarray(inc.cost_trace)
+                assert ref.accepted_moves == inc.accepted_moves
+                assert np.all(
+                    np.abs(a - b) <= 1e-12 * np.maximum(np.abs(a), 1e-300)
+                )
+                assert inc.cost_s == pytest.approx(ref.cost_s, rel=1e-12)
+
+    def test_best_cost_matches_reference_cost_model(self):
+        # The returned best cost must be reproducible by scoring the
+        # returned strategy's traffic with the pure-Python reference.
+        model = small_dlrm()
+        fabric = topoopt_fabric(model)
+        search = MCMCSearch(model, 8, seed=6)
+        result = search.search(fabric, iterations=60)
+        expected = ReferenceIterationCostModel(
+            fabric, search.compute_s
+        ).cost(result.traffic)
+        assert result.cost_s == pytest.approx(expected, rel=1e-12)
+
+    def test_multi_chain_restarts_best_of(self):
+        model = small_dlrm()
+        fabric = topoopt_fabric(model)
+        single = MCMCSearch(model, 8, seed=2).search(fabric, 60)
+        multi = MCMCSearch(model, 8, seed=2).search(fabric, 60, restarts=3)
+        assert multi.chains == 3
+        assert len(multi.chain_best_costs) == 3
+        assert multi.proposed_moves == 180
+        # Chain 0 reuses the single-chain rng, so best-of can only help.
+        assert multi.cost_s <= single.cost_s + 1e-12
+        again = MCMCSearch(model, 8, seed=2).search(fabric, 60, restarts=3)
+        assert multi.chain_best_costs == again.chain_best_costs
+
+    def test_invalid_restarts_rejected(self):
+        model = small_dlrm()
+        fabric = IdealSwitchFabric(4, 4, 100 * GBPS)
+        with pytest.raises(ValueError):
+            MCMCSearch(model, 4).search(fabric, 10, restarts=0)
 
     def test_search_avoids_pure_dp_for_huge_embeddings(self):
         # The whole point of hybrid parallelism: with enormous embedding

@@ -154,6 +154,53 @@ class TestPaths:
         assert len(paths) == 3
         assert len({tuple(p) for p in paths}) == 3
 
+    def test_k_shortest_paths_matches_reference(self):
+        # Yen's path *lengths* are uniquely determined even when
+        # equal-length ties resolve to different concrete paths, so the
+        # CSR-backed spur loop must match the seed implementation
+        # hop-for-hop on randomized topologies.
+        import random
+
+        rng = random.Random(7)
+        for trial in range(15):
+            n = rng.randrange(6, 14)
+            topo = DirectConnectTopology(n, n, enforce_degree=False)
+            topo.add_ring(list(range(n)))
+            for _ in range(2 * n):
+                src, dst = rng.randrange(n), rng.randrange(n)
+                if src != dst:
+                    topo.add_link(src, dst)
+            for _ in range(4):
+                src, dst = rng.randrange(n), rng.randrange(n)
+                if src == dst:
+                    continue
+                k = rng.randrange(1, 6)
+                fast = topo.k_shortest_paths(src, dst, k)
+                reference = topo._k_shortest_paths_reference(src, dst, k)
+                assert [len(p) for p in fast] == [len(p) for p in reference]
+                assert len({tuple(p) for p in fast}) == len(fast)
+                for path in fast:
+                    assert path[0] == src and path[-1] == dst
+                    assert len(set(path)) == len(path)  # loopless
+                    for a, b in zip(path, path[1:]):
+                        assert topo.has_link(a, b)
+
+    def test_k_shortest_paths_unreachable(self):
+        topo = DirectConnectTopology(3, 2)
+        topo.add_link(0, 1)
+        assert topo.k_shortest_paths(0, 2, 3) == []
+        assert topo._k_shortest_paths_reference(0, 2, 3) == []
+
+    def test_k_shortest_paths_cache_safe_across_mutation(self):
+        # The spur loop must not poison the version-invalidated caches:
+        # mutate, query, mutate again, and re-query.
+        topo = DirectConnectTopology(5, 4)
+        topo.add_ring([0, 1, 2, 3, 4])
+        first = topo.k_shortest_paths(0, 2, 2)
+        assert first[0] == [0, 1, 2]
+        topo.add_link(0, 2)
+        assert topo.k_shortest_paths(0, 2, 2)[0] == [0, 2]
+
 
 class TestGraphMetrics:
     def test_ring_diameter(self):
