@@ -6,19 +6,26 @@ cost-equivalent Fat-tree), trails Ideal by 1.3x/1.7x for DLRM/NCF
 (host-forwarding tax on MP transfers), OCS-reconfig suffers from demand
 mis-estimation, and the Expander is worst.
 
+Ported to the declarative API: each (model, bandwidth) cell is one
+``ExperimentSpec`` and the architectures are timed by
+``compare_fabrics`` on the spec's shared traffic.
+
 Default scale: 32 servers with the section 5.6 model presets; set
 REPRO_SCALE=full for 128 servers with the section 5.3 presets.
 """
 
+import dataclasses
+
 from benchmarks.harness import (
-    dedicated_iteration_times,
+    ARCHITECTURE_FABRICS,
     emit,
+    experiment_spec,
     format_table,
     full_scale,
     scale_config,
     speedup_vs,
-    workload,
 )
+from repro.api import SpecError, compare_fabrics, prepare
 
 DEGREE = 4
 MODELS_SMALL = ["CANDLE", "VGG16", "BERT", "DLRM"]
@@ -30,18 +37,28 @@ def run_experiment():
     cfg = scale_config()
     models = MODELS_FULL if full_scale() else MODELS_SMALL
     n = cfg.dedicated_servers
+    fabrics = {arch: ARCHITECTURE_FABRICS[arch] for arch in ARCHS}
     results = {}
     for name in models:
-        scale = cfg.model_scale
+        # The workload, strategy, traffic, and TopoOpt topology are all
+        # bandwidth-independent: prepare once, retime per bandwidth.
         try:
-            _, _, traffic, compute_s = workload(name, n, scale)
-        except KeyError:
-            _, _, traffic, compute_s = workload(name, n, "simulation")
+            spec = experiment_spec(name, n, degree=DEGREE)
+        except SpecError:
+            spec = experiment_spec(
+                name, n, model_scale="simulation", degree=DEGREE
+            )
+        prepared = prepare(spec)
         per_bandwidth = {}
         for gbps in cfg.bandwidths_gbps:
-            per_bandwidth[gbps] = dedicated_iteration_times(
-                traffic, compute_s, n, DEGREE, gbps, architectures=ARCHS
+            spec_b = spec.with_overrides({"bandwidth_gbps": gbps})
+            prepared_b = dataclasses.replace(
+                prepared, spec=spec_b, fabric=None
             )
+            timings = compare_fabrics(spec_b, fabrics, prepared_b)
+            per_bandwidth[gbps] = {
+                arch: timing.total_s for arch, timing in timings.items()
+            }
         results[name] = per_bandwidth
     return results
 

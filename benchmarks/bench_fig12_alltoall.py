@@ -5,23 +5,31 @@ TopoOpt matches the Ideal Switch while Fat-tree is ~2.7x slower; as the
 batch (and the all-to-all share) grows, TopoOpt degrades faster than
 Fat-tree (host-forwarding bandwidth tax) and eventually crosses over;
 d=8 mitigates the problem.
+
+Ported to the declarative API: the section 5.4 worst-case DLRM is a
+``WorkloadSpec(scale="custom")``, each (d, batch) point is one override
+of a base ``ExperimentSpec`` with the ``all-sharded`` strategy, and the
+three architectures are timed by ``compare_fabrics``.
 """
 
-from benchmarks.harness import (
-    GBPS,
-    emit,
-    format_table,
-    full_scale,
-    topoopt_fabric_for,
+from benchmarks.harness import emit, format_table, full_scale
+from repro.api import (
+    ClusterSpec,
+    ExperimentSpec,
+    FabricSpec,
+    OptimizerSpec,
+    WorkloadSpec,
+    compare_fabrics,
+    prepare,
 )
-from repro.models import build_dlrm, compute_time_seconds
-from repro.network.cost import cost_equivalent_fattree_bandwidth
-from repro.network.fattree import FatTreeFabric, IdealSwitchFabric
-from repro.parallel.strategy import all_sharded_strategy
-from repro.parallel.traffic import alltoall_to_allreduce_ratio, extract_traffic
-from repro.sim.network_sim import simulate_iteration
+from repro.parallel.traffic import alltoall_to_allreduce_ratio
 
 LINK_GBPS = 100.0
+ARCHS = {
+    "TopoOpt": FabricSpec(kind="topoopt"),
+    "Ideal Switch": FabricSpec(kind="ideal-switch"),
+    "Fat-tree": FabricSpec(kind="fattree"),
+}
 
 
 def _cluster_size():
@@ -34,46 +42,49 @@ def _batches():
     )
 
 
-def _model(n):
+def _base_spec(n):
     # One large sharded table per server (the section 5.4 worst case).
-    return build_dlrm(
-        num_embedding_tables=n,
-        embedding_dim=128,
-        embedding_rows=1_000_000,
-        num_dense_layers=8,
-        dense_layer_size=2048,
-        num_feature_layers=16,
-        feature_layer_size=4096,
+    return ExperimentSpec(
+        name="fig12-alltoall",
+        workload=WorkloadSpec(
+            model="DLRM",
+            scale="custom",
+            options={
+                "num_embedding_tables": n,
+                "embedding_dim": 128,
+                "embedding_rows": 1_000_000,
+                "num_dense_layers": 8,
+                "dense_layer_size": 2048,
+                "num_feature_layers": 16,
+                "feature_layer_size": 4096,
+            },
+        ),
+        cluster=ClusterSpec(
+            servers=n, degree=4, bandwidth_gbps=LINK_GBPS
+        ),
+        fabric=FabricSpec(kind="topoopt"),
+        optimizer=OptimizerSpec(strategy="all-sharded"),
     )
 
 
 def run_experiment():
     n = _cluster_size()
-    model = _model(n)
-    strategy = all_sharded_strategy(model, n)
+    base = _base_spec(n)
     results = {}
     for d in (4, 8):
         rows = []
         for batch in _batches():
-            traffic = extract_traffic(model, strategy, batch)
-            compute_s = compute_time_seconds(model, batch)
-            ratio = alltoall_to_allreduce_ratio(traffic)
-            topoopt = topoopt_fabric_for(traffic, n, d, LINK_GBPS)
-            ideal = IdealSwitchFabric(n, d, LINK_GBPS * GBPS)
-            equiv = cost_equivalent_fattree_bandwidth(n, d, LINK_GBPS)
-            fattree = FatTreeFabric(n, 1, equiv * GBPS)
-            times = {
-                "TopoOpt": simulate_iteration(
-                    topoopt, traffic, compute_s
-                ).total_s,
-                "Ideal Switch": simulate_iteration(
-                    ideal, traffic, compute_s
-                ).total_s,
-                "Fat-tree": simulate_iteration(
-                    fattree, traffic, compute_s
-                ).total_s,
-            }
-            rows.append((batch, ratio, times))
+            spec = base.with_overrides(
+                {"cluster.degree": d, "workload.batch_per_gpu": batch}
+            )
+            prepared = prepare(spec)
+            ratio = alltoall_to_allreduce_ratio(prepared.traffic)
+            timings = compare_fabrics(spec, ARCHS, prepared)
+            rows.append((
+                batch,
+                ratio,
+                {arch: t.total_s for arch, t in timings.items()},
+            ))
         results[d] = rows
     return results
 

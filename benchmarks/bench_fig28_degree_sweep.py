@@ -4,16 +4,20 @@ Paper (B = 40 and 100 Gbps; d in {4, 6, 8, 10}): DLRM and CANDLE are
 network-heavy and improve steadily with degree (CANDLE near-linearly,
 DLRM super-linearly at 100 Gbps thanks to shorter MP paths); BERT is
 mostly compute-bound so extra degree barely helps.
+
+Ported to the declarative API's sweep engine: the whole figure is one
+``run_sweep`` over a (model x bandwidth x degree) grid -- 24 points,
+one result row each, executed concurrently with deterministic
+per-point seeds.
 """
 
 from benchmarks.harness import (
     emit,
+    experiment_spec,
     format_table,
     scale_config,
-    topoopt_fabric_for,
-    workload,
 )
-from repro.sim.network_sim import simulate_iteration
+from repro.api import run_sweep
 
 DEGREES = (4, 6, 8, 10)
 BANDWIDTHS = (40.0, 100.0)
@@ -23,20 +27,21 @@ MODELS = ["DLRM", "CANDLE", "BERT"]
 def run_experiment():
     cfg = scale_config()
     n = cfg.dedicated_servers
-    results = {}
-    for name in MODELS:
-        _, _, traffic, compute_s = workload(name, n)
-        per_bandwidth = {}
-        for gbps in BANDWIDTHS:
-            per_bandwidth[gbps] = {
-                d: simulate_iteration(
-                    topoopt_fabric_for(traffic, n, d, gbps),
-                    traffic,
-                    compute_s,
-                ).total_s
-                for d in DEGREES
-            }
-        results[name] = per_bandwidth
+    base = experiment_spec(MODELS[0], n)
+    sweep = run_sweep(
+        base,
+        {
+            "workload.model": MODELS,
+            "cluster.bandwidth_gbps": list(BANDWIDTHS),
+            "cluster.degree": list(DEGREES),
+        },
+    )
+    assert sweep.ok, [p.error for p in sweep.points if not p.ok]
+    results = {name: {gbps: {} for gbps in BANDWIDTHS} for name in MODELS}
+    for row in sweep.rows():
+        results[row["workload.model"]][
+            row["cluster.bandwidth_gbps"]
+        ][row["cluster.degree"]] = row["total_s"]
     return results
 
 

@@ -5,6 +5,12 @@ writes them to ``benchmarks/results/<bench>.txt`` so the tables survive
 pytest's stdout capture.  ``REPRO_SCALE=full`` in the environment runs
 the paper-scale configuration; the default is a reduced-but-
 representative scale whose result *shapes* match (see EXPERIMENTS.md).
+
+Since the declarative API landed, workloads, strategies, and fabrics
+resolve through the :mod:`repro.api` registries: a paper architecture
+is a :class:`repro.api.FabricSpec` in :data:`ARCHITECTURE_FABRICS`, and
+:func:`dedicated_iteration_times` is a thin wrapper over
+:func:`repro.api.time_fabric`.
 """
 
 from __future__ import annotations
@@ -14,21 +20,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.topology_finder import topology_finder
-from repro.models import build_model, compute_time_seconds
-from repro.network.cost import cost_equivalent_fattree_bandwidth
-from repro.network.expander import ExpanderFabric
-from repro.network.fattree import (
-    FatTreeFabric,
-    IdealSwitchFabric,
-    OversubscribedFatTreeFabric,
+from repro.api import (
+    ClusterSpec,
+    ExperimentSpec,
+    FabricBuildContext,
+    FabricSpec,
+    OptimizerSpec,
+    WorkloadSpec,
+    build_fabric,
+    build_strategy,
+    build_workload,
+    time_fabric,
 )
-from repro.network.sipml import SipMLFabric
+from repro.models import compute_time_seconds
 from repro.network.topoopt import TopoOptFabric
-from repro.parallel.strategy import auto_strategy
 from repro.parallel.traffic import TrafficSummary, extract_traffic
-from repro.sim.network_sim import simulate_iteration
-from repro.sim.reconfig import ReconfigurableFabricSimulator
 
 GBPS = 1e9
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -104,14 +110,45 @@ def format_table(
 
 
 # ----------------------------------------------------------------------
-# Workload construction
+# Workload construction (via the declarative API)
 # ----------------------------------------------------------------------
+
+def experiment_spec(
+    model_name: str,
+    n: int,
+    model_scale: Optional[str] = None,
+    strategy: str = "auto",
+    degree: int = 4,
+    link_gbps: float = 100.0,
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` for one benchmark configuration."""
+    cfg = scale_config()
+    return ExperimentSpec(
+        name=f"bench-{model_name.lower()}-{n}",
+        workload=WorkloadSpec(
+            model=model_name, scale=model_scale or cfg.model_scale
+        ),
+        cluster=ClusterSpec(
+            servers=n, degree=degree, bandwidth_gbps=link_gbps
+        ),
+        fabric=FabricSpec(kind="topoopt"),
+        optimizer=OptimizerSpec(
+            strategy=strategy,
+            rounds=cfg.alternating_rounds,
+            mcmc_iterations=cfg.mcmc_iterations,
+        ),
+    )
+
 
 def workload(model_name: str, n: int, model_scale: Optional[str] = None):
     """(model, strategy, traffic, compute_s) for a model on n servers."""
     cfg = scale_config()
-    model = build_model(model_name, scale=model_scale or cfg.model_scale)
-    strategy = auto_strategy(model, n)
+    model = build_workload(
+        WorkloadSpec(
+            model=model_name, scale=model_scale or cfg.model_scale
+        )
+    )
+    strategy = build_strategy("auto", model, n)
     traffic = extract_traffic(model, strategy)
     compute_s = compute_time_seconds(model, model.default_batch_per_gpu)
     return model, strategy, traffic, compute_s
@@ -120,13 +157,30 @@ def workload(model_name: str, n: int, model_scale: Optional[str] = None):
 def topoopt_fabric_for(
     traffic: TrafficSummary, n: int, d: int, link_gbps: float
 ) -> TopoOptFabric:
-    result = topology_finder(
-        n, d, traffic.allreduce_groups, traffic.mp_matrix
+    return build_fabric(
+        FabricSpec(kind="topoopt"),
+        FabricBuildContext(
+            num_servers=n,
+            degree=d,
+            link_bandwidth_bps=link_gbps * GBPS,
+            traffic=traffic,
+        ),
     )
-    return TopoOptFabric(result, link_gbps * GBPS)
 
 
-#: Architectures of Figure 11 (plus their constructors).
+#: The architectures of Figure 11, as registry-addressable fabric specs
+#: (paper display name -> FabricSpec).
+ARCHITECTURE_FABRICS: Dict[str, FabricSpec] = {
+    "TopoOpt": FabricSpec(kind="topoopt"),
+    "Ideal Switch": FabricSpec(kind="ideal-switch"),
+    "Fat-tree": FabricSpec(kind="fattree"),
+    "Oversub Fat-tree": FabricSpec(kind="oversubscribed-fattree"),
+    "Expander": FabricSpec(kind="expander"),
+    "OCS-reconfig": FabricSpec(kind="ocs-reconfig"),
+    "SiP-ML": FabricSpec(kind="sipml"),
+}
+
+
 def dedicated_iteration_times(
     traffic: TrafficSummary,
     compute_s: float,
@@ -144,46 +198,27 @@ def dedicated_iteration_times(
     seed: int = 0,
 ) -> Dict[str, float]:
     """Iteration time of one workload on each architecture (Figure 11)."""
+    ctx = FabricBuildContext(
+        num_servers=n,
+        degree=d,
+        link_bandwidth_bps=link_gbps * GBPS,
+        traffic=traffic,
+        seed=seed,
+    )
     times: Dict[str, float] = {}
-    allreduce_demand = traffic.allreduce_matrix()
     for arch in architectures:
-        if arch == "TopoOpt":
-            fabric = topoopt_fabric_for(traffic, n, d, link_gbps)
-            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
-        elif arch == "Ideal Switch":
-            fabric = IdealSwitchFabric(n, d, link_gbps * GBPS)
-            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
-        elif arch == "Fat-tree":
-            equiv = cost_equivalent_fattree_bandwidth(n, d, link_gbps)
-            fabric = FatTreeFabric(n, 1, equiv * GBPS)
-            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
-        elif arch == "Oversub Fat-tree":
-            fabric = OversubscribedFatTreeFabric(
-                n, d, link_gbps * GBPS, servers_per_rack=16
+        if arch not in ARCHITECTURE_FABRICS:
+            raise ValueError(
+                f"unknown architecture {arch!r}; "
+                f"known: {sorted(ARCHITECTURE_FABRICS)}"
             )
-            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
-        elif arch == "Expander":
-            fabric = ExpanderFabric(n, d, link_gbps * GBPS, seed=seed)
-            times[arch] = simulate_iteration(fabric, traffic, compute_s).total_s
-        elif arch == "OCS-reconfig":
-            sim = ReconfigurableFabricSimulator(
-                n,
-                d,
-                link_gbps * GBPS,
-                reconfiguration_latency_s=10e-3,
-                demand_epoch_s=50e-3,
-                host_forwarding=True,
-            )
-            times[arch] = sim.iteration_time(
-                traffic.mp_matrix.copy(), allreduce_demand.copy(), compute_s
-            )
-        elif arch == "SiP-ML":
-            fabric = SipMLFabric(n, d, link_gbps * GBPS)
-            times[arch] = fabric.iteration_time(
-                traffic.mp_matrix.copy(), allreduce_demand.copy(), compute_s
-            )
-        else:
-            raise ValueError(f"unknown architecture {arch!r}")
+        fabric_spec = ARCHITECTURE_FABRICS[arch]
+        fabric = build_fabric(fabric_spec, ctx)
+        timing = time_fabric(
+            fabric, traffic, compute_s, fabric_spec.kind,
+            bandwidth_gbps=link_gbps, degree=d,
+        )
+        times[arch] = timing.total_s
     return times
 
 

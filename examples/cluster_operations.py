@@ -12,31 +12,28 @@ Demonstrates the operational side of TopoOpt (section 7 + Appendix C):
 3. the NPAR RDMA-forwarding rule chains (Appendix I) are generated for a
    multi-hop logical connection.
 
+Job traffic comes from the declarative API (workload + strategy
+registries) rather than hand-built matrices.
+
 Run:  python examples/cluster_operations.py
 """
 
-import numpy as np
-
-from repro.core.topology_finder import AllReduceGroup
+from repro.api import WorkloadSpec, build_strategy, build_workload
 from repro.network.sharding import ShardManager
-from repro.parallel.traffic import TrafficSummary
+from repro.parallel.traffic import extract_traffic
 from repro.sim.failures import FailureManager
 from repro.sim.rdma import RdmaForwardingModel
 
 CLUSTER_SERVERS = 24
+SERVERS_PER_JOB = 8
 DEGREE = 4
 
 
-def dp_traffic(n, gigabytes=1.0):
-    return TrafficSummary(
-        n=n,
-        allreduce_groups=[
-            AllReduceGroup(
-                members=tuple(range(n)), total_bytes=gigabytes * 1e9
-            )
-        ],
-        mp_matrix=np.zeros((n, n)),
-    )
+def job_traffic(model_name="VGG16"):
+    """Data-parallel job traffic via the workload/strategy registries."""
+    model = build_workload(WorkloadSpec(model=model_name, scale="shared"))
+    strategy = build_strategy("data-parallel", model, SERVERS_PER_JOB)
+    return extract_traffic(model, strategy)
 
 
 def main():
@@ -50,13 +47,13 @@ def main():
 
     # --- Admission with look-ahead (Appendix C) -----------------------
     print("\nPre-provisioning the first job on the look-ahead plane ...")
-    robot_s = manager.preprovision(dp_traffic(8))
+    robot_s = manager.preprovision(job_traffic("VGG16"))
     print(f"  robot wiring latency (off critical path): {robot_s:.0f} s")
-    shard_a, admit_s = manager.admit(dp_traffic(8))
+    shard_a, admit_s = manager.admit(job_traffic("VGG16"))
     print(f"  job {shard_a.job_id} admitted on servers "
           f"{shard_a.servers} in {admit_s * 1e3:.0f} ms (1x2 flip)")
 
-    shard_b, admit_s = manager.admit(dp_traffic(8))
+    shard_b, admit_s = manager.admit(job_traffic("CANDLE"))
     print(f"  job {shard_b.job_id} admitted cold on servers "
           f"{shard_b.servers} in {admit_s:.0f} s (robot on critical path)")
     print(f"  free servers: {manager.free_servers}")

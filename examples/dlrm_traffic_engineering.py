@@ -10,31 +10,36 @@ Reproduces the story of Figures 1, 7, 8, and 9 end to end:
 * overlapping the TotientPerms-selected permutations load-balances the
   AllReduce and shortens MP paths (Fig. 9).
 
+The paper's custom DLRM is a ``WorkloadSpec(scale="custom")`` and the
+strategies come from the strategy registry (``data-parallel``;
+``hybrid`` with explicit owner placement via options).
+
 Run:  python examples/dlrm_traffic_engineering.py
 """
 
 from repro import topology_finder
 from repro.analysis.heatmap import heatmap_summary, render_heatmap
+from repro.api import WorkloadSpec, build_strategy, build_workload
 from repro.core.totient import coprime_strides
-from repro.models import build_dlrm
-from repro.parallel.strategy import data_parallel_strategy, hybrid_strategy
 from repro.parallel.traffic import extract_traffic
 
 NUM_SERVERS = 16
 BATCH_PER_GPU = 8
 
-
-def paper_dlrm():
-    """Section 2.1's example: four 512 x 1e7 embedding tables (~20 GB)."""
-    return build_dlrm(
-        num_embedding_tables=4,
-        embedding_dim=512,
-        embedding_rows=10_000_000,
-        num_dense_layers=2,
-        dense_layer_size=512,
-        num_feature_layers=2,
-        feature_layer_size=512,
-    )
+#: Section 2.1's example: four 512 x 1e7 embedding tables (~20 GB).
+PAPER_DLRM = WorkloadSpec(
+    model="DLRM",
+    scale="custom",
+    options={
+        "num_embedding_tables": 4,
+        "embedding_dim": 512,
+        "embedding_rows": 10_000_000,
+        "num_dense_layers": 2,
+        "dense_layer_size": 512,
+        "num_feature_layers": 2,
+        "feature_layer_size": 512,
+    },
+)
 
 
 def show(title, matrix):
@@ -47,20 +52,25 @@ def show(title, matrix):
 
 
 def main():
-    model = paper_dlrm()
+    model = build_workload(PAPER_DLRM)
 
     # Figure 1a: pure data parallelism.
     dp = extract_traffic(
-        model, data_parallel_strategy(model, NUM_SERVERS), BATCH_PER_GPU
+        model,
+        build_strategy("data-parallel", model, NUM_SERVERS),
+        BATCH_PER_GPU,
     )
     show("Figure 1a: pure data parallelism", dp.heatmap())
 
-    # Figure 1b: hybrid parallelism (the Meta recipe).
-    names = [l.name for l in model.embedding_layers]
+    # Figure 1b: hybrid parallelism (the Meta recipe), with the paper's
+    # E0 -> S0, E1 -> S3, ... owner spacing passed as a strategy option.
+    names = [layer.name for layer in model.embedding_layers]
     owners = {names[0]: 0, names[1]: 3, names[2]: 8, names[3]: 13}
     hybrid = extract_traffic(
         model,
-        hybrid_strategy(model, NUM_SERVERS, embedding_owners=owners),
+        build_strategy(
+            "hybrid", model, NUM_SERVERS, embedding_owners=owners
+        ),
         BATCH_PER_GPU,
     )
     show("Figure 1b: hybrid parallelism", hybrid.heatmap())

@@ -1,96 +1,73 @@
 #!/usr/bin/env python3
-"""Quickstart: co-optimize topology and parallelization for one job.
+"""Quickstart: one declarative experiment, spec to typed result.
 
-Walks the full TopoOpt pipeline on the paper's 12-node testbed scale:
+The whole TopoOpt workflow -- build a workload, co-optimize the
+parallelization strategy and the topology, simulate an iteration, and
+compare against the paper's switch baselines -- is one spec and one
+call:
 
-1. build a DNN workload (the testbed DLRM),
-2. run the alternating optimization (MCMC strategy search alternating
-   with TopologyFinder),
-3. inspect the resulting topology, ring permutations, and routing, and
-4. simulate one training iteration on TopoOpt and on the two switch
-   baselines of section 6.
+1. ``ExperimentSpec.preset("testbed")`` describes the paper's 12-node
+   prototype (DLRM, 4 x 25 Gbps NIC breakout),
+2. ``run_experiment(spec)`` runs MCMC x TopologyFinder alternating
+   optimization and the fluid-flow simulation, and
+3. the returned ``ExperimentResult`` is typed and JSON-serializable --
+   identical JSON for identical (spec, seed).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AlternatingOptimizer,
-    IdealSwitchFabric,
-    MCMCSearch,
-    build_model,
-    simulate_iteration,
-)
-from repro.analysis.heatmap import render_heatmap
+import json
 
-NUM_SERVERS = 12
-DEGREE = 4
-LINK_BANDWIDTH = 25e9  # 4 x 25 Gbps, the paper's prototype NIC breakout
-GPUS_PER_SERVER = 1
+from repro.api import ExperimentSpec, run_experiment, smoke_scale
 
 
 def main():
-    model = build_model("DLRM", scale="testbed")
-    print(f"Workload: {model.name}")
-    print(f"  parameters: {model.total_params_bytes / 1e9:.1f} GB "
-          f"({len(model.embedding_layers)} embedding tables)")
-    print(f"  forward FLOPs/sample: {model.total_flops_per_sample / 1e9:.2f} G")
+    spec = ExperimentSpec.preset("testbed")
+    if smoke_scale():  # repro check-examples: shrink the search budget
+        spec = spec.with_overrides({"rounds": 1, "mcmc_iterations": 20})
 
-    search = MCMCSearch(
-        model,
-        num_servers=NUM_SERVERS,
-        gpus_per_server=GPUS_PER_SERVER,
-        seed=0,
-    )
-    optimizer = AlternatingOptimizer(
-        num_servers=NUM_SERVERS,
-        degree=DEGREE,
-        link_bandwidth_bps=LINK_BANDWIDTH,
-        search=search,
-        max_rounds=3,
-        mcmc_iterations=150,
-    )
-    print("\nRunning alternating optimization ...")
-    result = optimizer.run()
-    for round_info in result.rounds:
-        print(
-            f"  round {round_info.round_index}: "
-            f"estimated iteration {round_info.cost_s * 1e3:.1f} ms "
-            f"(AllReduce {round_info.allreduce_bytes / 1e9:.2f} GB, "
-            f"MP {round_info.mp_bytes / 1e9:.2f} GB)"
-        )
+    workload = spec.workload
+    print(f"Spec: {workload.model} ({workload.scale} preset) on "
+          f"{spec.cluster.servers} servers x {spec.cluster.degree} "
+          f"interfaces @ {spec.cluster.bandwidth_gbps:g} Gbps")
+    print("The same spec as JSON (save it, run "
+          "'python -m repro.cli run --spec quickstart.json'):")
+    print(json.dumps(spec.to_dict(), indent=2)[:220] + " ...")
 
-    topology = result.topology_result.topology
-    print(f"\nTopology: {topology.num_links()} links, "
-          f"diameter {topology.diameter()}, "
-          f"d_AllReduce={result.topology_result.allreduce_degree}, "
-          f"d_MP={result.topology_result.mp_degree}")
-    for plan in result.topology_result.group_plans:
-        print(f"  AllReduce group of {plan.group.size}: "
-              f"TotientPerms strides {plan.strides}")
+    print("\nRunning alternating optimization + simulation ...")
+    result = run_experiment(spec)
 
-    strides = result.topology_result.group_plans[0].strides
-    print("\nTraffic heatmap (AllReduce over selected rings + MP):")
-    print(render_heatmap(result.traffic.heatmap(strides=strides)))
+    if result.search is not None:
+        for round_info in result.search.rounds:
+            print(f"  round {round_info['round_index']}: "
+                  f"estimated iteration "
+                  f"{round_info['cost_s'] * 1e3:.1f} ms "
+                  f"(AllReduce {round_info['allreduce_bytes'] / 1e9:.2f} "
+                  f"GB, MP {round_info['mp_bytes'] / 1e9:.2f} GB)")
 
-    compute_s = search.compute_s
+    strategy = result.strategy
+    print(f"\nStrategy: {strategy.num_layers} layers "
+          f"({strategy.model_parallel} model-parallel, "
+          f"{strategy.sharded} sharded, rest data-parallel)")
+
+    topo = result.topology
+    print(f"Topology: {topo.num_links} links, diameter {topo.diameter}, "
+          f"d_AllReduce={topo.allreduce_degree}, d_MP={topo.mp_degree}")
+    for group in topo.groups:
+        print(f"  AllReduce group of {group['size']}: "
+              f"TotientPerms strides {tuple(group['strides'])}")
+
     print("\nOne training iteration on each fabric:")
-    breakdown = simulate_iteration(result.fabric, result.traffic, compute_s)
-    _report("TopoOpt 4x25Gbps", breakdown)
-    for name, degree, bandwidth in [
-        ("Switch 100Gbps", DEGREE, LINK_BANDWIDTH),
-        ("Switch 25Gbps", 1, LINK_BANDWIDTH),
-    ]:
-        fabric = IdealSwitchFabric(NUM_SERVERS, degree, bandwidth)
-        _report(name, simulate_iteration(fabric, result.traffic, compute_s))
+    for timing in result.timings:
+        mp = f"{timing.mp_s * 1e3:6.2f}" if timing.mp_s is not None else "   n/a"
+        ar = (f"{timing.allreduce_s * 1e3:6.2f}"
+              if timing.allreduce_s is not None else "   n/a")
+        print(f"  {timing.name:<18} total {timing.total_s * 1e3:7.2f} ms  "
+              f"(compute {timing.compute_s * 1e3:6.2f}, MP {mp}, "
+              f"AllReduce {ar})")
 
-
-def _report(name, breakdown):
-    print(
-        f"  {name:<18} total {breakdown.total_s * 1e3:7.2f} ms  "
-        f"(compute {breakdown.compute_s * 1e3:6.2f}, "
-        f"MP {breakdown.mp_s * 1e3:6.2f}, "
-        f"AllReduce {breakdown.allreduce_s * 1e3:6.2f})"
-    )
+    print(f"\nResult JSON keys: {sorted(result.to_dict())}")
+    print(f"wall time: {result.wall_time_s:.2f} s (seed {spec.seed})")
 
 
 if __name__ == "__main__":

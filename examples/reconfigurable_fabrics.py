@@ -1,74 +1,81 @@
 #!/usr/bin/env python3
 """Reconfigurable fabrics: OCS-reconfig and SiP-ML (sections 5.3, 5.7).
 
-Compares one-shot TopoOpt against within-iteration reconfiguration:
-
-* OCS-reconfig-FW / -noFW at several reconfiguration latencies (the
-  Figure 17 sweep), and
-* SiP-ML's unit-discount scheduling (Appendix F).
+Compares one-shot TopoOpt against within-iteration reconfiguration
+using the declarative API: every fabric -- including each point of the
+Figure 17 reconfiguration-latency sweep -- is a ``FabricSpec`` with
+options, and ``compare_fabrics`` times them all on the same traffic.
 
 Run:  python examples/reconfigurable_fabrics.py
 """
 
-from repro import build_model, compute_time_seconds, topology_finder
-from repro.network.sipml import SipMLFabric
-from repro.network.topoopt import TopoOptFabric
-from repro.parallel.strategy import hybrid_strategy
-from repro.parallel.traffic import extract_traffic
-from repro.sim.network_sim import simulate_iteration
-from repro.sim.reconfig import ReconfigurableFabricSimulator
+from repro.api import (
+    ClusterSpec,
+    ExperimentSpec,
+    FabricSpec,
+    OptimizerSpec,
+    WorkloadSpec,
+    compare_fabrics,
+    prepare,
+    smoke_scale,
+)
 
 NUM_SERVERS = 16
 DEGREE = 4
-LINK_BANDWIDTH = 100e9
+LINK_GBPS = 100.0
 
 
 def main():
-    model = build_model("DLRM", scale="shared")
-    strategy = hybrid_strategy(model, NUM_SERVERS)
-    traffic = extract_traffic(model, strategy)
-    compute_s = compute_time_seconds(model, model.default_batch_per_gpu)
-    allreduce_demand = traffic.allreduce_matrix()
-    print(f"Workload: {model.name} on {NUM_SERVERS} servers, d={DEGREE}")
-    print(f"  MP demand {traffic.total_mp_bytes / 1e9:.2f} GB, "
-          f"AllReduce demand {allreduce_demand.sum() / 1e9:.2f} GB")
-
-    # One-shot TopoOpt: the topology never changes during training.
-    result = topology_finder(
-        NUM_SERVERS, DEGREE, traffic.allreduce_groups, traffic.mp_matrix
+    spec = ExperimentSpec(
+        name="reconfigurable-fabrics",
+        workload=WorkloadSpec(model="DLRM", scale="shared"),
+        cluster=ClusterSpec(
+            servers=NUM_SERVERS, degree=DEGREE, bandwidth_gbps=LINK_GBPS
+        ),
+        fabric=FabricSpec(kind="topoopt"),
+        optimizer=OptimizerSpec(strategy="hybrid"),
     )
-    fabric = TopoOptFabric(result, LINK_BANDWIDTH)
-    topo_iter = simulate_iteration(fabric, traffic, compute_s).total_s
+    prepared = prepare(spec)
+    traffic = prepared.traffic
+    print(f"Workload: {prepared.model.name} on {NUM_SERVERS} servers, "
+          f"d={DEGREE}")
+    print(f"  MP demand {traffic.total_mp_bytes / 1e9:.2f} GB, "
+          f"AllReduce demand "
+          f"{traffic.allreduce_matrix().sum() / 1e9:.2f} GB")
+
+    # One-shot TopoOpt plus the Figure 17 OCS latency sweep plus SiP-ML,
+    # all as fabric specs on the same prepared traffic.
+    latencies = (1e-6, 1e-3, 10e-3) if smoke_scale() else (
+        1e-6, 1e-4, 1e-3, 10e-3
+    )
+    fabrics = {"TopoOpt (one-shot)": FabricSpec(kind="topoopt")}
+    for latency in latencies:
+        for forwarding in (True, False):
+            label = (f"OCS {latency * 1e6:.0f}us "
+                     f"{'FW' if forwarding else 'noFW'}")
+            fabrics[label] = FabricSpec(
+                kind="ocs-reconfig",
+                options={
+                    "reconfiguration_latency_s": latency,
+                    "demand_epoch_s": 50e-3,
+                    "host_forwarding": forwarding,
+                },
+            )
+    fabrics["SiP-ML"] = FabricSpec(kind="sipml")
+
+    timings = compare_fabrics(spec, fabrics, prepared=prepared)
+    topo_iter = timings["TopoOpt (one-shot)"].total_s
     print(f"\nTopoOpt (one-shot): {topo_iter * 1e3:.2f} ms/iteration")
 
-    # Figure 17: sweep the OCS reconfiguration latency.
     print("\nOCS-reconfig latency sweep (Figure 17):")
     print(f"{'latency':>10} {'FW (ms)':>12} {'noFW (ms)':>12}")
-    for latency in (1e-6, 1e-4, 1e-3, 10e-3):
-        times = []
-        for forwarding in (True, False):
-            sim = ReconfigurableFabricSimulator(
-                NUM_SERVERS,
-                DEGREE,
-                LINK_BANDWIDTH,
-                reconfiguration_latency_s=latency,
-                demand_epoch_s=50e-3,
-                host_forwarding=forwarding,
-            )
-            t = sim.iteration_time(
-                traffic.mp_matrix.copy(),
-                allreduce_demand.copy(),
-                compute_s,
-            )
-            times.append(t)
-        print(f"{latency * 1e6:>8.0f}us {times[0] * 1e3:>12.2f} "
-              f"{times[1] * 1e3:>12.2f}")
+    for latency in latencies:
+        fw = timings[f"OCS {latency * 1e6:.0f}us FW"].total_s
+        nofw = timings[f"OCS {latency * 1e6:.0f}us noFW"].total_s
+        print(f"{latency * 1e6:>8.0f}us {fw * 1e3:>12.2f} "
+              f"{nofw * 1e3:>12.2f}")
 
-    # SiP-ML (Appendix F): 25 us reconfiguration, no forwarding.
-    sipml = SipMLFabric(NUM_SERVERS, DEGREE, LINK_BANDWIDTH)
-    sip_iter = sipml.iteration_time(
-        traffic.mp_matrix.copy(), allreduce_demand.copy(), compute_s
-    )
+    sip_iter = timings["SiP-ML"].total_s
     print(f"\nSiP-ML: {sip_iter * 1e3:.2f} ms/iteration "
           f"({sip_iter / topo_iter:.2f}x TopoOpt)")
 

@@ -8,14 +8,26 @@ Places a mix of jobs (DLRM / BERT / CANDLE / VGG16, the paper's 40/30/
   Appendix C), versus
 * all jobs share a cost-equivalent Fat-tree core.
 
+Per-job workloads, strategies, and fabrics are built through the
+declarative API registries (``WorkloadSpec`` + ``build_strategy`` +
+``build_fabric``) instead of hand-wired constructors; the multi-job
+placement itself runs on :class:`repro.sim.cluster.SharedClusterSimulator`.
+
 Run:  python examples/shared_cluster.py
 """
 
-from repro import build_model, compute_time_seconds, topology_finder
+from repro.api import (
+    FabricBuildContext,
+    FabricSpec,
+    WorkloadSpec,
+    build_fabric,
+    build_strategy,
+    build_workload,
+    smoke_scale,
+)
+from repro.models import compute_time_seconds
 from repro.network.cost import cost_equivalent_fattree_bandwidth
 from repro.network.fattree import IdealSwitchFabric
-from repro.network.topoopt import TopoOptFabric
-from repro.parallel.strategy import data_parallel_strategy, hybrid_strategy
 from repro.parallel.traffic import extract_traffic
 from repro.sim.cluster import (
     JobSpec,
@@ -25,18 +37,20 @@ from repro.sim.cluster import (
 )
 
 SERVERS_PER_JOB = 8
-NUM_JOBS = 4
 DEGREE = 4
 LINK_GBPS = 100.0
 JOB_MIX = ["DLRM", "BERT", "CANDLE", "VGG16"]
 
 
+def iterations_per_job():
+    return 2 if smoke_scale() else 4
+
+
 def job_traffic(model_name):
-    model = build_model(model_name, scale="shared")
-    if model.embedding_layers:
-        strategy = hybrid_strategy(model, SERVERS_PER_JOB)
-    else:
-        strategy = data_parallel_strategy(model, SERVERS_PER_JOB)
+    """(traffic, compute_s) for one job, via the workload registry."""
+    model = build_workload(WorkloadSpec(model=model_name, scale="shared"))
+    strategy_name = "hybrid" if model.embedding_layers else "data-parallel"
+    strategy = build_strategy(strategy_name, model, SERVERS_PER_JOB)
     traffic = extract_traffic(model, strategy)
     compute = compute_time_seconds(model, model.default_batch_per_gpu)
     return traffic, compute
@@ -49,28 +63,30 @@ def run_topoopt(jobs):
         server_map = list(
             range(idx * SERVERS_PER_JOB, (idx + 1) * SERVERS_PER_JOB)
         )
-        result = topology_finder(
-            SERVERS_PER_JOB,
-            DEGREE,
-            traffic.allreduce_groups,
-            traffic.mp_matrix,
-        )
-        fabric = TopoOptFabric(result, LINK_GBPS * 1e9).relabel(server_map)
-        capacities.update(fabric.capacities())
+        shard = build_fabric(
+            FabricSpec(kind="topoopt"),
+            FabricBuildContext(
+                num_servers=SERVERS_PER_JOB,
+                degree=DEGREE,
+                link_bandwidth_bps=LINK_GBPS * 1e9,
+                traffic=traffic,
+            ),
+        ).relabel(server_map)
+        capacities.update(shard.capacities())
         specs.append(
             JobSpec(
                 name=f"{name}-{idx}",
                 traffic=remap_traffic(traffic, server_map),
                 compute_s=compute,
-                fabric=fabric,
+                fabric=shard,
             )
         )
     sim = SharedClusterSimulator(capacities, specs, seed=0)
-    return sim.run(iterations_per_job=4)
+    return sim.run(iterations_per_job=iterations_per_job())
 
 
 def run_fattree(jobs):
-    total_servers = NUM_JOBS * SERVERS_PER_JOB
+    total_servers = len(jobs) * SERVERS_PER_JOB
     equiv_gbps = cost_equivalent_fattree_bandwidth(
         total_servers, DEGREE, LINK_GBPS
     )
@@ -89,7 +105,7 @@ def run_fattree(jobs):
             )
         )
     sim = SharedClusterSimulator(fabric.capacities(), specs, seed=0)
-    return sim.run(iterations_per_job=4)
+    return sim.run(iterations_per_job=iterations_per_job())
 
 
 def main():

@@ -1,14 +1,16 @@
 #!/usr/bin/env sh
-# Pre-merge sanity check: documentation checks first (fast), then the
-# kernel micro-benchmarks at smoke scale (<60 s) -- flow simulation,
-# routing, LP assembly, and the search plane (MCMC steps/sec plus
-# end-to-end alternating optimization).  Exits non-zero if the docs
-# are broken, a vectorized kernel has regressed to slower than the
-# retained seed implementation, or the incremental cost model drifts
-# from its full-rebuild oracle.
+# Pre-merge sanity check: documentation checks first (fast), then every
+# example at smoke scale, then the kernel micro-benchmarks at smoke
+# scale (<60 s) -- flow simulation, routing, LP assembly, and the
+# search plane (MCMC steps/sec plus end-to-end alternating
+# optimization).  Exits non-zero if the docs are broken, an example
+# fails or times out, a vectorized kernel has regressed to slower than
+# the retained seed implementation, or the incremental cost model
+# drifts from its full-rebuild oracle.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli check-docs
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli check-examples
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.cli bench-smoke "$@"

@@ -53,7 +53,9 @@ from repro.network import (
     DirectConnectTopology,
     ExpanderFabric,
     FatTreeFabric,
+    HierarchicalTopoOptFabric,
     IdealSwitchFabric,
+    LeafSpineFabric,
     OversubscribedFatTreeFabric,
     SipMLFabric,
     TopoOptFabric,
@@ -106,7 +108,9 @@ __all__ = [
     "DirectConnectTopology",
     "ExpanderFabric",
     "FatTreeFabric",
+    "HierarchicalTopoOptFabric",
     "IdealSwitchFabric",
+    "LeafSpineFabric",
     "OversubscribedFatTreeFabric",
     "SipMLFabric",
     "TopoOptFabric",

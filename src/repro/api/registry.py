@@ -1,0 +1,457 @@
+"""Name-keyed registries: fabrics, strategy builders, workloads.
+
+Everything an :class:`~repro.api.spec.ExperimentSpec` names is resolved
+here, so a fabric is addressable as ``FabricSpec(kind="topoopt")``
+instead of an import plus hand-wired constructor call.  Three
+registries:
+
+* :data:`FABRICS` -- every interconnect the paper evaluates, built from
+  a :class:`FabricBuildContext` (cluster dimensions + traffic + seed).
+* :data:`STRATEGIES` -- fixed parallelization-strategy builders plus the
+  ``"mcmc"`` search marker.
+* workloads -- :func:`build_workload` resolves a
+  :class:`~repro.api.spec.WorkloadSpec` against the preset families of
+  :data:`repro.models.configs.CONFIG_FAMILIES` (or the raw model
+  builders for ``scale="custom"``).
+
+Each registry rejects unknown names with an error listing the known
+ones, and each fabric entry records the fabric class it constructs so
+the test suite can assert registry <-> ``repro.__all__`` parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.topology_finder import topology_finder
+from repro.models.base import DNNModel
+from repro.models.configs import CONFIG_FAMILIES, MODEL_BUILDERS
+from repro.network.cost import cost_equivalent_fattree_bandwidth
+from repro.network.expander import ExpanderFabric
+from repro.network.fattree import (
+    FatTreeFabric,
+    IdealSwitchFabric,
+    LeafSpineFabric,
+    OversubscribedFatTreeFabric,
+)
+from repro.network.hierarchical import HierarchicalTopoOptFabric
+from repro.network.sipml import SipMLFabric
+from repro.network.topoopt import TopoOptFabric
+from repro.sim.reconfig import ReconfigurableFabricSimulator
+
+GBPS = 1e9
+
+
+class RegistryError(KeyError):
+    """An unknown registry name.  ``str(err)`` is the full message."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
+class Registry:
+    """A name -> entry mapping with actionable unknown-name errors."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self._entries: Dict[str, Any] = {}
+
+    def register(self, name: str, entry: Any) -> Any:
+        if name in self._entries:
+            raise ValueError(
+                f"{self.label} {name!r} is already registered"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.label} {name!r}; "
+                f"registered: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Fabrics
+# ----------------------------------------------------------------------
+
+@dataclass
+class FabricBuildContext:
+    """Everything a fabric builder may need.
+
+    ``traffic`` is required only by traffic-shaped fabrics (``topoopt``,
+    ``hierarchical``); ``topology_result`` short-circuits the
+    TopologyFinder run when the caller already has one (the alternating
+    optimizer does).
+    """
+
+    num_servers: int
+    degree: int
+    link_bandwidth_bps: float
+    traffic: Optional[object] = None
+    topology_result: Optional[object] = None
+    seed: int = 0
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.link_bandwidth_bps / GBPS
+
+    def opt(self, key: str, default: Any) -> Any:
+        return self.options.get(key, default)
+
+    def require_traffic(self, kind: str):
+        if self.traffic is None:
+            raise ValueError(
+                f"fabric {kind!r} needs a traffic summary to build its "
+                f"topology; pass traffic= in the build context"
+            )
+        return self.traffic
+
+
+@dataclass(frozen=True)
+class FabricEntry:
+    """One registered fabric: builder + the class it constructs.
+
+    ``cost_name`` is the architecture label of
+    :func:`repro.network.cost.architecture_cost` (``None`` when the cost
+    model does not cover the fabric); ``simulates_itself`` marks fabrics
+    driven through ``iteration_time`` instead of the fluid simulator.
+    """
+
+    builder: Callable[[FabricBuildContext], object]
+    cls: type
+    cost_name: Optional[str] = None
+    simulates_itself: bool = False
+    option_keys: Tuple[str, ...] = ()
+
+
+FABRICS = Registry("fabric")
+
+
+def _fabric(name: str, cls: type, cost_name: Optional[str] = None,
+            simulates_itself: bool = False,
+            option_keys: Tuple[str, ...] = ()):
+    def decorator(builder):
+        FABRICS.register(
+            name,
+            FabricEntry(
+                builder, cls, cost_name, simulates_itself, option_keys
+            ),
+        )
+        return builder
+    return decorator
+
+
+@_fabric("topoopt", TopoOptFabric, "TopoOpt",
+         option_keys=("primes_only",))
+def _build_topoopt(ctx: FabricBuildContext):
+    result = ctx.topology_result
+    if result is None:
+        traffic = ctx.require_traffic("topoopt")
+        result = topology_finder(
+            ctx.num_servers,
+            ctx.degree,
+            traffic.allreduce_groups,
+            traffic.mp_matrix,
+            primes_only=ctx.opt("primes_only", False),
+        )
+    return TopoOptFabric(result, ctx.link_bandwidth_bps)
+
+
+@_fabric("ideal-switch", IdealSwitchFabric, "Ideal Switch")
+def _build_ideal_switch(ctx: FabricBuildContext):
+    return IdealSwitchFabric(
+        ctx.num_servers, ctx.degree, ctx.link_bandwidth_bps
+    )
+
+
+@_fabric("fattree", FatTreeFabric, "Fat-tree",
+         option_keys=("cost_equivalent",))
+def _build_fattree(ctx: FabricBuildContext):
+    """Cost-equivalent Fat-tree: one NIC at the equivalent bandwidth.
+
+    ``options["cost_equivalent"] = False`` builds a full-bandwidth
+    Fat-tree (``d`` NICs at ``B``) instead of the paper's default
+    cost-matched baseline.
+    """
+    if ctx.opt("cost_equivalent", True):
+        equiv = cost_equivalent_fattree_bandwidth(
+            ctx.num_servers, ctx.degree, ctx.bandwidth_gbps
+        )
+        return FatTreeFabric(ctx.num_servers, 1, equiv * GBPS)
+    return FatTreeFabric(ctx.num_servers, ctx.degree, ctx.link_bandwidth_bps)
+
+
+@_fabric("oversubscribed-fattree", OversubscribedFatTreeFabric,
+         "Oversub Fat-tree", option_keys=("servers_per_rack",))
+def _build_oversub_fattree(ctx: FabricBuildContext):
+    return OversubscribedFatTreeFabric(
+        ctx.num_servers,
+        ctx.degree,
+        ctx.link_bandwidth_bps,
+        servers_per_rack=ctx.opt("servers_per_rack", 16),
+    )
+
+
+@_fabric("leaf-spine", LeafSpineFabric,
+         option_keys=("servers_per_rack", "num_spines"))
+def _build_leaf_spine(ctx: FabricBuildContext):
+    return LeafSpineFabric(
+        ctx.num_servers,
+        ctx.degree,
+        ctx.link_bandwidth_bps,
+        servers_per_rack=ctx.opt("servers_per_rack", 4),
+        num_spines=ctx.opt("num_spines", 4),
+    )
+
+
+@_fabric("expander", ExpanderFabric, "Expander",
+         option_keys=("seed", "path_count"))
+def _build_expander(ctx: FabricBuildContext):
+    return ExpanderFabric(
+        ctx.num_servers,
+        ctx.degree,
+        ctx.link_bandwidth_bps,
+        seed=ctx.opt("seed", ctx.seed),
+        path_count=ctx.opt("path_count", 2),
+    )
+
+
+@_fabric("sipml", SipMLFabric, "SiP-ML", simulates_itself=True,
+         option_keys=("reconfiguration_latency_s", "demand_epoch_s"))
+def _build_sipml(ctx: FabricBuildContext):
+    return SipMLFabric(
+        ctx.num_servers,
+        ctx.degree,
+        ctx.link_bandwidth_bps,
+        reconfiguration_latency_s=ctx.opt(
+            "reconfiguration_latency_s", 25e-6
+        ),
+        demand_epoch_s=ctx.opt("demand_epoch_s", 1e-3),
+    )
+
+
+@_fabric("ocs-reconfig", ReconfigurableFabricSimulator, "OCS-reconfig",
+         simulates_itself=True,
+         option_keys=(
+             "reconfiguration_latency_s", "demand_epoch_s",
+             "host_forwarding",
+         ))
+def _build_ocs_reconfig(ctx: FabricBuildContext):
+    return ReconfigurableFabricSimulator(
+        ctx.num_servers,
+        ctx.degree,
+        ctx.link_bandwidth_bps,
+        reconfiguration_latency_s=ctx.opt(
+            "reconfiguration_latency_s", 10e-3
+        ),
+        demand_epoch_s=ctx.opt("demand_epoch_s", 50e-3),
+        host_forwarding=ctx.opt("host_forwarding", True),
+    )
+
+
+@_fabric("hierarchical", HierarchicalTopoOptFabric,
+         option_keys=(
+             "servers_per_rack", "tor_degree", "server_gbps",
+             "tor_link_gbps",
+         ))
+def _build_hierarchical(ctx: FabricBuildContext):
+    traffic = ctx.require_traffic("hierarchical")
+    return HierarchicalTopoOptFabric(
+        traffic,
+        servers_per_rack=ctx.opt("servers_per_rack", 4),
+        tor_degree=ctx.opt("tor_degree", ctx.degree),
+        server_gbps=ctx.opt("server_gbps", ctx.bandwidth_gbps),
+        tor_link_gbps=ctx.opt("tor_link_gbps", 400.0),
+    )
+
+
+def build_fabric(fabric_spec, ctx: FabricBuildContext):
+    """Build the fabric a :class:`~repro.api.spec.FabricSpec` names.
+
+    The spec's ``degree``/``bandwidth_gbps``/``options`` override the
+    context's cluster-wide defaults.  Option keys the fabric's builder
+    does not recognize are rejected (a typo'd knob must not silently
+    run the default).
+    """
+    entry: FabricEntry = FABRICS.get(fabric_spec.kind)
+    validate_fabric_options(fabric_spec)
+    degree = fabric_spec.degree or ctx.degree
+    bandwidth = (
+        fabric_spec.bandwidth_gbps * GBPS
+        if fabric_spec.bandwidth_gbps is not None
+        else ctx.link_bandwidth_bps
+    )
+    topology_result = ctx.topology_result
+    if (
+        degree != ctx.degree
+        or bandwidth != ctx.link_bandwidth_bps
+        or fabric_spec.options
+    ):
+        # A pre-computed topology only matches the context dimensions
+        # and default options (e.g. primes_only changes the topology).
+        topology_result = None
+    merged = FabricBuildContext(
+        num_servers=ctx.num_servers,
+        degree=degree,
+        link_bandwidth_bps=bandwidth,
+        traffic=ctx.traffic,
+        topology_result=topology_result,
+        seed=ctx.seed,
+        options={**ctx.options, **fabric_spec.options},
+    )
+    return entry.builder(merged)
+
+
+def fabric_entry(kind: str) -> FabricEntry:
+    """The registry entry for ``kind`` (class, cost label, flags)."""
+    return FABRICS.get(kind)
+
+
+def validate_fabric_options(fabric_spec) -> None:
+    """Reject option keys the fabric's builder does not recognize.
+
+    A typo'd knob must not silently run the default; the runner calls
+    this for every fabric spec up front (even ones whose fabric object
+    is built by the alternating optimizer rather than the registry).
+    """
+    entry: FabricEntry = FABRICS.get(fabric_spec.kind)
+    unknown = set(fabric_spec.options) - set(entry.option_keys)
+    if unknown:
+        raise ValueError(
+            f"fabric {fabric_spec.kind!r}: unknown option(s) "
+            f"{sorted(unknown)}; recognized: {sorted(entry.option_keys)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StrategyEntry:
+    """One registered strategy builder; ``search=True`` marks MCMC."""
+
+    builder: Optional[Callable[..., object]]
+    search: bool = False
+
+
+STRATEGIES = Registry("strategy")
+
+
+def _register_strategies() -> None:
+    from repro.parallel.strategy import (
+        all_sharded_strategy,
+        auto_strategy,
+        data_parallel_strategy,
+        hybrid_strategy,
+    )
+
+    def auto(model, num_servers, batch_per_gpu=None, gpus_per_server=4,
+             **options):
+        return auto_strategy(
+            model, num_servers, batch_per_gpu=batch_per_gpu,
+            gpus_per_server=gpus_per_server, **options,
+        )
+
+    def hybrid(model, num_servers, batch_per_gpu=None, gpus_per_server=4,
+               **options):
+        return hybrid_strategy(model, num_servers, **options)
+
+    def data_parallel(model, num_servers, batch_per_gpu=None,
+                      gpus_per_server=4, **options):
+        return data_parallel_strategy(model, num_servers)
+
+    def all_sharded(model, num_servers, batch_per_gpu=None,
+                    gpus_per_server=4, **options):
+        return all_sharded_strategy(model, num_servers)
+
+    STRATEGIES.register("auto", StrategyEntry(auto))
+    STRATEGIES.register("hybrid", StrategyEntry(hybrid))
+    STRATEGIES.register("data-parallel", StrategyEntry(data_parallel))
+    STRATEGIES.register("all-sharded", StrategyEntry(all_sharded))
+    STRATEGIES.register("mcmc", StrategyEntry(None, search=True))
+
+
+_register_strategies()
+
+
+def build_strategy(
+    name: str,
+    model: DNNModel,
+    num_servers: int,
+    batch_per_gpu: Optional[int] = None,
+    gpus_per_server: int = 4,
+    **options,
+):
+    """Build a fixed strategy by registry name.
+
+    ``"mcmc"`` is a search, not a fixed strategy; asking for it here is
+    an error (run it through :func:`repro.api.runner.run_experiment`).
+    """
+    entry: StrategyEntry = STRATEGIES.get(name)
+    if entry.search:
+        raise ValueError(
+            f"strategy {name!r} is a search, not a fixed strategy; "
+            f"run it via run_experiment with optimizer.strategy='mcmc'"
+        )
+    return entry.builder(
+        model, num_servers, batch_per_gpu=batch_per_gpu,
+        gpus_per_server=gpus_per_server, **options,
+    )
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+def workload_names(scale: str) -> Tuple[str, ...]:
+    """Model names available in one preset family (or all builders)."""
+    if scale == "custom":
+        return tuple(sorted(MODEL_BUILDERS))
+    if scale not in CONFIG_FAMILIES:
+        raise RegistryError(
+            f"unknown workload scale {scale!r}; "
+            f"registered: {sorted(CONFIG_FAMILIES) + ['custom']}"
+        )
+    return tuple(sorted(CONFIG_FAMILIES[scale]))
+
+
+def build_workload(workload_spec) -> DNNModel:
+    """Build the model a :class:`~repro.api.spec.WorkloadSpec` names.
+
+    Preset families resolve through
+    :data:`repro.models.configs.CONFIG_FAMILIES`; ``options`` are merged
+    over the preset's builder kwargs (and are the full kwargs for
+    ``scale="custom"``).
+    """
+    model_name = workload_spec.model
+    options = dict(workload_spec.options)
+    if workload_spec.scale == "custom":
+        try:
+            builder = MODEL_BUILDERS[model_name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown model {model_name!r}; "
+                f"registered: {sorted(MODEL_BUILDERS)}"
+            ) from None
+        return builder(**options)
+    try:
+        config = CONFIG_FAMILIES[workload_spec.scale][model_name]
+    except KeyError:
+        raise RegistryError(
+            f"no {workload_spec.scale!r} preset for {model_name!r}; "
+            f"registered: {workload_names(workload_spec.scale)}"
+        ) from None
+    if not options:
+        return config.build()
+    builder = MODEL_BUILDERS[config.model]
+    return builder(**{**config.kwargs, **options})

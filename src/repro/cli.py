@@ -1,68 +1,93 @@
-"""Command-line interface: co-optimize a job and report the result.
+"""Command-line interface over the declarative experiment API.
 
-Usage (after ``pip install -e .``)::
+The primary entry points run :class:`repro.api.ExperimentSpec` files::
 
-    python -m repro.cli --model DLRM --scale shared --servers 16 \
-        --degree 4 --bandwidth-gbps 100 --rounds 3 --mcmc-iterations 150
+    python -m repro.cli run --spec exp.json --set servers=32
+    python -m repro.cli sweep --spec exp.json --grid grid.json
+    python -m repro.cli compare --spec exp.json --fabrics topoopt,fattree
 
-Prints the co-optimized parallelization strategy, the topology (rings,
-matchings, diameter), the routing summary, and the simulated iteration
-time against the Ideal Switch and cost-equivalent Fat-tree baselines --
-the workflow a cluster operator would run before submitting a job to a
-TopoOpt fabric.
+``run`` executes one experiment and prints the co-optimized strategy,
+topology, simulated iteration time against the spec's baseline fabrics,
+and interconnect cost; ``--json PATH`` additionally writes the typed
+:class:`repro.api.ExperimentResult` (deterministic for a given spec and
+seed).  ``sweep`` expands a parameter grid into a row-per-run table;
+``compare`` times one workload on a list of fabrics.
 
-``python -m repro.cli bench-smoke`` instead runs the kernel
-micro-benchmarks at reduced sizes (<60 s) as a pre-merge perf sanity
-check; see ``benchmarks/bench_perf_kernels.py`` for the full sweep.
-``python -m repro.cli check-docs`` verifies the documentation layer:
-doctests in the public API modules and in ``README.md``/``docs/*.md``,
-and every ``repro.cli`` command the docs reference.
+Tooling subcommands: ``bench-smoke`` (kernel micro-benchmarks, <60 s),
+``check-docs`` (doctests + doc reference validation), and
+``check-examples`` (runs every ``examples/*.py`` at smoke scale under a
+wall-time cap).
+
+The original flag interface (``python -m repro.cli --model DLRM ...``)
+survives as a thin legacy shim that constructs an ``ExperimentSpec``
+and calls the same runner; prefer ``run --spec`` (see ``docs/api.md``
+for the migration table).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.alternating import AlternatingOptimizer
-from repro.models.configs import SIMULATION_CONFIGS, build_model
-from repro.network.cost import (
-    architecture_cost,
-    cost_equivalent_fattree_bandwidth,
+from repro.api import (
+    ClusterSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    FabricSpec,
+    OptimizerSpec,
+    RegistryError,
+    SpecError,
+    WorkloadSpec,
+    compare_fabrics,
+    parse_overrides,
+    run_experiment,
+    run_sweep,
 )
-from repro.network.fattree import FatTreeFabric, IdealSwitchFabric
-from repro.parallel.mcmc import MCMCSearch
-from repro.parallel.strategy import PlacementKind
-from repro.sim.network_sim import simulate_iteration
+from repro.api.spec import EXPERIMENT_PRESETS
+from repro.models.configs import CONFIG_FAMILIES, FAMILY_DESCRIPTIONS
 
 GBPS = 1e9
 
 
+# ----------------------------------------------------------------------
+# Legacy flag interface (deprecated shim)
+# ----------------------------------------------------------------------
+
 def build_parser() -> argparse.ArgumentParser:
+    """The legacy flag parser, kept as a shim over ``run --spec``."""
+    scale_help = "; ".join(
+        f"{name}: {FAMILY_DESCRIPTIONS[name]}" for name in CONFIG_FAMILIES
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "TopoOpt co-optimization: find a topology + parallelization "
-            "strategy for one training job and compare fabrics"
+            "strategy for one training job and compare fabrics. "
+            "This flag interface is a legacy shim; prefer "
+            "'repro run --spec exp.json' (docs/api.md)."
         ),
         epilog=(
-            "Tooling: 'repro bench-smoke [--json PATH]' runs the "
-            "vectorized-kernel micro-benchmarks at smoke scale (<60 s) "
-            "as a pre-merge perf sanity check; 'repro check-docs' "
-            "verifies doctests and repro.cli references in the docs."
+            "Subcommands: 'repro run|sweep|compare' execute declarative "
+            "experiment specs; 'repro bench-smoke [--json PATH]' runs "
+            "the kernel micro-benchmarks at smoke scale (<60 s); "
+            "'repro check-docs' verifies doctests and repro.cli "
+            "references in the docs; 'repro check-examples' runs every "
+            "example at smoke scale."
         ),
     )
     parser.add_argument(
         "--model",
         default="DLRM",
-        help=f"workload name (one of {sorted(SIMULATION_CONFIGS)})",
+        help="workload name (run 'repro run --help' for the preset list)",
     )
     parser.add_argument(
         "--scale",
         default="shared",
-        choices=("simulation", "shared", "testbed"),
-        help="List 1 preset family (default: shared)",
+        choices=tuple(CONFIG_FAMILIES),
+        help=f"model preset family ({scale_help}; default: shared)",
     )
     parser.add_argument("--servers", type=int, default=16)
     parser.add_argument("--degree", type=int, default=4)
@@ -82,15 +107,363 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restrict TotientPerms strides to primes (large clusters)",
     )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the ExperimentResult JSON to PATH",
+    )
     return parser
 
+
+def spec_from_legacy_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Translate legacy flags into the spec they always meant."""
+    return ExperimentSpec(
+        name=f"{args.model}-{args.scale}",
+        seed=args.seed,
+        workload=WorkloadSpec(
+            model=args.model,
+            scale=args.scale,
+            batch_per_gpu=args.batch_per_gpu,
+        ),
+        cluster=ClusterSpec(
+            servers=args.servers,
+            degree=args.degree,
+            bandwidth_gbps=args.bandwidth_gbps,
+            gpus_per_server=args.gpus_per_server,
+        ),
+        fabric=FabricSpec(kind="topoopt"),
+        optimizer=OptimizerSpec(
+            strategy="mcmc",
+            rounds=args.rounds,
+            mcmc_iterations=args.mcmc_iterations,
+            mcmc_restarts=args.mcmc_restarts,
+            primes_only=args.primes_only,
+        ),
+        baselines=(
+            FabricSpec(kind="ideal-switch"),
+            FabricSpec(kind="fattree"),
+        ),
+    )
+
+
+def print_report(result: ExperimentResult) -> None:
+    """Human-readable experiment report (shared by run and the shim)."""
+    spec = result.spec
+    workload = result.workload
+    print(f"workload      : {workload.model} ({workload.scale} preset)")
+    print(f"  parameters  : {workload.params_bytes / 1e9:.2f} GB "
+          f"({workload.embedding_tables} embedding tables)")
+    print(f"cluster       : {spec.cluster.servers} servers x "
+          f"{spec.cluster.degree} interfaces @ "
+          f"{spec.cluster.bandwidth_gbps:g} Gbps")
+
+    strategy = result.strategy
+    print(f"\nstrategy      : {strategy.num_layers} layers "
+          f"({strategy.model_parallel} model-parallel, "
+          f"{strategy.sharded} sharded, rest DP)")
+    print(f"traffic       : AllReduce "
+          f"{result.traffic.allreduce_bytes / 1e9:.2f} GB, "
+          f"MP {result.traffic.mp_bytes / 1e9:.2f} GB / iteration")
+
+    if result.topology is not None:
+        topo = result.topology
+        print(f"topology      : {topo.num_links} links, "
+              f"diameter {topo.diameter}, "
+              f"d_AR={topo.allreduce_degree}, d_MP={topo.mp_degree}")
+        for group in topo.groups:
+            print(f"  group of {group['size']:>3}: "
+                  f"strides {tuple(group['strides'])}")
+
+    print("\niteration time (simulated):")
+    primary = result.fabric
+    print(f"  {primary.name:<20} : {primary.total_s * 1e3:9.2f} ms")
+    for timing in result.baselines:
+        if timing.total_s > 0 and primary.total_s > 0:
+            if timing.total_s <= primary.total_s:
+                ratio = (f"({primary.total_s / timing.total_s:.2f}x "
+                         f"{primary.name})")
+            else:
+                ratio = (f"({timing.total_s / primary.total_s:.2f}x "
+                         f"slower than {primary.name})")
+        else:
+            ratio = ""
+        print(f"  {timing.name:<20} : {timing.total_s * 1e3:9.2f} ms "
+              f"{ratio}".rstrip())
+
+    priced = [t for t in result.timings if t.cost_usd is not None]
+    if priced:
+        parts = ", ".join(
+            f"{t.name} ${t.cost_usd / 1e3:.0f}k" for t in priced
+        )
+        print(f"\ninterconnect cost: {parts}")
+        if primary.cost_usd:
+            for timing in result.baselines:
+                if timing.cost_usd:
+                    print(f"  {timing.name} / {primary.name}: "
+                          f"{timing.cost_usd / primary.cost_usd:.1f}x")
+
+
+def legacy_main(argv: Sequence[str]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv))
+    print("note: the flag interface is a legacy shim; prefer "
+          "'python -m repro.cli run --spec exp.json' (docs/api.md)",
+          file=sys.stderr)
+    try:
+        spec = spec_from_legacy_args(args)
+        result = run_experiment(spec)
+    except (SpecError, RegistryError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print_report(result)
+    if args.json and not _write_json(args.json, result.to_dict()):
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Spec loading helpers
+# ----------------------------------------------------------------------
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="ExperimentSpec JSON file (see docs/api.md for the schema)",
+    )
+    parser.add_argument(
+        "--preset", default=None,
+        choices=tuple(EXPERIMENT_PRESETS),
+        help="start from a named preset instead of a spec file",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="overrides",
+        help="override a spec field (dotted path or shorthand, e.g. "
+             "servers=32, fabric.kind=expander); repeatable",
+    )
+
+
+def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
+    if args.spec and args.preset:
+        raise SpecError("pass either --spec or --preset, not both")
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = ExperimentSpec.from_dict(json.load(handle))
+    elif args.preset:
+        spec = ExperimentSpec.preset(args.preset)
+    else:
+        raise SpecError("pass --spec PATH or --preset FAMILY")
+    if args.overrides:
+        spec = spec.with_overrides(parse_overrides(args.overrides))
+    return spec
+
+
+def _write_json(path: str, payload: Dict[str, Any]) -> bool:
+    """Write ``payload`` to ``path`` ('-' = stdout); False on failure."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+        return True
+    try:
+        Path(path).write_text(text + "\n")
+    except OSError as error:
+        print(f"error: cannot write {path}: {error}", file=sys.stderr)
+        return False
+    print(f"result written to {path}")
+    return True
+
+
+def _format_rows(headers: Sequence[str], rows) -> List[str]:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(
+            str(c).rjust(w) for c, w in zip(row, widths)
+        ))
+    return lines
+
+
+# ----------------------------------------------------------------------
+# run / sweep / compare
+# ----------------------------------------------------------------------
+
+def cmd_run(argv: Sequence[str] = ()) -> int:
+    """Execute one experiment spec and report the result."""
+    parser = argparse.ArgumentParser(prog="repro run")
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the ExperimentResult JSON to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        spec = _load_spec(args)
+        result = run_experiment(spec)
+    except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print_report(result)
+    if result.wall_time_s is not None:
+        print(f"\nwall time     : {result.wall_time_s:.2f} s "
+              f"(seed {spec.seed})")
+    if args.json and not _write_json(args.json, result.to_dict()):
+        return 2
+    return 0
+
+
+def cmd_sweep(argv: Sequence[str] = ()) -> int:
+    """Expand a parameter grid over a base spec; one row per run."""
+    parser = argparse.ArgumentParser(prog="repro sweep")
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--grid", default=None, metavar="PATH",
+        help="JSON file mapping override keys to value lists, e.g. "
+             '{"cluster.servers": [16, 32], "fabric.kind": ["topoopt"]}',
+    )
+    parser.add_argument(
+        "--vary", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="inline grid axis (repeatable): --vary servers=16,32",
+    )
+    parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument(
+        "--executor", default="thread",
+        choices=("thread", "process", "serial"),
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the SweepResult JSON to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        spec = _load_spec(args)
+        grid: Dict[str, List[Any]] = {}
+        if args.grid:
+            with open(args.grid) as handle:
+                loaded = json.load(handle)
+            if not isinstance(loaded, dict):
+                raise SpecError(
+                    f"--grid {args.grid}: expected a JSON object "
+                    f"mapping keys to value lists"
+                )
+            grid.update(loaded)
+        for axis in args.vary:
+            key, sep, values = axis.partition("=")
+            if not sep:
+                raise SpecError(
+                    f"--vary expects KEY=V1,V2,..., got {axis!r}"
+                )
+            from repro.api import parse_scalar
+
+            grid[key] = [parse_scalar(v) for v in values.split(",")]
+        if not grid:
+            raise SpecError("pass --grid PATH and/or --vary KEY=V1,V2")
+        sweep = run_sweep(
+            spec, grid,
+            max_workers=args.max_workers, executor=args.executor,
+        )
+    except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = sweep.rows()
+    grid_keys = list(grid)
+    extras = [
+        key for key in ("seed", "total_ms", "network_frac", "error")
+        if key not in grid_keys
+    ]
+    table = [
+        [row[k] for k in grid_keys]
+        + [
+            {
+                "seed": row["seed"],
+                "total_ms": (
+                    f"{row['total_s'] * 1e3:.2f}" if row["total_s"]
+                    else "-"
+                ),
+                "network_frac": (
+                    f"{row['network_fraction']:.2f}"
+                    if row["network_fraction"] is not None else "-"
+                ),
+                "error": row["error"] or "",
+            }[key]
+            for key in extras
+        ]
+        for row in rows
+    ]
+    headers = grid_keys + extras
+    for line in _format_rows(headers, table):
+        print(line)
+    failed = sum(1 for row in rows if row["error"])
+    print(f"\n{len(rows)} points, {failed} failed")
+    if args.json and not _write_json(args.json, sweep.to_dict()):
+        return 2
+    return 1 if failed else 0
+
+
+def cmd_compare(argv: Sequence[str] = ()) -> int:
+    """Time one experiment's traffic on a list of fabrics."""
+    parser = argparse.ArgumentParser(prog="repro compare")
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--fabrics", default="topoopt,ideal-switch,fattree",
+        help="comma-separated fabric registry names to compare",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the comparison JSON to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        spec = _load_spec(args)
+        kinds = [k.strip() for k in args.fabrics.split(",") if k.strip()]
+        if not kinds:
+            raise SpecError("--fabrics needs at least one fabric name")
+        fabrics = {kind: FabricSpec(kind=kind) for kind in kinds}
+        for fabric_spec in fabrics.values():
+            fabric_spec.validate_kind()
+        timings = compare_fabrics(spec, fabrics)
+    except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    base = timings[kinds[0]].total_s
+    table = [
+        [
+            kind,
+            f"{t.total_s * 1e3:.2f}",
+            f"{t.total_s / base:.2f}x" if base > 0 else "-",
+            f"${t.cost_usd / 1e3:.0f}k" if t.cost_usd else "-",
+        ]
+        for kind, t in ((k, timings[k]) for k in kinds)
+    ]
+    print(f"workload {spec.workload.model} on {spec.cluster.servers} "
+          f"servers (strategy {spec.optimizer.strategy}):")
+    for line in _format_rows(
+        ("fabric", "iteration_ms", f"vs {kinds[0]}", "cost"), table
+    ):
+        print(line)
+    if args.json and not _write_json(
+        args.json,
+        {kind: timing.to_dict() for kind, timing in timings.items()},
+    ):
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench-smoke
+# ----------------------------------------------------------------------
 
 def bench_smoke(argv: Sequence[str] = ()) -> int:
     """Run the kernel micro-benchmarks at smoke scale (<60 s).
 
     A pre-merge perf sanity check: prints reference-vs-vectorized
     timings for phase simulation, routing construction, LP assembly,
-    the staggered-phase event engine, and the search plane (MCMC
+    the staggered-flow event engine, and the search plane (MCMC
     steps/sec and end-to-end alternating optimization), and fails
     (exit 1) if a vectorized kernel has regressed to slower than the
     retained seed implementation at n=64 or the incremental MCMC costs
@@ -133,13 +506,14 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     return 0
 
 
-#: Subcommands of ``python -m repro.cli``; the docs checker validates
-#: every command reference in README.md / docs/*.md against this set.
-SUBCOMMANDS = ("bench-smoke", "check-docs")
+# ----------------------------------------------------------------------
+# check-docs
+# ----------------------------------------------------------------------
 
-#: Modules whose doctests document the public API (ISSUE 2 docstring
-#: pass); ``check-docs`` runs them all.
+#: Modules whose doctests document the public API; ``check-docs`` runs
+#: them all.
 DOCTEST_MODULES = (
+    "repro.api.spec",
     "repro.network.topology",
     "repro.perf.fairshare",
     "repro.sim.fluid",
@@ -160,7 +534,6 @@ def check_docs(argv: Sequence[str] = ()) -> int:
     import doctest
     import importlib
     import re
-    from pathlib import Path
 
     parser = argparse.ArgumentParser(prog="repro check-docs")
     parser.add_argument(
@@ -218,102 +591,107 @@ def check_docs(argv: Sequence[str] = ()) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# check-examples
+# ----------------------------------------------------------------------
+
+def check_examples(argv: Sequence[str] = ()) -> int:
+    """Run every ``examples/*.py`` at smoke scale under a time cap.
+
+    Each example is executed in a subprocess with ``REPRO_SMOKE=1`` in
+    the environment (examples shrink their search budgets when they see
+    it) and must exit zero within ``--timeout`` seconds, so the
+    examples cannot rot against the API.
+    """
+    import os
+    import subprocess
+    import time
+
+    parser = argparse.ArgumentParser(prog="repro check-examples")
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="wall-time cap per example (default: 120)",
+    )
+    parser.add_argument(
+        "--examples-dir", default=None, metavar="DIR",
+        help="directory of examples (default: <repo root>/examples)",
+    )
+    args = parser.parse_args(list(argv))
+    root = Path(__file__).resolve().parents[2]
+    examples_dir = (
+        Path(args.examples_dir) if args.examples_dir
+        else root / "examples"
+    )
+    scripts = sorted(examples_dir.glob("*.py"))
+    if not scripts:
+        print(f"no examples found under {examples_dir}", file=sys.stderr)
+        return 1
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    src = str(root / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src if not existing else f"{src}{os.pathsep}{existing}"
+    )
+    failures = 0
+    for script in scripts:
+        started = time.perf_counter()
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                capture_output=True,
+                text=True,
+                timeout=args.timeout,
+                env=env,
+                cwd=str(root),
+            )
+            elapsed = time.perf_counter() - started
+            status = "ok" if proc.returncode == 0 else "FAIL"
+        except subprocess.TimeoutExpired:
+            elapsed = time.perf_counter() - started
+            proc = None
+            status = "TIMEOUT"
+        print(f"  {script.name:<32} {status:>8} ({elapsed:5.1f} s)")
+        if status != "ok":
+            failures += 1
+            if proc is not None and proc.stderr:
+                tail = proc.stderr.strip().splitlines()[-12:]
+                for line in tail:
+                    print(f"    {line}", file=sys.stderr)
+            elif status == "TIMEOUT":
+                print(f"    exceeded --timeout {args.timeout:g} s",
+                      file=sys.stderr)
+    if failures:
+        print(f"check-examples: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("check-examples ok")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+COMMANDS = {
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+    "bench-smoke": bench_smoke,
+    "check-docs": check_docs,
+    "check-examples": check_examples,
+}
+
+#: Subcommands of ``python -m repro.cli``; the docs checker validates
+#: every command reference in README.md / docs/*.md against this set.
+SUBCOMMANDS = tuple(COMMANDS)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "bench-smoke":
-        return bench_smoke(argv[1:])
-    if argv and argv[0] == "check-docs":
-        return check_docs(argv[1:])
-    args = build_parser().parse_args(argv)
-    try:
-        model = build_model(args.model, scale=args.scale)
-    except KeyError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-
-    print(f"workload      : {model.name} ({args.scale} preset)")
-    print(f"  parameters  : {model.total_params_bytes / 1e9:.2f} GB "
-          f"({len(model.embedding_layers)} embedding tables)")
-    print(f"cluster       : {args.servers} servers x {args.degree} "
-          f"interfaces @ {args.bandwidth_gbps:g} Gbps")
-
-    search = MCMCSearch(
-        model,
-        num_servers=args.servers,
-        batch_per_gpu=args.batch_per_gpu,
-        gpus_per_server=args.gpus_per_server,
-        seed=args.seed,
-    )
-    optimizer = AlternatingOptimizer(
-        num_servers=args.servers,
-        degree=args.degree,
-        link_bandwidth_bps=args.bandwidth_gbps * GBPS,
-        search=search,
-        max_rounds=args.rounds,
-        mcmc_iterations=args.mcmc_iterations,
-        mcmc_restarts=args.mcmc_restarts,
-        primes_only=args.primes_only,
-    )
-    result = optimizer.run()
-
-    placements = result.strategy.placements
-    mp_count = sum(
-        1 for p in placements.values()
-        if p.kind == PlacementKind.MODEL_PARALLEL
-    )
-    sharded = sum(
-        1 for p in placements.values() if p.kind == PlacementKind.SHARDED
-    )
-    print(f"\nstrategy      : {len(placements)} layers "
-          f"({mp_count} model-parallel, {sharded} sharded, rest DP)")
-    print(f"traffic       : AllReduce "
-          f"{result.traffic.total_allreduce_bytes / 1e9:.2f} GB, "
-          f"MP {result.traffic.total_mp_bytes / 1e9:.2f} GB / iteration")
-
-    topo = result.topology_result.topology
-    print(f"topology      : {topo.num_links()} links, "
-          f"diameter {topo.diameter()}, "
-          f"d_AR={result.topology_result.allreduce_degree}, "
-          f"d_MP={result.topology_result.mp_degree}")
-    for plan in result.topology_result.group_plans:
-        print(f"  group of {plan.group.size:>3}: strides {plan.strides}")
-
-    compute_s = search.compute_s
-    topo_iter = simulate_iteration(
-        result.fabric, result.traffic, compute_s
-    ).total_s
-    ideal = IdealSwitchFabric(
-        args.servers, args.degree, args.bandwidth_gbps * GBPS
-    )
-    ideal_iter = simulate_iteration(
-        ideal, result.traffic, compute_s
-    ).total_s
-    equiv = cost_equivalent_fattree_bandwidth(
-        args.servers, args.degree, args.bandwidth_gbps
-    )
-    fattree = FatTreeFabric(args.servers, 1, equiv * GBPS)
-    fat_iter = simulate_iteration(
-        fattree, result.traffic, compute_s
-    ).total_s
-
-    print(f"\niteration time (simulated):")
-    print(f"  TopoOpt              : {topo_iter * 1e3:9.2f} ms")
-    print(f"  Ideal Switch         : {ideal_iter * 1e3:9.2f} ms "
-          f"({topo_iter / ideal_iter:.2f}x TopoOpt)")
-    print(f"  cost-equiv. Fat-tree : {fat_iter * 1e3:9.2f} ms "
-          f"({fat_iter / topo_iter:.2f}x slower than TopoOpt)")
-
-    topo_cost = architecture_cost(
-        "TopoOpt", args.servers, args.degree, args.bandwidth_gbps
-    )
-    ideal_cost = architecture_cost(
-        "Ideal Switch", args.servers, args.degree, args.bandwidth_gbps
-    )
-    print(f"\ninterconnect cost: TopoOpt ${topo_cost / 1e3:.0f}k vs "
-          f"Ideal Switch ${ideal_cost / 1e3:.0f}k "
-          f"({ideal_cost / topo_cost:.1f}x)")
-    return 0
+    if argv and argv[0] in COMMANDS:
+        return COMMANDS[argv[0]](argv[1:])
+    return legacy_main(argv)
 
 
 if __name__ == "__main__":

@@ -200,22 +200,35 @@ TESTBED_CONFIGS: Dict[str, ModelConfig] = {
 }
 
 
+#: The paper's three preset families, keyed by scale name -- the single
+#: source of truth consumed by :func:`build_model`, the CLI's
+#: ``--scale`` choices, and the experiment-spec validation in
+#: :mod:`repro.api.spec`.
+CONFIG_FAMILIES: Dict[str, Dict[str, ModelConfig]] = {
+    "simulation": SIMULATION_CONFIGS,
+    "shared": SHARED_CLUSTER_CONFIGS,
+    "testbed": TESTBED_CONFIGS,
+}
+
+#: One-line description per preset family (``--help`` text and docs).
+FAMILY_DESCRIPTIONS: Dict[str, str] = {
+    "simulation": "section 5.3 dedicated 128-server cluster presets",
+    "shared": "section 5.6 shared 432-server cluster presets",
+    "testbed": "section 6 12-node prototype presets",
+}
+
+
 def build_model(name: str, scale: str = "simulation") -> DNNModel:
     """Build a model from a named preset.
 
     ``scale`` is one of ``"simulation"`` (section 5.3),
     ``"shared"`` (section 5.6), or ``"testbed"`` (section 6).
     """
-    tables = {
-        "simulation": SIMULATION_CONFIGS,
-        "shared": SHARED_CLUSTER_CONFIGS,
-        "testbed": TESTBED_CONFIGS,
-    }
-    if scale not in tables:
+    if scale not in CONFIG_FAMILIES:
         raise ValueError(
-            f"unknown scale {scale!r}; use one of {sorted(tables)}"
+            f"unknown scale {scale!r}; use one of {sorted(CONFIG_FAMILIES)}"
         )
-    table = tables[scale]
+    table = CONFIG_FAMILIES[scale]
     if name not in table:
         raise KeyError(
             f"no {scale} preset for {name!r}; known: {sorted(table)}"

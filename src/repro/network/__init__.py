@@ -21,6 +21,7 @@ from repro.network.topoopt import RemappedFabric, TopoOptFabric
 from repro.network.fattree import (
     FatTreeFabric,
     IdealSwitchFabric,
+    LeafSpineFabric,
     OversubscribedFatTreeFabric,
 )
 from repro.network.expander import ExpanderFabric, random_regular_topology
@@ -40,13 +41,17 @@ from repro.network.cost import (
 
 
 def __getattr__(name):
-    """Lazily import SipMLFabric: it lives on top of :mod:`repro.sim`,
-    which itself builds on this package (PEP 562 keeps the import
-    acyclic)."""
+    """Lazily import the fabrics that live on top of :mod:`repro.sim`
+    or :mod:`repro.core`, which themselves build on this package
+    (PEP 562 keeps the imports acyclic)."""
     if name == "SipMLFabric":
         from repro.network.sipml import SipMLFabric
 
         return SipMLFabric
+    if name == "HierarchicalTopoOptFabric":
+        from repro.network.hierarchical import HierarchicalTopoOptFabric
+
+        return HierarchicalTopoOptFabric
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -56,10 +61,12 @@ __all__ = [
     "RemappedFabric",
     "FatTreeFabric",
     "IdealSwitchFabric",
+    "LeafSpineFabric",
     "OversubscribedFatTreeFabric",
     "ExpanderFabric",
     "random_regular_topology",
     "SipMLFabric",
+    "HierarchicalTopoOptFabric",
     "OpticalCircuitSwitch",
     "OpticalPatchPanel",
     "OpticalTechnology",

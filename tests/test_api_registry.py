@@ -1,0 +1,209 @@
+"""Registries: every name builds, errors are actionable, exports match."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    FABRICS,
+    STRATEGIES,
+    FabricBuildContext,
+    RegistryError,
+    WorkloadSpec,
+    FabricSpec,
+    build_fabric,
+    build_strategy,
+    build_workload,
+    fabric_entry,
+    workload_names,
+)
+from repro.core.topology_finder import AllReduceGroup
+from repro.models.configs import CONFIG_FAMILIES
+from repro.parallel.traffic import TrafficSummary
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    mp = np.zeros((N, N))
+    mp[0, 3] = mp[3, 0] = 1e9
+    return TrafficSummary(
+        n=N,
+        allreduce_groups=[
+            AllReduceGroup(members=tuple(range(N)), total_bytes=1e9)
+        ],
+        mp_matrix=mp,
+    )
+
+
+@pytest.fixture(scope="module")
+def ctx(traffic):
+    return FabricBuildContext(
+        num_servers=N, degree=4, link_bandwidth_bps=100e9, traffic=traffic
+    )
+
+
+class TestFabricRegistry:
+    def test_registry_covers_the_issue_list(self):
+        required = {
+            "topoopt", "ideal-switch", "fattree",
+            "oversubscribed-fattree", "leaf-spine", "expander", "sipml",
+            "hierarchical",
+        }
+        assert required <= set(FABRICS.names())
+
+    @pytest.mark.parametrize("kind", list(FABRICS.names()))
+    def test_every_fabric_builds(self, kind, ctx):
+        fabric = build_fabric(FabricSpec(kind=kind), ctx)
+        assert fabric.num_servers == N
+        entry = fabric_entry(kind)
+        assert isinstance(fabric, entry.cls)
+        if entry.simulates_itself:
+            assert hasattr(fabric, "iteration_time")
+        else:
+            assert fabric.capacities()
+            assert fabric.paths(0, 1)
+
+    def test_registry_all_parity(self):
+        """Satellite: every registry entry is importable from repro."""
+        for kind in FABRICS.names():
+            cls = fabric_entry(kind).cls
+            assert cls.__name__ in repro.__all__, (
+                f"fabric {kind!r} builds {cls.__name__}, which is "
+                f"missing from repro.__all__"
+            )
+            assert getattr(repro, cls.__name__) is cls
+
+    def test_spec_overrides_cluster_dimensions(self, ctx):
+        fabric = build_fabric(
+            FabricSpec(kind="ideal-switch", degree=8, bandwidth_gbps=10),
+            ctx,
+        )
+        assert fabric.degree == 8
+        assert fabric.link_bandwidth_bps == 10e9
+
+    def test_options_reach_the_constructor(self, ctx):
+        fabric = build_fabric(
+            FabricSpec(
+                kind="leaf-spine",
+                options={"servers_per_rack": 2, "num_spines": 3},
+            ),
+            ctx,
+        )
+        assert fabric.servers_per_rack == 2
+        assert fabric.num_spines == 3
+
+    def test_unknown_fabric_is_actionable(self):
+        with pytest.raises(RegistryError, match="torus.*topoopt"):
+            FABRICS.get("torus")
+
+    def test_traffic_shaped_fabric_requires_traffic(self):
+        bare = FabricBuildContext(
+            num_servers=N, degree=4, link_bandwidth_bps=100e9
+        )
+        with pytest.raises(ValueError, match="traffic"):
+            build_fabric(FabricSpec(kind="topoopt"), bare)
+
+    def test_unknown_option_key_is_rejected(self, ctx):
+        with pytest.raises(ValueError, match="reconfig_latency_s"):
+            build_fabric(
+                FabricSpec(
+                    kind="ocs-reconfig",
+                    options={"reconfig_latency_s": 1e-4},  # typo'd knob
+                ),
+                ctx,
+            )
+
+    def test_precomputed_topology_is_reused(self, traffic, ctx):
+        from repro.core.topology_finder import topology_finder
+
+        result = topology_finder(
+            N, 4, traffic.allreduce_groups, traffic.mp_matrix
+        )
+        primed = FabricBuildContext(
+            num_servers=N, degree=4, link_bandwidth_bps=100e9,
+            traffic=traffic, topology_result=result,
+        )
+        fabric = build_fabric(FabricSpec(kind="topoopt"), primed)
+        assert fabric.result is result
+        # A degree override invalidates the precomputed topology.
+        other = build_fabric(FabricSpec(kind="topoopt", degree=2), primed)
+        assert other.result is not result
+        # So do fabric options (primes_only changes the topology).
+        primed_primes = build_fabric(
+            FabricSpec(kind="topoopt", options={"primes_only": True}),
+            primed,
+        )
+        assert primed_primes.result is not result
+
+
+class TestStrategyRegistry:
+    def test_names(self):
+        assert set(STRATEGIES.names()) == {
+            "auto", "hybrid", "data-parallel", "all-sharded", "mcmc",
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["auto", "hybrid", "data-parallel", "all-sharded"]
+    )
+    def test_fixed_strategies_build(self, name):
+        model = build_workload(WorkloadSpec(model="DLRM", scale="shared"))
+        strategy = build_strategy(name, model, N)
+        strategy.validate_against(model)
+
+    def test_mcmc_is_not_a_fixed_strategy(self):
+        model = build_workload(WorkloadSpec(model="DLRM", scale="shared"))
+        with pytest.raises(ValueError, match="search"):
+            build_strategy("mcmc", model, N)
+
+    def test_hybrid_accepts_options(self):
+        model = build_workload(WorkloadSpec(model="DLRM", scale="shared"))
+        names = [layer.name for layer in model.embedding_layers]
+        strategy = build_strategy(
+            "hybrid", model, N, embedding_owners={names[0]: 5}
+        )
+        assert strategy.placements[names[0]].servers == (5,)
+
+
+class TestWorkloadRegistry:
+    def test_workload_names_match_config_families(self):
+        for family, table in CONFIG_FAMILIES.items():
+            assert workload_names(family) == tuple(sorted(table))
+
+    def test_preset_build_matches_config(self):
+        from repro.models.configs import SHARED_CLUSTER_CONFIGS
+
+        via_registry = build_workload(
+            WorkloadSpec(model="BERT", scale="shared")
+        )
+        direct = SHARED_CLUSTER_CONFIGS["BERT"].build()
+        assert via_registry.total_params_bytes == direct.total_params_bytes
+
+    def test_options_merge_over_preset(self):
+        base = build_workload(WorkloadSpec(model="DLRM", scale="shared"))
+        tweaked = build_workload(
+            WorkloadSpec(
+                model="DLRM", scale="shared",
+                options={"num_embedding_tables": 2},
+            )
+        )
+        assert len(tweaked.embedding_layers) == 2
+        assert len(base.embedding_layers) != 2
+
+    def test_custom_scale_uses_raw_builder(self):
+        model = build_workload(
+            WorkloadSpec(
+                model="DLRM", scale="custom",
+                options={
+                    "num_embedding_tables": 3,
+                    "embedding_dim": 16,
+                    "embedding_rows": 1000,
+                    "num_dense_layers": 1,
+                    "dense_layer_size": 8,
+                    "num_feature_layers": 1,
+                    "feature_layer_size": 8,
+                },
+            )
+        )
+        assert len(model.embedding_layers) == 3

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import SUBCOMMANDS, build_parser, main
 
 
 class TestParser:
@@ -23,6 +25,19 @@ class TestParser:
     def test_invalid_scale_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--scale", "galactic"])
+
+    def test_scale_choices_track_config_families(self):
+        """Satellite: one source of truth for the preset families."""
+        from repro.models.configs import CONFIG_FAMILIES
+
+        action = next(
+            a for a in build_parser()._actions if a.dest == "scale"
+        )
+        assert tuple(action.choices) == tuple(CONFIG_FAMILIES)
+        # The help text documents each family (no leftover "List 1").
+        assert "List 1" not in action.help
+        for family in CONFIG_FAMILIES:
+            assert family in action.help
 
 
 class TestMain:
@@ -63,6 +78,76 @@ class TestMain:
         out = capsys.readouterr().out
         assert "model-parallel" in out
         assert "strides" in out
+
+
+class TestDeclarativeCommands:
+    def test_run_requires_spec_or_preset(self, capsys):
+        assert main(["run"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_run_with_preset_and_overrides(self, capsys, tmp_path):
+        out = tmp_path / "result.json"
+        code = main([
+            "run", "--preset", "shared",
+            "--set", "servers=4", "--set", "degree=2",
+            "--set", "rounds=1", "--set", "mcmc_iterations=5",
+            "--set", "model=VGG16",
+            "--json", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "iteration time" in stdout
+        assert "TopoOpt" in stdout
+        result = json.loads(out.read_text())
+        assert result["spec"]["cluster"]["servers"] == 4
+        assert result["fabric"]["total_s"] > 0
+
+    def test_run_rejects_bad_override(self, capsys):
+        code = main([
+            "run", "--preset", "shared", "--set", "fabric.kind=torus",
+        ])
+        assert code == 2
+        assert "torus" in capsys.readouterr().err
+
+    def test_sweep_prints_row_per_point(self, capsys):
+        code = main([
+            "sweep", "--preset", "shared",
+            "--set", "strategy=auto", "--set", "servers=8",
+            "--set", "baselines=",
+            "--vary", "model=DLRM,VGG16", "--vary", "degree=2,4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 points, 0 failed" in out
+        assert "VGG16" in out
+
+    def test_sweep_requires_a_grid(self, capsys):
+        assert main(["sweep", "--preset", "shared"]) == 2
+        assert "--grid" in capsys.readouterr().err
+
+    def test_compare_lists_fabrics(self, capsys):
+        code = main([
+            "compare", "--preset", "shared",
+            "--set", "strategy=auto", "--set", "servers=8",
+            "--fabrics", "topoopt,ideal-switch,leaf-spine",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for kind in ("topoopt", "ideal-switch", "leaf-spine"):
+            assert kind in out
+
+    def test_compare_rejects_unknown_fabric(self, capsys):
+        code = main([
+            "compare", "--preset", "shared", "--fabrics", "torus",
+        ])
+        assert code == 2
+        assert "torus" in capsys.readouterr().err
+
+    def test_subcommands_cover_the_dispatch_table(self):
+        assert set(SUBCOMMANDS) == {
+            "run", "sweep", "compare", "bench-smoke", "check-docs",
+            "check-examples",
+        }
 
 
 class TestCheckDocs:
