@@ -1,134 +1,67 @@
 #!/usr/bin/env python3
 """Shared cluster: TopoOpt sharding vs a shared Fat-tree (section 5.6).
 
-Places a mix of jobs (DLRM / BERT / CANDLE / VGG16, the paper's 40/30/
-20/10% mix) on a cluster and compares per-iteration times when
+Places the paper's job mix (DLRM / BERT / CANDLE / VGG16) on a
+32-server cluster through the **scenario engine** and compares
+per-iteration times when
 
 * each job gets a physically isolated TopoOpt shard (optical sharding,
   Appendix C), versus
-* all jobs share a cost-equivalent Fat-tree core.
+* all jobs share a cost-equivalent Fat-tree core,
 
-Per-job workloads, strategies, and fabrics are built through the
-declarative API registries (``WorkloadSpec`` + ``build_strategy`` +
-``build_fabric``) instead of hand-wired constructors; the multi-job
-placement itself runs on :class:`repro.sim.cluster.SharedClusterSimulator`.
+under the *same* arrival trace -- the Figure 16 comparison, now one
+``ScenarioSpec`` instead of hand-wired simulators.  The whole pipeline
+(arrivals -> shard allocation -> per-job strategy/topology -> fluid
+simulation -> typed results) runs inside
+:func:`repro.cluster.run_scenario`.
 
 Run:  python examples/shared_cluster.py
 """
 
-from repro.api import (
-    FabricBuildContext,
-    FabricSpec,
-    WorkloadSpec,
-    build_fabric,
-    build_strategy,
-    build_workload,
-    smoke_scale,
-)
-from repro.models import compute_time_seconds
-from repro.network.cost import cost_equivalent_fattree_bandwidth
-from repro.network.fattree import IdealSwitchFabric
-from repro.parallel.traffic import extract_traffic
-from repro.sim.cluster import (
-    JobSpec,
-    SharedClusterSimulator,
-    iteration_time_stats,
-    remap_traffic,
-)
-
-SERVERS_PER_JOB = 8
-DEGREE = 4
-LINK_GBPS = 100.0
-JOB_MIX = ["DLRM", "BERT", "CANDLE", "VGG16"]
+from repro.analysis import iteration_time_series
+from repro.api import smoke_scale
+from repro.cluster import ScenarioSpec, run_scenario
 
 
-def iterations_per_job():
-    return 2 if smoke_scale() else 4
-
-
-def job_traffic(model_name):
-    """(traffic, compute_s) for one job, via the workload registry."""
-    model = build_workload(WorkloadSpec(model=model_name, scale="shared"))
-    strategy_name = "hybrid" if model.embedding_layers else "data-parallel"
-    strategy = build_strategy(strategy_name, model, SERVERS_PER_JOB)
-    traffic = extract_traffic(model, strategy)
-    compute = compute_time_seconds(model, model.default_batch_per_gpu)
-    return traffic, compute
-
-
-def run_topoopt(jobs):
-    capacities = {}
-    specs = []
-    for idx, (name, traffic, compute) in enumerate(jobs):
-        server_map = list(
-            range(idx * SERVERS_PER_JOB, (idx + 1) * SERVERS_PER_JOB)
+def build_spec():
+    spec = ScenarioSpec.preset("shared")
+    if smoke_scale():
+        spec = spec.with_overrides(
+            {f"jobs.{i}.iterations": 2 for i in range(len(spec.jobs))}
         )
-        shard = build_fabric(
-            FabricSpec(kind="topoopt"),
-            FabricBuildContext(
-                num_servers=SERVERS_PER_JOB,
-                degree=DEGREE,
-                link_bandwidth_bps=LINK_GBPS * 1e9,
-                traffic=traffic,
-            ),
-        ).relabel(server_map)
-        capacities.update(shard.capacities())
-        specs.append(
-            JobSpec(
-                name=f"{name}-{idx}",
-                traffic=remap_traffic(traffic, server_map),
-                compute_s=compute,
-                fabric=shard,
-            )
-        )
-    sim = SharedClusterSimulator(capacities, specs, seed=0)
-    return sim.run(iterations_per_job=iterations_per_job())
-
-
-def run_fattree(jobs):
-    total_servers = len(jobs) * SERVERS_PER_JOB
-    equiv_gbps = cost_equivalent_fattree_bandwidth(
-        total_servers, DEGREE, LINK_GBPS
-    )
-    fabric = IdealSwitchFabric(total_servers, 1, equiv_gbps * 1e9)
-    specs = []
-    for idx, (name, traffic, compute) in enumerate(jobs):
-        server_map = list(
-            range(idx * SERVERS_PER_JOB, (idx + 1) * SERVERS_PER_JOB)
-        )
-        specs.append(
-            JobSpec(
-                name=f"{name}-{idx}",
-                traffic=remap_traffic(traffic, server_map),
-                compute_s=compute,
-                fabric=fabric,
-            )
-        )
-    sim = SharedClusterSimulator(fabric.capacities(), specs, seed=0)
-    return sim.run(iterations_per_job=iterations_per_job())
+    return spec
 
 
 def main():
-    print(f"Job mix: {JOB_MIX} ({SERVERS_PER_JOB} servers each)")
-    jobs = [(name, *job_traffic(name)) for name in JOB_MIX]
+    spec = build_spec()
+    mix = [template.model for template in spec.jobs]
+    print(f"Job mix: {mix} ({spec.jobs[0].servers} servers each, "
+          f"{spec.scheduler.policy} allocation)")
 
     print("\nSimulating TopoOpt shards (isolated optical partitions) ...")
-    topo_stats = run_topoopt(jobs)
+    topo = run_scenario(spec)
     print("Simulating shared cost-equivalent Fat-tree ...")
-    fat_stats = run_fattree(jobs)
+    fat = run_scenario(spec.with_overrides({"fabric.kind": "fattree"}))
 
     print(f"\n{'job':<12} {'TopoOpt (ms)':>14} {'Fat-tree (ms)':>14}")
-    for t_job, f_job in zip(topo_stats, fat_stats):
-        t = sum(t_job.iteration_times[1:]) / len(t_job.iteration_times[1:])
-        f = sum(f_job.iteration_times[1:]) / len(f_job.iteration_times[1:])
-        print(f"{t_job.name:<12} {t * 1e3:>14.1f} {f * 1e3:>14.1f}")
+    for t_job, f_job in zip(topo.jobs, fat.jobs):
+        print(f"{t_job.name:<12} {t_job.iteration_avg_s * 1e3:>14.1f} "
+              f"{f_job.iteration_avg_s * 1e3:>14.1f}")
 
-    t_avg, t_p99 = iteration_time_stats(topo_stats)
-    f_avg, f_p99 = iteration_time_stats(fat_stats)
+    series = {
+        "TopoOpt": topo,
+        "Fat-tree": fat,
+    }
+    rows = {row["label"]: row for row in iteration_time_series(series)}
+    t_avg, t_p99 = rows["TopoOpt"]["avg_s"], rows["TopoOpt"]["p99_s"]
+    f_avg, f_p99 = rows["Fat-tree"]["avg_s"], rows["Fat-tree"]["p99_s"]
     print(f"\ncluster average: TopoOpt {t_avg * 1e3:.1f} ms vs "
           f"Fat-tree {f_avg * 1e3:.1f} ms ({f_avg / t_avg:.2f}x)")
     print(f"cluster p99:     TopoOpt {t_p99 * 1e3:.1f} ms vs "
           f"Fat-tree {f_p99 * 1e3:.1f} ms ({f_p99 / t_p99:.2f}x)")
+    print(f"\nutilization: TopoOpt {topo.mean_utilization() * 100:.0f}%, "
+          f"Fat-tree {fat.mean_utilization() * 100:.0f}% "
+          f"(same arrivals, same shard allocation)")
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
 #!/usr/bin/env sh
 # Pre-merge sanity check: documentation checks first (fast), then every
 # example at smoke scale, then the kernel micro-benchmarks at smoke
-# scale (<60 s) -- flow simulation, routing, LP assembly, and the
-# search plane (MCMC steps/sec plus end-to-end alternating
-# optimization).  Exits non-zero if the docs are broken, an example
-# fails or times out, a vectorized kernel has regressed to slower than
-# the retained seed implementation, or the incremental cost model
-# drifts from its full-rebuild oracle.
+# scale (<60 s) -- flow simulation, routing, LP assembly, the search
+# plane (MCMC steps/sec plus end-to-end alternating optimization), and
+# the multi-job shared-cluster scenario engine.  Exits non-zero if the
+# docs are broken, an example fails or times out, a vectorized kernel
+# has regressed to slower than the retained seed implementation, the
+# incremental cost model drifts from its full-rebuild oracle, or the
+# scenario engine loses (spec, seed) determinism / reference-allocator
+# equivalence.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu

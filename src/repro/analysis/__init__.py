@@ -8,6 +8,14 @@ from repro.analysis.metrics import (
     path_length_cdf,
     routed_link_bytes,
 )
+from repro.analysis.results import (
+    cdf_from_rows,
+    column,
+    iteration_time_cdf,
+    iteration_time_series,
+    jct_cdf,
+    queueing_delay_cdf,
+)
 
 __all__ = [
     "render_heatmap",
@@ -18,4 +26,10 @@ __all__ = [
     "link_traffic_distribution",
     "path_length_cdf",
     "routed_link_bytes",
+    "cdf_from_rows",
+    "column",
+    "iteration_time_cdf",
+    "iteration_time_series",
+    "jct_cdf",
+    "queueing_delay_cdf",
 ]

@@ -25,6 +25,29 @@ def _opt(value: Optional[float]) -> Optional[float]:
     return None if value is None else float(value)
 
 
+def _result_from_dict(data: Mapping[str, Any]):
+    """Rebuild a point result, dispatching on the serialized type.
+
+    Scenario results mark themselves with ``"type": "scenario"``
+    (:meth:`repro.cluster.results.ScenarioResult.to_dict`); everything
+    else is an :class:`ExperimentResult`.
+    """
+    if data.get("type") == "scenario":
+        from repro.cluster.results import ScenarioResult
+
+        return ScenarioResult.from_dict(data)
+    return ExperimentResult.from_dict(data)
+
+
+def _spec_from_dict(data: Mapping[str, Any]):
+    """Rebuild a sweep base spec (experiment or scenario)."""
+    if "arrivals" in data:  # only ScenarioSpec has an arrival process
+        from repro.cluster.spec import ScenarioSpec
+
+        return ScenarioSpec.from_dict(data)
+    return ExperimentSpec.from_dict(data)
+
+
 @dataclass(frozen=True)
 class WorkloadSummary:
     """The built model, as numbers: size, layer mix, batch."""
@@ -314,11 +337,15 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point: its overrides, derived seed, and outcome."""
+    """One grid point: its overrides, derived seed, and outcome.
+
+    ``result`` is an :class:`ExperimentResult` or, for scenario sweeps,
+    a :class:`repro.cluster.results.ScenarioResult`.
+    """
 
     overrides: Dict[str, Any]
     seed: int
-    result: Optional[ExperimentResult] = None
+    result: Optional[object] = None
     error: Optional[str] = None
 
     @property
@@ -339,7 +366,7 @@ class SweepPoint:
             overrides=dict(data["overrides"]),
             seed=data["seed"],
             result=(
-                ExperimentResult.from_dict(data["result"])
+                _result_from_dict(data["result"])
                 if data.get("result")
                 else None
             ),
@@ -347,11 +374,31 @@ class SweepPoint:
         )
 
 
+#: Metric columns of an experiment row (kept stable across failures).
+_EXPERIMENT_COLUMNS = (
+    "model", "fabric_kind", "servers", "degree", "bandwidth_gbps",
+    "compute_s", "mp_s", "allreduce_s", "total_s", "network_fraction",
+    "cost_usd",
+)
+
+#: Metric columns of a scenario row.
+_SCENARIO_COLUMNS = (
+    "fabric_kind", "servers", "policy", "jobs_completed", "makespan_s",
+    "iteration_avg_s", "iteration_p99_s", "jct_avg_s", "jct_p99_s",
+    "queueing_avg_s", "queueing_p99_s", "mean_utilization",
+    "peak_fragmentation",
+)
+
+
 @dataclass(frozen=True)
 class SweepResult:
-    """All points of one sweep, in grid-expansion order."""
+    """All points of one sweep, in grid-expansion order.
 
-    base_spec: ExperimentSpec
+    ``base_spec`` is the swept :class:`ExperimentSpec` or
+    :class:`repro.cluster.spec.ScenarioSpec`; the row schema follows it.
+    """
+
+    base_spec: object
     grid: Dict[str, List[Any]]
     points: Tuple[SweepPoint, ...]
 
@@ -359,19 +406,37 @@ class SweepResult:
     def ok(self) -> bool:
         return all(point.ok for point in self.points)
 
+    @property
+    def _is_scenario(self) -> bool:
+        return hasattr(self.base_spec, "arrivals")
+
     def rows(self) -> List[Dict[str, Any]]:
         """One flat dict per point -- the tidy row-per-run table.
 
         Columns: every grid key (override value), then the identifying
-        and timing fields of the point's result.  Failed points carry
-        their error string and ``None`` metrics, so a sweep's shape is
-        stable regardless of per-point failures.
+        and timing fields of the point's result -- experiment timings
+        for :class:`ExperimentSpec` sweeps, cluster-level metrics (JCT,
+        queueing, iteration tails, utilization) for scenario sweeps.
+        Failed points carry their error string and ``None`` metrics, so
+        a sweep's shape is stable regardless of per-point failures.
         """
+        columns = (
+            _SCENARIO_COLUMNS if self._is_scenario else _EXPERIMENT_COLUMNS
+        )
         rows = []
         for point in self.points:
             row: Dict[str, Any] = dict(point.overrides)
             row["seed"] = point.seed
-            if point.result is not None:
+            if point.result is not None and self._is_scenario:
+                r = point.result
+                row.update(
+                    fabric_kind=r.spec.fabric.kind,
+                    servers=r.spec.cluster.servers,
+                    policy=r.spec.scheduler.policy,
+                    error=None,
+                    **r.metrics(),
+                )
+            elif point.result is not None:
                 r = point.result
                 row.update(
                     model=r.workload.model,
@@ -391,12 +456,7 @@ class SweepResult:
                 # Fill the metric columns without clobbering override
                 # columns of the same name (e.g. a "servers" grid axis
                 # must keep identifying the failed point).
-                for key in (
-                    "model", "fabric_kind", "servers", "degree",
-                    "bandwidth_gbps", "compute_s", "mp_s",
-                    "allreduce_s", "total_s", "network_fraction",
-                    "cost_usd",
-                ):
+                for key in columns:
                     row.setdefault(key, None)
                 row["error"] = point.error
             rows.append(row)
@@ -412,7 +472,7 @@ class SweepResult:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
         return cls(
-            base_spec=ExperimentSpec.from_dict(data["base_spec"]),
+            base_spec=_spec_from_dict(data["base_spec"]),
             grid={k: list(v) for k, v in data["grid"].items()},
             points=tuple(
                 SweepPoint.from_dict(p) for p in data["points"]

@@ -447,6 +447,16 @@ def expand_grid(
     ]
 
 
+def _point_runner(spec):
+    """The run function for a spec type (experiment or scenario)."""
+    from repro.cluster.engine import run_scenario
+    from repro.cluster.spec import ScenarioSpec
+
+    if isinstance(spec, ScenarioSpec):
+        return run_scenario
+    return run_experiment
+
+
 def _run_point(args: Tuple[ExperimentSpec, Dict[str, Any]]) -> SweepPoint:
     base_spec, overrides = args
     # An explicit "seed" grid axis wins (seed-replication sweeps);
@@ -457,7 +467,7 @@ def _run_point(args: Tuple[ExperimentSpec, Dict[str, Any]]) -> SweepPoint:
         seed = point_seed(base_spec.seed, overrides)
     try:
         spec = base_spec.with_overrides({**overrides, "seed": seed})
-        result = run_experiment(spec)
+        result = _point_runner(spec)(spec)
         return SweepPoint(overrides=overrides, seed=seed, result=result)
     except Exception as error:  # per-point isolation: a bad point is a row
         return SweepPoint(
@@ -475,6 +485,10 @@ def run_sweep(
 ) -> SweepResult:
     """Run every point of ``grid`` over ``base_spec`` concurrently.
 
+    ``base_spec`` is an :class:`ExperimentSpec` *or* a
+    :class:`repro.cluster.spec.ScenarioSpec` -- scenario points run
+    through :func:`repro.cluster.engine.run_scenario` and their rows
+    carry scenario metrics (JCT, queueing delay, iteration tails).
     ``grid`` maps override keys (dotted paths or shorthands, as in
     :meth:`ExperimentSpec.with_overrides`) to value lists; the sweep is
     their Cartesian product.  Each point gets a deterministic seed from
@@ -482,7 +496,9 @@ def run_sweep(
     which case the axis value is used verbatim (seed-replication
     sweeps) -- and runs in a ``concurrent.futures`` pool (``executor``:
     ``"thread"``, ``"process"``, or ``"serial"``); a failing point
-    becomes an error row instead of aborting the sweep.
+    becomes an error row instead of aborting the sweep.  Specs, points,
+    and results all pickle, so ``executor="process"`` scales paper-size
+    grids across cores with the per-point seeds unchanged.
     """
     points = expand_grid(grid)
     if not points:

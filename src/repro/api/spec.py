@@ -92,6 +92,59 @@ def _require(condition: bool, message: str) -> None:
         raise SpecError(message)
 
 
+def _descend(node: Any, part: str, key: str, path) -> Any:
+    """One step of a dotted override path (dict key or list index)."""
+    if isinstance(node, list):
+        try:
+            index = int(part)
+        except ValueError:
+            index = -1
+        if not 0 <= index < len(node):
+            raise SpecError(
+                f"override {key!r}: no spec field {'.'.join(path)!r}"
+            )
+        return node[index]
+    if isinstance(node, Mapping) and part in node:
+        return node[part]
+    raise SpecError(
+        f"override {key!r}: no spec field {'.'.join(path)!r}"
+    )
+
+
+def apply_overrides(
+    data: Dict[str, Any],
+    overrides: Mapping[str, Any],
+    shorthands: Mapping[str, str],
+) -> Dict[str, Any]:
+    """Apply dotted-path (or shorthand) overrides to a spec dict in place.
+
+    Keys are full dotted paths into the spec dict
+    (``"cluster.servers"``, ``"jobs.0.model"`` -- numeric parts index
+    into lists) or entries of ``shorthands``.  Unknown leaves are
+    rejected except under an ``options`` mapping, whose keys are
+    open-ended.  Shared by every spec type's ``with_overrides``.
+    """
+    for key, value in overrides.items():
+        path = shorthands.get(key, key).split(".")
+        node = data
+        for part in path[:-1]:
+            node = _descend(node, part, key, path)
+        leaf = path[-1]
+        if isinstance(node, list):
+            _descend(node, leaf, key, path)  # bounds check
+            node[int(leaf)] = value
+            continue
+        in_options = len(path) >= 2 and path[-2] == "options"
+        if not isinstance(node, dict) or (
+            leaf not in node and not in_options
+        ):
+            raise SpecError(
+                f"override {key!r}: no spec field {'.'.join(path)!r}"
+            )
+        node[leaf] = value
+    return data
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Which DNN workload to train.
@@ -430,26 +483,9 @@ class ExperimentSpec:
         or the shorthands of :data:`OVERRIDE_SHORTHANDS`
         (``"servers"``, ``"model"``, ...).  The result is re-validated.
         """
-        data = self.to_dict()
-        for key, value in overrides.items():
-            path = OVERRIDE_SHORTHANDS.get(key, key).split(".")
-            node = data
-            for part in path[:-1]:
-                if not isinstance(node, dict) or part not in node:
-                    raise SpecError(
-                        f"override {key!r}: no spec field "
-                        f"{'.'.join(path)!r}"
-                    )
-                node = node[part]
-            leaf = path[-1]
-            in_options = len(path) >= 2 and path[-2] == "options"
-            if not isinstance(node, dict) or (
-                leaf not in node and not in_options
-            ):
-                raise SpecError(
-                    f"override {key!r}: no spec field {'.'.join(path)!r}"
-                )
-            node[leaf] = value
+        data = apply_overrides(
+            self.to_dict(), overrides, OVERRIDE_SHORTHANDS
+        )
         return ExperimentSpec.from_dict(data)
 
 

@@ -11,7 +11,10 @@ topology, simulated iteration time against the spec's baseline fabrics,
 and interconnect cost; ``--json PATH`` additionally writes the typed
 :class:`repro.api.ExperimentResult` (deterministic for a given spec and
 seed).  ``sweep`` expands a parameter grid into a row-per-run table;
-``compare`` times one workload on a list of fabrics.
+``compare`` times one workload on a list of fabrics; ``scenario`` runs
+a multi-job shared-cluster scenario spec
+(``python -m repro.cli scenario --preset shared --fabrics
+topoopt,fattree``; see ``docs/scenarios.md``).
 
 Tooling subcommands: ``bench-smoke`` (kernel micro-benchmarks, <60 s),
 ``check-docs`` (doctests + doc reference validation), and
@@ -71,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Subcommands: 'repro run|sweep|compare' execute declarative "
-            "experiment specs; 'repro bench-smoke [--json PATH]' runs "
+            "experiment specs; 'repro scenario' runs multi-job "
+            "shared-cluster scenarios; 'repro bench-smoke [--json PATH]' runs "
             "the kernel micro-benchmarks at smoke scale (<60 s); "
             "'repro check-docs' verifies doctests and repro.cli "
             "references in the docs; 'repro check-examples' runs every "
@@ -242,14 +246,19 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
+def _load_spec(args: argparse.Namespace, spec_cls=ExperimentSpec):
+    """Resolve --spec/--preset/--set into a spec of ``spec_cls``.
+
+    Shared by the experiment subcommands and ``repro scenario``
+    (``spec_cls`` needs ``from_dict``, ``preset``, ``with_overrides``).
+    """
     if args.spec and args.preset:
         raise SpecError("pass either --spec or --preset, not both")
     if args.spec:
         with open(args.spec) as handle:
-            spec = ExperimentSpec.from_dict(json.load(handle))
+            spec = spec_cls.from_dict(json.load(handle))
     elif args.preset:
-        spec = ExperimentSpec.preset(args.preset)
+        spec = spec_cls.preset(args.preset)
     else:
         raise SpecError("pass --spec PATH or --preset FAMILY")
     if args.overrides:
@@ -455,6 +464,123 @@ def cmd_compare(argv: Sequence[str] = ()) -> int:
 
 
 # ----------------------------------------------------------------------
+# scenario
+# ----------------------------------------------------------------------
+
+def cmd_scenario(argv: Sequence[str] = ()) -> int:
+    """Run a shared-cluster scenario spec (see docs/scenarios.md).
+
+    ``--spec PATH`` loads a :class:`repro.cluster.ScenarioSpec` JSON
+    file; ``--preset shared|lifetime`` starts from a canonical setup;
+    ``--set`` overrides fields as in ``repro run``.  ``--fabrics a,b``
+    replays the *same* arrival trace on several fabrics and prints the
+    Figure 16-style comparison (per-fabric average / p99 iteration
+    time, JCT, queueing).
+    """
+    from repro.cluster import SCENARIO_PRESETS, ScenarioSpec, run_scenario
+
+    parser = argparse.ArgumentParser(prog="repro scenario")
+    parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="ScenarioSpec JSON file (see docs/scenarios.md)",
+    )
+    parser.add_argument(
+        "--preset", default=None, choices=tuple(SCENARIO_PRESETS),
+        help="start from a named scenario preset",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="overrides",
+        help="override a spec field (dotted path or shorthand, e.g. "
+             "policy=best-fit, jobs.0.iterations=2); repeatable",
+    )
+    parser.add_argument(
+        "--fabrics", default=None, metavar="KIND,KIND,...",
+        help="run the same scenario on several fabrics and compare",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the ScenarioResult JSON to PATH ('-' for stdout); "
+             "with --fabrics, a {kind: result} object",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        spec = _load_spec(args, spec_cls=ScenarioSpec)
+        if args.fabrics:
+            kinds = [k.strip() for k in args.fabrics.split(",") if k.strip()]
+            if not kinds:
+                raise SpecError("--fabrics needs at least one fabric name")
+            results = {
+                kind: run_scenario(
+                    spec.with_overrides({"fabric.kind": kind})
+                )
+                for kind in kinds
+            }
+        else:
+            results = {spec.fabric.kind: run_scenario(spec)}
+    except (SpecError, RegistryError, KeyError, ValueError, OSError,
+            RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    primary = results[next(iter(results))]
+    print(f"scenario      : {spec.name or '(unnamed)'} "
+          f"(seed {spec.seed})")
+    print(f"cluster       : {spec.cluster.servers} servers x "
+          f"{spec.cluster.degree} interfaces @ "
+          f"{spec.cluster.bandwidth_gbps:g} Gbps, "
+          f"{spec.scheduler.policy} scheduling")
+    print(f"arrivals      : {spec.arrivals.process}, "
+          f"{len(primary.jobs)} jobs")
+    if not args.fabrics:
+        result = primary
+        print(f"\n{'job':<14} {'srv':>4} {'arrive':>9} {'queued':>9} "
+              f"{'jct':>9} {'iter avg':>10}")
+        for job in result.jobs:
+            print(f"{job.name:<14} {job.num_servers:>4} "
+                  f"{job.arrival_s:>8.1f}s {job.queueing_delay_s:>8.1f}s "
+                  f"{job.jct_s:>8.1f}s {job.iteration_avg_s * 1e3:>7.1f} ms")
+        metrics = result.metrics()
+        print(f"\ncluster       : iteration avg "
+              f"{metrics['iteration_avg_s'] * 1e3:.1f} ms / p99 "
+              f"{metrics['iteration_p99_s'] * 1e3:.1f} ms")
+        print(f"                JCT avg {metrics['jct_avg_s']:.1f} s, "
+              f"queueing avg {metrics['queueing_avg_s']:.1f} s")
+        print(f"                utilization "
+              f"{metrics['mean_utilization'] * 100:.0f}%, peak "
+              f"fragmentation {metrics['peak_fragmentation']:.2f}")
+    else:
+        table = []
+        for kind, result in results.items():
+            metrics = result.metrics()
+            table.append([
+                kind,
+                f"{metrics['iteration_avg_s'] * 1e3:.2f}",
+                f"{metrics['iteration_p99_s'] * 1e3:.2f}",
+                f"{metrics['jct_avg_s']:.2f}",
+                f"{metrics['queueing_avg_s']:.2f}",
+            ])
+        print()
+        for line in _format_rows(
+            ("fabric", "iter_avg_ms", "iter_p99_ms", "jct_avg_s",
+             "queue_avg_s"),
+            table,
+        ):
+            print(line)
+    if args.json:
+        # Shape follows the flag, not the count: --fabrics always gets
+        # the {kind: result} object, even with a single-name list.
+        if args.fabrics:
+            payload: Dict[str, Any] = {
+                k: r.to_dict() for k, r in results.items()
+            }
+        else:
+            payload = primary.to_dict()
+        if not _write_json(args.json, payload):
+            return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
 # bench-smoke
 # ----------------------------------------------------------------------
 
@@ -463,11 +589,13 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
 
     A pre-merge perf sanity check: prints reference-vs-vectorized
     timings for phase simulation, routing construction, LP assembly,
-    the staggered-flow event engine, and the search plane (MCMC
-    steps/sec and end-to-end alternating optimization), and fails
-    (exit 1) if a vectorized kernel has regressed to slower than the
-    retained seed implementation at n=64 or the incremental MCMC costs
-    drift from the full-rebuild oracle.
+    the staggered-flow event engine, the search plane (MCMC steps/sec
+    and end-to-end alternating optimization), and the multi-job
+    scenario engine, and fails (exit 1) if a vectorized kernel has
+    regressed to slower than the retained seed implementation at n=64,
+    the incremental MCMC costs drift from the full-rebuild oracle, or
+    the scenario engine loses (spec, seed) determinism / allocator
+    equivalence.
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -502,6 +630,15 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
         print("EQUIVALENCE REGRESSION: incremental MCMC costs drifted "
               "from the full-rebuild oracle", file=sys.stderr)
         return 1
+    scenario = results["scenario"][gate_key]
+    if not scenario["deterministic"]:
+        print("DETERMINISM REGRESSION: same (scenario spec, seed) "
+              "produced different result JSON", file=sys.stderr)
+        return 1
+    if scenario["iteration_rel_err"] >= 1e-9:
+        print("EQUIVALENCE REGRESSION: scenario kernel allocator "
+              "drifted from the pure-Python reference", file=sys.stderr)
+        return 1
     print("bench-smoke ok")
     return 0
 
@@ -514,6 +651,7 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
 #: them all.
 DOCTEST_MODULES = (
     "repro.api.spec",
+    "repro.cluster.spec",
     "repro.network.topology",
     "repro.perf.fairshare",
     "repro.sim.fluid",
@@ -676,6 +814,7 @@ COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "scenario": cmd_scenario,
     "bench-smoke": bench_smoke,
     "check-docs": check_docs,
     "check-examples": check_examples,

@@ -1,0 +1,58 @@
+"""Shared-cluster scenarios: scheduler, job lifecycle, typed results.
+
+This package turns the repo from "simulate one job on one fabric" into
+"simulate a cluster's life".  Describe a scenario as data
+(:class:`ScenarioSpec`: arrival process, job mix, scheduler policy,
+fabric, duration), run it (:func:`run_scenario`), and consume a typed,
+JSON-serializable :class:`ScenarioResult` (per-job JCT and queueing
+delay, iteration-time tails, utilization and fragmentation timelines).
+See ``docs/scenarios.md`` for the schema and metric definitions.
+
+Quick start::
+
+    from repro.cluster import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec.preset("shared")      # Figure 16's job mix
+    result = run_scenario(spec)
+    print(result.metrics()["iteration_p99_s"])
+    shared = run_scenario(spec.with_overrides({"fabric.kind": "fattree"}))
+"""
+
+from repro.cluster.engine import (
+    FailureInjection,
+    ScenarioEngine,
+    ScenarioError,
+    run_scenario,
+)
+from repro.cluster.results import JobResult, ScenarioResult
+from repro.cluster.scheduler import ShardAllocator
+from repro.cluster.spec import (
+    ARRIVAL_PROCESSES,
+    FAMILY_MODELS,
+    SCENARIO_PRESETS,
+    SCENARIO_SHORTHANDS,
+    SCHEDULER_POLICIES,
+    ArrivalSpec,
+    JobTemplateSpec,
+    ScenarioSpec,
+    SchedulerSpec,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "FAMILY_MODELS",
+    "SCENARIO_PRESETS",
+    "SCENARIO_SHORTHANDS",
+    "SCHEDULER_POLICIES",
+    "ArrivalSpec",
+    "FailureInjection",
+    "JobResult",
+    "JobTemplateSpec",
+    "ScenarioEngine",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SchedulerSpec",
+    "ShardAllocator",
+    "run_scenario",
+]

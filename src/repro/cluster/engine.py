@@ -1,0 +1,610 @@
+"""The trace-driven shared-cluster scenario engine.
+
+:func:`run_scenario` turns a :class:`~repro.cluster.spec.ScenarioSpec`
+into a :class:`~repro.cluster.results.ScenarioResult` by simulating the
+cluster's life as a discrete-event loop:
+
+1. **Arrivals** are drawn from the spec's arrival process (explicit
+   times, Poisson, or the section 2.2 production-trace generator) and
+   enter an FCFS queue.
+2. **Admission**: the head-of-line job asks the
+   :class:`~repro.cluster.scheduler.ShardAllocator` for a contiguous
+   server block (first-fit / best-fit / random).  On success the job's
+   pipeline runs -- workload build, strategy (a fixed registry builder
+   or the MCMC x TopologyFinder co-optimization on the allocated shard),
+   traffic extraction -- and its flows are handed to the
+   :class:`repro.sim.cluster.SharedClusterSimulator` state machine:
+   a physically isolated per-shard fluid network when the fabric is
+   ``topoopt``, the one contended cluster-wide network otherwise.
+3. **Departure** after the job's iteration quota: ports are freed,
+   fragmentation is sampled, and the queue is re-examined.
+
+Determinism: every random draw derives from the spec seed through
+:func:`repro.api.runner.point_seed` streams, the fluid simulation is
+seedless (stagger disabled), and all reductions are insertion-ordered,
+so ``run_scenario(spec).to_dict()`` is a pure function of (spec, seed).
+
+Strategy parity across fabrics: the per-job pipeline always optimizes
+at shard-local scale, so a ``fattree`` scenario offers *exactly* the
+traffic its ``topoopt`` twin does -- the comparison isolates the
+interconnect, which is what makes the Figure 16 series meaningful.
+
+Link failures (section 7) can be injected mid-scenario with
+:class:`FailureInjection`: the affected shard's routing is patched
+through :class:`repro.sim.failures.FailureManager` (transient MP
+detour, then an optional permanent port swap), and subsequent
+iterations ride the repaired paths.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.registry import (
+    FabricBuildContext,
+    build_fabric,
+    build_strategy,
+    build_workload,
+)
+from repro.api.runner import point_seed
+from repro.api.spec import (
+    ClusterSpec,
+    ExperimentSpec,
+    FabricSpec,
+    WorkloadSpec,
+)
+from repro.cluster.results import JobResult, ScenarioResult
+from repro.cluster.scheduler import ShardAllocator
+from repro.cluster.spec import FAMILY_MODELS, ScenarioSpec
+from repro.models.compute import compute_time_seconds
+from repro.models.configs import CONFIG_FAMILIES
+from repro.parallel.traffic import extract_traffic
+from repro.sim.cluster import JobSpec, SharedClusterSimulator, remap_traffic
+
+_TIME_EPS = 1e-9
+
+
+class ScenarioError(RuntimeError):
+    """A scenario could not run to completion."""
+
+
+@dataclass(frozen=True)
+class FailureInjection:
+    """One link failure to inject while the scenario runs.
+
+    ``job_index`` names the arrival-order index of the target job;
+    ``link`` is a local shard link ``(src, dst)`` (``None`` picks the
+    job's first AllReduce ring edge); ``repair_s`` schedules the
+    permanent port-swap repair.  Failures only apply to running jobs on
+    ``topoopt`` shards -- anything else is logged as skipped.
+    """
+
+    time_s: float
+    job_index: int
+    link: Optional[Tuple[int, int]] = None
+    repair_s: Optional[float] = None
+
+
+@dataclass
+class _JobPlan:
+    """One drawn arrival, fully resolved against its template."""
+
+    index: int
+    name: str
+    model: str
+    scale: str
+    servers: int
+    iterations: int
+    strategy: Optional[str]
+    batch_per_gpu: Optional[int]
+    arrival_s: float
+    seed: int
+
+
+@dataclass
+class _Prepared:
+    """The per-job pipeline output (cached across identical templates)."""
+
+    traffic: object
+    compute_s: float
+    strategy_name: str
+    fabric: Optional[object] = None  # local-id TopoOptFabric (shard mode)
+
+
+@dataclass
+class _Running:
+    plan: _JobPlan
+    prepared: _Prepared
+    servers: Tuple[int, ...]
+    substrate: SharedClusterSimulator
+    state: object
+    admitted_s: float
+    failure_manager: Optional[object] = None
+
+
+class ScenarioEngine:
+    """Drives one scenario; most callers want :func:`run_scenario`."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        failures: Sequence[FailureInjection] = (),
+    ):
+        self.spec = spec
+        self.shardable = spec.fabric.kind == "topoopt"
+        self._allocator = ShardAllocator(
+            spec.cluster.servers,
+            spec.scheduler.policy,
+            random.Random(point_seed(spec.seed, {"stream": "allocator"})),
+        )
+        self._pipeline_cache: Dict[tuple, _Prepared] = {}
+        self._substrates: List[SharedClusterSimulator] = []
+        self._shared_fabric = None
+        if not self.shardable:
+            ctx = FabricBuildContext(
+                num_servers=spec.cluster.servers,
+                degree=spec.cluster.degree,
+                link_bandwidth_bps=spec.cluster.link_bandwidth_bps,
+                seed=spec.seed,
+            )
+            self._shared_fabric = build_fabric(spec.fabric, ctx)
+            self._substrates.append(
+                SharedClusterSimulator(
+                    self._shared_fabric.capacities(),
+                    seed=0,
+                    stagger=False,
+                    solver=spec.solver,
+                )
+            )
+        self._failure_events: List[Tuple[float, str, FailureInjection]] = []
+        for injection in failures:
+            self._failure_events.append((injection.time_s, "fail", injection))
+            if injection.repair_s is not None:
+                if injection.repair_s < injection.time_s:
+                    raise ScenarioError(
+                        f"failure repair at {injection.repair_s}s precedes "
+                        f"the failure at {injection.time_s}s"
+                    )
+                self._failure_events.append(
+                    (injection.repair_s, "repair", injection)
+                )
+        self._failure_events.sort(key=lambda event: event[0])
+        self.failure_log: List[Dict[str, Any]] = []
+
+    # -- arrival drawing -----------------------------------------------
+    def _plan(self, index, template, arrival_s, model=None, servers=None):
+        model = model or template.model
+        scale = template.scale
+        if model != template.model and model not in CONFIG_FAMILIES.get(
+            scale, {}
+        ):
+            scale = "shared"  # trace fallback: every family model has one
+        return _JobPlan(
+            index=index,
+            name=f"{model}-{index}",
+            model=model,
+            scale=scale,
+            servers=servers or template.servers,
+            iterations=template.iterations,
+            strategy=template.strategy,
+            batch_per_gpu=template.batch_per_gpu,
+            arrival_s=arrival_s,
+            seed=point_seed(self.spec.seed, {"job": index}),
+        )
+
+    def _draw_jobs(self) -> List[_JobPlan]:
+        spec = self.spec
+        arrivals = spec.arrivals
+        templates = spec.jobs
+        rng = random.Random(point_seed(spec.seed, {"stream": "arrivals"}))
+        plans: List[_JobPlan] = []
+        if arrivals.process == "explicit":
+            # Pair times[i] with templates[i % len] in the order the
+            # user wrote them (so "jobs.0.*" overrides target the job
+            # arriving at times[0]), then order the plans by arrival
+            # for the event loop.
+            for index, arrival in enumerate(arrivals.times):
+                template = templates[index % len(templates)]
+                plans.append(self._plan(index, template, float(arrival)))
+            plans.sort(key=lambda plan: (plan.arrival_s, plan.index))
+            return plans
+        clock = 0.0
+        if arrivals.process == "poisson":
+            weights = [template.weight for template in templates]
+            for index in range(arrivals.count):
+                clock += rng.expovariate(1.0 / arrivals.mean_interarrival_s)
+                template = rng.choices(templates, weights=weights, k=1)[0]
+                plans.append(self._plan(index, template, clock))
+            return plans
+        # trace: the section 2.2 production population sets model family
+        # and worker count; templates contribute iteration quotas and
+        # strategy choices (matched by model name, first template as the
+        # default).
+        from repro.traces.generator import ProductionTraceGenerator
+
+        generator = ProductionTraceGenerator(
+            seed=point_seed(spec.seed, {"stream": "trace"})
+        )
+        records = generator.sample_population(arrivals.count)
+        cap = arrivals.max_servers or max(
+            2, min(spec.cluster.servers // 2, 16)
+        )
+        cap = min(cap, spec.cluster.servers)
+        by_model = {}
+        for template in templates:
+            by_model.setdefault(template.model, template)
+        for index, record in enumerate(records):
+            clock += rng.expovariate(1.0 / arrivals.mean_interarrival_s)
+            model = FAMILY_MODELS[record.family]
+            template = by_model.get(model, templates[0])
+            servers = max(
+                2,
+                min(
+                    record.num_workers // spec.cluster.gpus_per_server, cap
+                ),
+            )
+            plans.append(
+                self._plan(index, template, clock, model=model,
+                           servers=servers)
+            )
+        return plans
+
+    # -- per-job pipeline ----------------------------------------------
+    def _prepare(self, plan: _JobPlan) -> _Prepared:
+        spec = self.spec
+        resolved = plan.strategy or spec.optimizer.strategy
+        key = (
+            plan.model, plan.scale, plan.servers, resolved,
+            plan.batch_per_gpu,
+            plan.seed if resolved == "mcmc" else None,
+        )
+        cached = self._pipeline_cache.get(key)
+        if cached is not None:
+            return cached
+        if resolved == "mcmc":
+            # The full co-optimization (MCMC x TopologyFinder) at shard
+            # scale, via the experiment runner's pipeline.
+            from repro.api.runner import prepare as prepare_experiment
+
+            experiment = ExperimentSpec(
+                name=plan.name,
+                seed=plan.seed,
+                workload=WorkloadSpec(
+                    model=plan.model,
+                    scale=plan.scale,
+                    batch_per_gpu=plan.batch_per_gpu,
+                ),
+                cluster=ClusterSpec(
+                    servers=plan.servers,
+                    degree=spec.cluster.degree,
+                    bandwidth_gbps=spec.cluster.bandwidth_gbps,
+                    gpus_per_server=spec.cluster.gpus_per_server,
+                ),
+                fabric=FabricSpec(kind="topoopt"),
+                optimizer=replace(spec.optimizer, strategy="mcmc"),
+            )
+            pipeline = prepare_experiment(experiment)
+            prepared = _Prepared(
+                traffic=pipeline.traffic,
+                compute_s=pipeline.compute_s,
+                strategy_name="mcmc",
+                fabric=pipeline.fabric if self.shardable else None,
+            )
+        else:
+            model = build_workload(
+                WorkloadSpec(
+                    model=plan.model,
+                    scale=plan.scale,
+                    batch_per_gpu=plan.batch_per_gpu,
+                )
+            )
+            batch = plan.batch_per_gpu or model.default_batch_per_gpu
+            strategy = build_strategy(
+                resolved,
+                model,
+                plan.servers,
+                batch_per_gpu=batch,
+                gpus_per_server=spec.cluster.gpus_per_server,
+            )
+            traffic = extract_traffic(
+                model, strategy, batch, spec.cluster.gpus_per_server
+            )
+            compute_s = compute_time_seconds(
+                model, batch, spec.cluster.gpus_per_server
+            )
+            fabric = None
+            if self.shardable:
+                from repro.core.topology_finder import topology_finder
+                from repro.network.topoopt import TopoOptFabric
+
+                result = topology_finder(
+                    plan.servers,
+                    spec.cluster.degree,
+                    traffic.allreduce_groups,
+                    traffic.mp_matrix,
+                    primes_only=spec.optimizer.primes_only,
+                )
+                fabric = TopoOptFabric(
+                    result, spec.cluster.link_bandwidth_bps
+                )
+            prepared = _Prepared(
+                traffic=traffic,
+                compute_s=compute_s,
+                strategy_name=resolved,
+                fabric=fabric,
+            )
+        self._pipeline_cache[key] = prepared
+        return prepared
+
+    # -- the event loop ------------------------------------------------
+    def run(self) -> ScenarioResult:
+        spec = self.spec
+        pending: Deque[_JobPlan] = deque(self._draw_jobs())
+        queue: Deque[_JobPlan] = deque()
+        running: Dict[int, _Running] = {}
+        finished: List[JobResult] = []
+        utilization: List[Tuple[float, int]] = [(0.0, 0)]
+        fragmentation: List[Tuple[float, float]] = []
+        failure_events = deque(self._failure_events)
+        makespan = 0.0
+
+        def sample(now: float) -> None:
+            utilization.append((now, self._allocator.busy_count))
+            fragmentation.append((now, self._allocator.fragmentation()))
+
+        def try_admit(now: float) -> None:
+            while queue:
+                plan = queue[0]
+                servers = self._allocator.allocate(plan.servers)
+                if servers is None:
+                    return  # FCFS head-of-line blocking, no backfill
+                queue.popleft()
+                prepared = self._prepare(plan)
+                traffic = remap_traffic(prepared.traffic, list(servers))
+                if self.shardable:
+                    fabric = prepared.fabric.relabel(list(servers))
+                    substrate = SharedClusterSimulator(
+                        fabric.capacities(),
+                        seed=0,
+                        stagger=False,
+                        solver=spec.solver,
+                    )
+                    self._substrates.append(substrate)
+                else:
+                    fabric = self._shared_fabric
+                    substrate = self._substrates[0]
+                job = JobSpec(
+                    name=plan.name,
+                    traffic=traffic,
+                    compute_s=prepared.compute_s,
+                    fabric=fabric,
+                )
+                state = substrate.add_job(
+                    job, start=now + spec.scheduler.admission_latency_s
+                )
+                running[plan.index] = _Running(
+                    plan=plan,
+                    prepared=prepared,
+                    servers=servers,
+                    substrate=substrate,
+                    state=state,
+                    admitted_s=now,
+                )
+                sample(now)
+
+        def depart(entry: _Running, now: float) -> None:
+            entry.substrate.remove_job(entry.state)
+            if self.shardable:
+                self._substrates.remove(entry.substrate)
+            self._allocator.free(entry.servers)
+            plan = entry.plan
+            finished.append(
+                JobResult(
+                    index=plan.index,
+                    name=plan.name,
+                    model=plan.model,
+                    scale=plan.scale,
+                    strategy=entry.prepared.strategy_name,
+                    servers=entry.servers,
+                    arrival_s=plan.arrival_s,
+                    admitted_s=entry.admitted_s,
+                    completed_s=now,
+                    compute_s=entry.prepared.compute_s,
+                    iteration_times=tuple(
+                        entry.state.stats.iteration_times
+                    ),
+                )
+            )
+            sample(now)
+
+        while pending or queue or running:
+            candidates: List[float] = []
+            if pending:
+                candidates.append(pending[0].arrival_s)
+            if failure_events:
+                candidates.append(failure_events[0][0])
+            substrate_events = [
+                (substrate, substrate.next_event_time())
+                for substrate in self._substrates
+            ]
+            candidates.extend(
+                event for _, event in substrate_events if event is not None
+            )
+            if not candidates:
+                stuck = [plan.name for plan in queue]
+                raise ScenarioError(
+                    f"scenario stalled with jobs queued: {stuck}"
+                )
+            now = min(candidates)
+            if now > spec.max_sim_time_s:
+                unfinished = len(queue) + len(running) + len(pending)
+                raise ScenarioError(
+                    f"scenario exceeded max_sim_time_s="
+                    f"{spec.max_sim_time_s:g} with {unfinished} job(s) "
+                    f"unfinished; raise the cap or shrink the workload"
+                )
+            # 1. substrate events (iteration completions -> departures)
+            departures: List[_Running] = []
+            for substrate, event in substrate_events:
+                if event is None or event > now + _TIME_EPS:
+                    continue
+                iterated = substrate.advance_to(now)
+                for state in iterated:
+                    entry = next(
+                        (
+                            r for r in running.values()
+                            if r.state is state
+                        ),
+                        None,
+                    )
+                    if entry is None:
+                        continue
+                    done = len(state.stats.iteration_times)
+                    if done >= entry.plan.iterations:
+                        departures.append(entry)
+            for entry in departures:
+                del running[entry.plan.index]
+                depart(entry, now)
+                makespan = max(makespan, now)
+            # 2. failures due at now
+            while failure_events and failure_events[0][0] <= now + _TIME_EPS:
+                _, action, injection = failure_events.popleft()
+                self._apply_failure(action, injection, running, now)
+            # 3. arrivals due at now
+            while pending and pending[0].arrival_s <= now + _TIME_EPS:
+                queue.append(pending.popleft())
+            # 4. admissions (after departures freed ports)
+            if queue:
+                try_admit(now)
+
+        # Injections scheduled past the last departure never fired;
+        # record them so the log accounts for every requested failure.
+        while failure_events:
+            when, _, injection = failure_events.popleft()
+            self.failure_log.append(
+                {
+                    "time_s": when,
+                    "job_index": injection.job_index,
+                    "kind": "skipped",
+                    "reason": "scenario ended before injection time",
+                }
+            )
+
+        return ScenarioResult(
+            spec=spec,
+            jobs=tuple(sorted(finished, key=lambda job: job.index)),
+            makespan_s=makespan,
+            utilization_timeline=tuple(utilization),
+            fragmentation_timeline=tuple(fragmentation),
+            failure_log=tuple(self.failure_log),
+        )
+
+    # -- failures ------------------------------------------------------
+    def _apply_failure(
+        self,
+        action: str,
+        injection: FailureInjection,
+        running: Dict[int, _Running],
+        now: float,
+    ) -> None:
+        from repro.sim.failures import FailureManager
+
+        entry = running.get(injection.job_index)
+        base = {"time_s": now, "job_index": injection.job_index}
+        if entry is None or not self.shardable:
+            reason = (
+                "job not running" if entry is None
+                else "shared fabrics have no per-job optical shard"
+            )
+            self.failure_log.append(
+                {**base, "kind": "skipped", "reason": reason}
+            )
+            return
+        if action == "fail" and entry.failure_manager is None:
+            # Copy-on-write: the prepared fabric is shared by every job
+            # built from the same template (pipeline cache), and the
+            # FailureManager patches routing tables in place.  Give the
+            # failing job its own topology result + fabric so the
+            # damage stays on its shard.
+            import copy as _copy
+
+            from repro.network.topoopt import TopoOptFabric
+
+            isolated = _copy.deepcopy(entry.prepared.fabric.result)
+            fabric = TopoOptFabric(
+                isolated, entry.prepared.fabric.link_bandwidth_bps
+            )
+            entry.state.spec.fabric = fabric.relabel(list(entry.servers))
+            entry.failure_manager = FailureManager(isolated)
+        manager = entry.failure_manager
+        result = (
+            manager.result if manager is not None
+            else entry.prepared.fabric.result
+        )
+        link = injection.link or self._default_failure_link(result)
+        if action == "fail":
+            try:
+                repair = manager.fail_link(*link)
+            except (ValueError, RuntimeError) as error:
+                # Already-failed edges, links absent from the shard
+                # topology, disconnecting failures: log, don't abort --
+                # the scenario result must stay reachable (and
+                # deterministic) for any injection list.
+                self.failure_log.append(
+                    {
+                        **base,
+                        "kind": "skipped",
+                        "link": list(link),
+                        "reason": str(error),
+                    }
+                )
+                return
+            self.failure_log.append(
+                {
+                    **base,
+                    "kind": repair.kind,
+                    "link": list(link),
+                    "extra_hops": repair.extra_hops,
+                }
+            )
+        else:  # repair
+            if manager is None or tuple(link) not in manager.failed:
+                self.failure_log.append(
+                    {**base, "kind": "skipped", "reason": "link not failed"}
+                )
+                return
+            repair = manager.repair_permanently(*link)
+            self.failure_log.append(
+                {**base, "kind": repair.kind, "link": list(link)}
+            )
+
+    @staticmethod
+    def _default_failure_link(result) -> Tuple[int, int]:
+        for plan in result.group_plans:
+            for ring in plan.rings:
+                if len(ring) >= 2:
+                    return (ring[0], ring[1])
+        src, dst, _ = next(iter(result.topology.edges()))
+        return (src, dst)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    failures: Sequence[FailureInjection] = (),
+) -> ScenarioResult:
+    """Simulate one scenario end to end; see the module docstring.
+
+    The returned result's ``to_dict()`` is deterministic for a given
+    (spec, seed); ``wall_time_s`` is measured and stays off-JSON.
+    """
+    started = time.perf_counter()
+    engine = ScenarioEngine(spec, failures)
+    result = engine.run()
+    object.__setattr__(
+        result, "wall_time_s", time.perf_counter() - started
+    )
+    return result

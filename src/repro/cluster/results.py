@@ -1,0 +1,202 @@
+"""Typed, JSON-serializable scenario results.
+
+:class:`ScenarioResult` is what :func:`repro.cluster.engine.run_scenario`
+returns: one :class:`JobResult` per job (queueing delay, JCT, raw
+iteration times), the cluster's utilization and fragmentation timelines,
+and the failure log.  ``to_dict()`` is **deterministic for a given
+(spec, seed)** -- wall time lives only on the in-memory object -- which
+is what the bench-smoke determinism gate and the sweep engine's JSON
+round-trip rely on.  The derived ``metrics`` block in the JSON is
+recomputed on load, never stored state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's life: arrival -> queue -> shard -> iterations -> done."""
+
+    index: int
+    name: str
+    model: str
+    scale: str
+    strategy: str
+    servers: Tuple[int, ...]
+    arrival_s: float
+    admitted_s: float
+    completed_s: float
+    compute_s: float
+    iteration_times: Tuple[float, ...]
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Time spent waiting for a shard (admission minus arrival)."""
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def jct_s(self) -> float:
+        """Job completion time: departure minus arrival."""
+        return self.completed_s - self.arrival_s
+
+    @property
+    def iterations_completed(self) -> int:
+        return len(self.iteration_times)
+
+    @property
+    def iteration_avg_s(self) -> float:
+        return float(np.mean(self.iteration_times))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "model": self.model,
+            "scale": self.scale,
+            "strategy": self.strategy,
+            "servers": [int(s) for s in self.servers],
+            "arrival_s": self.arrival_s,
+            "admitted_s": self.admitted_s,
+            "completed_s": self.completed_s,
+            "compute_s": self.compute_s,
+            "iteration_times": [float(t) for t in self.iteration_times],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        kwargs = dict(data)
+        kwargs["servers"] = tuple(int(s) for s in kwargs["servers"])
+        kwargs["iteration_times"] = tuple(
+            float(t) for t in kwargs["iteration_times"]
+        )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario produced, JSON-serializable.
+
+    ``utilization_timeline`` holds ``(time_s, busy_servers)`` steps (the
+    busy count holds until the next entry); ``fragmentation_timeline``
+    holds ``(time_s, fragmentation)`` samples taken at every admission
+    and departure.  ``failure_log`` records the injected link failures
+    and their repair actions as plain dicts.
+    """
+
+    spec: ScenarioSpec
+    jobs: Tuple[JobResult, ...]
+    makespan_s: float
+    utilization_timeline: Tuple[Tuple[float, int], ...] = ()
+    fragmentation_timeline: Tuple[Tuple[float, float], ...] = ()
+    failure_log: Tuple[Dict[str, Any], ...] = ()
+    wall_time_s: Optional[float] = field(default=None, compare=False)
+
+    # -- aggregate metrics ---------------------------------------------
+    def iteration_samples(self, skip_first: int = 0) -> List[float]:
+        """All jobs' iteration times pooled (Figure 16's raw series)."""
+        samples: List[float] = []
+        for job in self.jobs:
+            samples.extend(job.iteration_times[skip_first:])
+        return samples
+
+    def iteration_stats(self, skip_first: int = 0) -> Tuple[float, float]:
+        """(average, p99) iteration time across all jobs."""
+        samples = self.iteration_samples(skip_first)
+        if not samples:
+            raise ValueError("no iteration samples recorded")
+        return float(np.mean(samples)), float(np.percentile(samples, 99))
+
+    def jct_stats(self) -> Tuple[float, float]:
+        """(average, p99) job completion time."""
+        values = [job.jct_s for job in self.jobs]
+        return float(np.mean(values)), float(np.percentile(values, 99))
+
+    def queueing_stats(self) -> Tuple[float, float]:
+        """(average, p99) queueing delay."""
+        values = [job.queueing_delay_s for job in self.jobs]
+        return float(np.mean(values)), float(np.percentile(values, 99))
+
+    def mean_utilization(self) -> float:
+        """Time-weighted busy-server fraction over the makespan."""
+        timeline = self.utilization_timeline
+        if not timeline or self.makespan_s <= 0:
+            return 0.0
+        total = 0.0
+        for (t0, busy), (t1, _) in zip(timeline, timeline[1:]):
+            total += busy * (t1 - t0)
+        last_t, last_busy = timeline[-1]
+        total += last_busy * max(self.makespan_s - last_t, 0.0)
+        return total / (self.makespan_s * self.spec.cluster.servers)
+
+    def peak_fragmentation(self) -> float:
+        if not self.fragmentation_timeline:
+            return 0.0
+        return max(value for _, value in self.fragmentation_timeline)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The aggregate block embedded in the JSON (derived, not stored)."""
+        iter_avg, iter_p99 = self.iteration_stats()
+        jct_avg, jct_p99 = self.jct_stats()
+        queue_avg, queue_p99 = self.queueing_stats()
+        return {
+            "jobs_completed": len(self.jobs),
+            "makespan_s": self.makespan_s,
+            "iteration_avg_s": iter_avg,
+            "iteration_p99_s": iter_p99,
+            "jct_avg_s": jct_avg,
+            "jct_p99_s": jct_p99,
+            "queueing_avg_s": queue_avg,
+            "queueing_p99_s": queue_p99,
+            "mean_utilization": self.mean_utilization(),
+            "peak_fragmentation": self.peak_fragmentation(),
+        }
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "scenario",
+            "spec": self.spec.to_dict(),
+            "jobs": [job.to_dict() for job in self.jobs],
+            "makespan_s": self.makespan_s,
+            "utilization_timeline": [
+                [float(t), int(busy)]
+                for t, busy in self.utilization_timeline
+            ],
+            "fragmentation_timeline": [
+                [float(t), float(value)]
+                for t, value in self.fragmentation_timeline
+            ],
+            "failure_log": [dict(entry) for entry in self.failure_log],
+            "metrics": self.metrics(),
+            "provenance": {"seed": self.spec.seed},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            jobs=tuple(JobResult.from_dict(j) for j in data["jobs"]),
+            makespan_s=data["makespan_s"],
+            utilization_timeline=tuple(
+                (float(t), int(busy))
+                for t, busy in data.get("utilization_timeline", ())
+            ),
+            fragmentation_timeline=tuple(
+                (float(t), float(value))
+                for t, value in data.get("fragmentation_timeline", ())
+            ),
+            failure_log=tuple(
+                dict(entry) for entry in data.get("failure_log", ())
+            ),
+        )

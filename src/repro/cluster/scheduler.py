@@ -1,0 +1,111 @@
+"""Shard allocation policies and fragmentation accounting.
+
+The optical layer can wire any free server set into a shard, but real
+deployments allocate *contiguous* server ranges: patch-panel ports are
+physically grouped, and keeping a job's ports adjacent keeps its fibers
+within one panel region (Appendix C's per-job partitions).  Modelling
+allocation as contiguous blocks is also what makes scheduling policies
+meaningfully different and lets the engine report external
+fragmentation -- the classic memory-allocator trade-off, replayed on
+server ids.
+
+:class:`ShardAllocator` implements the three policies a
+:class:`~repro.cluster.spec.SchedulerSpec` can name:
+
+* ``first-fit`` -- the lowest-addressed hole that fits,
+* ``best-fit``  -- the smallest hole that fits (ties: lowest address),
+* ``random``    -- a seeded uniform choice among the holes that fit.
+
+Every allocation carves from the *front* of the chosen hole; frees
+coalesce with adjacent holes automatically (free servers are a set, and
+holes are recomputed as maximal runs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cluster.spec import SCHEDULER_POLICIES
+
+Hole = Tuple[int, int]  # (start, length)
+
+
+class ShardAllocator:
+    """Contiguous-block server allocation over ids ``0..n-1``."""
+
+    def __init__(self, num_servers: int, policy: str, rng: random.Random):
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        if policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; "
+                f"registered: {sorted(SCHEDULER_POLICIES)}"
+            )
+        self.num_servers = num_servers
+        self.policy = policy
+        self.rng = rng
+        self._free = set(range(num_servers))
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        return self.num_servers - len(self._free)
+
+    def holes(self) -> List[Hole]:
+        """Maximal free runs as ``(start, length)``, in address order."""
+        holes: List[Hole] = []
+        start = None
+        for server in range(self.num_servers + 1):
+            if server in self._free:
+                if start is None:
+                    start = server
+            elif start is not None:
+                holes.append((start, server - start))
+                start = None
+        return holes
+
+    def fragmentation(self) -> float:
+        """External fragmentation: ``1 - largest_hole / total_free``.
+
+        0 when the free pool is one contiguous run (or empty); rises
+        toward 1 as the free servers scatter into unusable slivers.
+        """
+        holes = self.holes()
+        total = sum(length for _, length in holes)
+        if total == 0:
+            return 0.0
+        largest = max(length for _, length in holes)
+        return 1.0 - largest / total
+
+    def utilization(self) -> float:
+        return self.busy_count / self.num_servers
+
+    # ------------------------------------------------------------------
+    def allocate(self, count: int) -> Optional[Tuple[int, ...]]:
+        """Carve ``count`` contiguous servers, or ``None`` if no hole fits."""
+        if count < 1:
+            raise ValueError("a shard needs at least one server")
+        candidates = [h for h in self.holes() if h[1] >= count]
+        if not candidates:
+            return None
+        if self.policy == "first-fit":
+            start, _ = candidates[0]
+        elif self.policy == "best-fit":
+            start, _ = min(candidates, key=lambda h: (h[1], h[0]))
+        else:  # random
+            start, _ = candidates[self.rng.randrange(len(candidates))]
+        servers = tuple(range(start, start + count))
+        self._free -= set(servers)
+        return servers
+
+    def free(self, servers: Tuple[int, ...]) -> None:
+        """Return a shard's servers to the pool."""
+        for server in servers:
+            if server in self._free:
+                raise ValueError(f"server {server} is already free")
+        self._free |= set(servers)

@@ -1,0 +1,434 @@
+"""Declarative shared-cluster scenario specifications.
+
+A :class:`ScenarioSpec` describes the *life of a cluster* rather than a
+single experiment: an arrival process drawing training jobs from a mix
+of templates, a scheduler admitting them onto a shardable TopoOpt
+fabric (or a contended shared switch fabric), and a duration.  It is
+the input of :func:`repro.cluster.engine.run_scenario` and a first-class
+citizen of the PR-4 declarative API: exact JSON round-trip, unknown-key
+rejection, registry-validated knobs (fabrics, strategies, workloads,
+scheduler policies, arrival processes), dotted-path overrides, and
+sweepability through :func:`repro.api.runner.run_sweep`.
+
+Doctest tour::
+
+    >>> from repro.cluster.spec import ScenarioSpec
+    >>> spec = ScenarioSpec.preset("shared")
+    >>> (spec.cluster.servers, spec.fabric.kind, spec.scheduler.policy)
+    (32, 'topoopt', 'first-fit')
+    >>> ScenarioSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> swept = spec.with_overrides(
+    ...     {"fabric.kind": "fattree", "jobs.0.iterations": 2}
+    ... )
+    >>> (swept.fabric.kind, swept.jobs[0].iterations)
+    ('fattree', 2)
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.spec import (
+    ClusterSpec,
+    FabricSpec,
+    OptimizerSpec,
+    SpecError,
+    _check_keys,
+    _require,
+    apply_overrides,
+)
+from repro.models.configs import CONFIG_FAMILIES, MODEL_BUILDERS
+from repro.sim.cluster import NETWORK_SOLVERS
+
+#: Arrival processes the engine understands.
+ARRIVAL_PROCESSES = ("explicit", "poisson", "trace")
+
+#: Shard-allocation policies of :class:`repro.cluster.scheduler.ShardAllocator`.
+SCHEDULER_POLICIES = ("first-fit", "best-fit", "random")
+
+#: Allocator backends of the underlying fluid simulation -- derived
+#: from the registry :class:`repro.sim.cluster.SharedClusterSimulator`
+#: actually dispatches on, so the two can never drift apart.
+SCENARIO_SOLVERS = tuple(sorted(NETWORK_SOLVERS))
+
+#: Trace job families (``traces.generator.WORKLOAD_MIX``) mapped onto
+#: the workload registry's model names.
+FAMILY_MODELS: Dict[str, str] = {
+    "Recommendation": "DLRM",
+    "Natural Language Proc.": "BERT",
+    "Image Recognition": "VGG16",
+    "Object Tracking": "CANDLE",
+}
+
+#: Shorthand override keys accepted by ``ScenarioSpec.with_overrides``
+#: (and hence ``repro scenario --set``).
+SCENARIO_SHORTHANDS: Dict[str, str] = {
+    "servers": "cluster.servers",
+    "degree": "cluster.degree",
+    "bandwidth_gbps": "cluster.bandwidth_gbps",
+    "gpus_per_server": "cluster.gpus_per_server",
+    "fabric": "fabric.kind",
+    "policy": "scheduler.policy",
+    "admission_latency_s": "scheduler.admission_latency_s",
+    "process": "arrivals.process",
+    "count": "arrivals.count",
+    "mean_interarrival_s": "arrivals.mean_interarrival_s",
+    "max_servers": "arrivals.max_servers",
+    "strategy": "optimizer.strategy",
+    "rounds": "optimizer.rounds",
+    "mcmc_iterations": "optimizer.mcmc_iterations",
+    "solver": "solver",
+}
+
+
+@dataclass(frozen=True)
+class JobTemplateSpec:
+    """One entry of the job mix: what an arriving job trains and needs.
+
+    ``strategy`` names a strategy-registry entry (``"mcmc"`` runs the
+    per-job MCMC x TopologyFinder co-optimization on the allocated
+    shard); ``None`` falls back to the scenario's
+    ``optimizer.strategy``.  ``weight`` biases the weighted draw used by
+    the ``poisson`` arrival process (``explicit`` cycles the templates
+    in order; ``trace`` matches templates by model name).
+    """
+
+    model: str = "DLRM"
+    scale: str = "shared"
+    servers: int = 8
+    iterations: int = 4
+    weight: float = 1.0
+    strategy: Optional[str] = None
+    batch_per_gpu: Optional[int] = None
+
+    def __post_init__(self):
+        families = sorted(CONFIG_FAMILIES) + ["custom"]
+        _require(
+            self.scale in families,
+            f"job.scale: unknown preset family {self.scale!r}; "
+            f"use one of {families}",
+        )
+        if self.scale == "custom":
+            _require(
+                self.model in MODEL_BUILDERS,
+                f"job.model: no builder for {self.model!r}; "
+                f"known models: {sorted(MODEL_BUILDERS)}",
+            )
+        else:
+            table = CONFIG_FAMILIES[self.scale]
+            _require(
+                self.model in table,
+                f"job.model: no {self.scale!r} preset for {self.model!r}; "
+                f"known: {sorted(table)}",
+            )
+        _require(self.servers >= 2,
+                 f"job.servers must be >= 2, got {self.servers}")
+        _require(self.iterations >= 1,
+                 f"job.iterations must be >= 1, got {self.iterations}")
+        _require(self.weight > 0,
+                 f"job.weight must be > 0, got {self.weight}")
+        _require(
+            self.batch_per_gpu is None or self.batch_per_gpu >= 1,
+            f"job.batch_per_gpu must be >= 1, got {self.batch_per_gpu}",
+        )
+        if self.strategy is not None:
+            from repro.api.registry import STRATEGIES
+
+            _require(
+                self.strategy in STRATEGIES.names(),
+                f"job.strategy: unknown strategy {self.strategy!r}; "
+                f"registered: {sorted(STRATEGIES.names())}",
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "scale": self.scale,
+            "servers": self.servers,
+            "iterations": self.iterations,
+            "weight": self.weight,
+            "strategy": self.strategy,
+            "batch_per_gpu": self.batch_per_gpu,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobTemplateSpec":
+        _check_keys("JobTemplateSpec", data, (f.name for f in fields(cls)))
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When jobs show up.
+
+    * ``"explicit"`` -- jobs arrive at exactly ``times`` (seconds),
+      ``times[i]`` paired with template ``i % len(jobs)``; ``count``
+      and ``mean_interarrival_s`` are ignored.  Fully deterministic.
+    * ``"poisson"`` -- ``count`` jobs with exponential interarrival
+      gaps of mean ``mean_interarrival_s``; templates drawn by weight.
+    * ``"trace"`` -- ``count`` jobs sampled from
+      :class:`repro.traces.generator.ProductionTraceGenerator` (the
+      paper's section 2.2 population): worker counts set the shard size
+      (clamped to ``max_servers``), families map to models via
+      :data:`FAMILY_MODELS`, interarrival gaps are exponential.
+
+    ``max_servers = 0`` means "auto": half the cluster, capped at 16.
+    """
+
+    process: str = "poisson"
+    count: int = 8
+    mean_interarrival_s: float = 30.0
+    times: Tuple[float, ...] = ()
+    max_servers: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "times", tuple(self.times))
+        _require(
+            self.process in ARRIVAL_PROCESSES,
+            f"arrivals.process: unknown process {self.process!r}; "
+            f"registered: {sorted(ARRIVAL_PROCESSES)}",
+        )
+        _require(self.count >= 1,
+                 f"arrivals.count must be >= 1, got {self.count}")
+        _require(
+            self.mean_interarrival_s > 0,
+            f"arrivals.mean_interarrival_s must be > 0, "
+            f"got {self.mean_interarrival_s}",
+        )
+        _require(self.max_servers >= 0,
+                 f"arrivals.max_servers must be >= 0, got {self.max_servers}")
+        if self.process == "explicit":
+            _require(
+                len(self.times) > 0,
+                "arrivals.times must be non-empty for process='explicit'",
+            )
+            _require(
+                all(t >= 0 for t in self.times),
+                "arrivals.times must all be >= 0",
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process,
+            "count": self.count,
+            "mean_interarrival_s": self.mean_interarrival_s,
+            "times": [float(t) for t in self.times],
+            "max_servers": self.max_servers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        _check_keys("ArrivalSpec", data, (f.name for f in fields(cls)))
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """How queued jobs are placed onto free servers.
+
+    ``policy`` picks the contiguous-block allocation rule
+    (:data:`SCHEDULER_POLICIES`); the queue itself is FCFS with
+    head-of-line blocking (no backfill).  ``admission_latency_s`` models
+    the optical reconfiguration paid per admission (Appendix C: ~1 ms
+    with look-ahead provisioning, minutes for a cold patch-panel run).
+    """
+
+    policy: str = "first-fit"
+    admission_latency_s: float = 0.0
+
+    def __post_init__(self):
+        _require(
+            self.policy in SCHEDULER_POLICIES,
+            f"scheduler.policy: unknown policy {self.policy!r}; "
+            f"registered: {sorted(SCHEDULER_POLICIES)}",
+        )
+        _require(
+            self.admission_latency_s >= 0,
+            f"scheduler.admission_latency_s must be >= 0, "
+            f"got {self.admission_latency_s}",
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "admission_latency_s": self.admission_latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerSpec":
+        _check_keys("SchedulerSpec", data, (f.name for f in fields(cls)))
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete shared-cluster scenario: spec in, typed result out.
+
+    ``fabric.kind == "topoopt"`` selects the shardable mode: every
+    admitted job gets a physically isolated optical shard (its own
+    TopologyFinder topology and fluid network).  Any other registered
+    switch fabric is built once at cluster scale and *shared*: all
+    jobs' flows contend on it.  Fabrics that simulate themselves
+    (``sipml``, ``ocs-reconfig``) or that need per-job traffic at build
+    time (``hierarchical``) cannot serve as the shared substrate.
+    """
+
+    name: str = ""
+    seed: int = 0
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    fabric: FabricSpec = field(default_factory=FabricSpec)
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    jobs: Tuple[JobTemplateSpec, ...] = (JobTemplateSpec(),)
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    optimizer: OptimizerSpec = field(
+        default_factory=lambda: OptimizerSpec(strategy="auto")
+    )
+    solver: str = "kernel"
+    max_sim_time_s: float = 3600.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        _require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
+        _require(len(self.jobs) >= 1, "jobs needs at least one template")
+        _require(
+            self.solver in SCENARIO_SOLVERS,
+            f"solver: unknown solver {self.solver!r}; "
+            f"use one of {sorted(SCENARIO_SOLVERS)}",
+        )
+        _require(
+            self.max_sim_time_s > 0,
+            f"max_sim_time_s must be > 0, got {self.max_sim_time_s}",
+        )
+        self.fabric.validate_kind()
+        if self.fabric.kind != "topoopt":
+            from repro.api.registry import fabric_entry
+
+            entry = fabric_entry(self.fabric.kind)
+            _require(
+                not entry.simulates_itself,
+                f"fabric.kind: {self.fabric.kind!r} simulates itself and "
+                f"cannot serve as a shared fluid substrate; use a switch "
+                f"fabric (fattree, ideal-switch, oversubscribed-fattree, "
+                f"leaf-spine, expander) or 'topoopt' shards",
+            )
+            _require(
+                self.fabric.kind != "hierarchical",
+                "fabric.kind: 'hierarchical' needs per-job traffic at "
+                "build time and cannot serve as a shared substrate",
+            )
+        for template in self.jobs:
+            _require(
+                template.servers <= self.cluster.servers,
+                f"job template needs {template.servers} servers but the "
+                f"cluster has only {self.cluster.servers}",
+            )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native dict; exact inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "cluster": self.cluster.to_dict(),
+            "fabric": self.fabric.to_dict(),
+            "arrivals": self.arrivals.to_dict(),
+            "jobs": [t.to_dict() for t in self.jobs],
+            "scheduler": self.scheduler.to_dict(),
+            "optimizer": self.optimizer.to_dict(),
+            "solver": self.solver,
+            "max_sim_time_s": self.max_sim_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _check_keys("ScenarioSpec", data, (f.name for f in fields(cls)))
+        kwargs: Dict[str, Any] = dict(data)
+        for key, sub in (
+            ("cluster", ClusterSpec),
+            ("fabric", FabricSpec),
+            ("arrivals", ArrivalSpec),
+            ("scheduler", SchedulerSpec),
+            ("optimizer", OptimizerSpec),
+        ):
+            if key in kwargs and not isinstance(kwargs[key], sub):
+                kwargs[key] = sub.from_dict(kwargs[key])
+        if "jobs" in kwargs:
+            kwargs["jobs"] = tuple(
+                t if isinstance(t, JobTemplateSpec)
+                else JobTemplateSpec.from_dict(t)
+                for t in (kwargs["jobs"] or ())
+            )
+        return cls(**kwargs)
+
+    # -- overrides -----------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """A copy with dotted-path (or shorthand) fields replaced.
+
+        Numeric path parts index into lists, so a sweep can vary one
+        template: ``{"jobs.0.model": "BERT"}``.  Shorthands come from
+        :data:`SCENARIO_SHORTHANDS`.  The result is re-validated.
+        """
+        data = apply_overrides(
+            self.to_dict(), overrides, SCENARIO_SHORTHANDS
+        )
+        return ScenarioSpec.from_dict(data)
+
+    # -- presets -------------------------------------------------------
+    @classmethod
+    def preset(cls, family: str) -> "ScenarioSpec":
+        """A ready-to-run scenario matching one of the paper's stories.
+
+        ``"shared"`` is the section 5.6 / Figure 16 setup: the paper's
+        DLRM/BERT/CANDLE/VGG16 job mix arriving together onto a
+        32-server cluster of 8-server shards.  ``"lifetime"`` is a
+        trace-driven cluster life: production-trace jobs (section 2.2
+        statistics) arriving over time, queueing for best-fit shards.
+        """
+        if family not in SCENARIO_PRESETS:
+            raise SpecError(
+                f"unknown scenario preset {family!r}; "
+                f"use one of {sorted(SCENARIO_PRESETS)}"
+            )
+        return copy.deepcopy(SCENARIO_PRESETS[family])
+
+
+#: The canonical scenario setups behind :meth:`ScenarioSpec.preset` and
+#: the CLI's ``repro scenario --preset`` choices.
+SCENARIO_PRESETS: Dict[str, ScenarioSpec] = {
+    "shared": ScenarioSpec(
+        name="figure16-shared-cluster",
+        cluster=ClusterSpec(
+            servers=32, degree=4, bandwidth_gbps=100.0, gpus_per_server=4
+        ),
+        fabric=FabricSpec(kind="topoopt"),
+        arrivals=ArrivalSpec(process="explicit", times=(0.0, 0.0, 0.0, 0.0)),
+        jobs=(
+            JobTemplateSpec(model="DLRM", servers=8),
+            JobTemplateSpec(model="BERT", servers=8),
+            JobTemplateSpec(model="CANDLE", servers=8),
+            JobTemplateSpec(model="VGG16", servers=8),
+        ),
+        scheduler=SchedulerSpec(policy="first-fit"),
+    ),
+    "lifetime": ScenarioSpec(
+        name="trace-driven-lifetime",
+        cluster=ClusterSpec(
+            servers=48, degree=4, bandwidth_gbps=100.0, gpus_per_server=4
+        ),
+        fabric=FabricSpec(kind="topoopt"),
+        arrivals=ArrivalSpec(
+            process="trace", count=10, mean_interarrival_s=20.0,
+            max_servers=12,
+        ),
+        jobs=(
+            JobTemplateSpec(model="DLRM", servers=8, iterations=3),
+            JobTemplateSpec(model="BERT", servers=8, iterations=3),
+            JobTemplateSpec(model="CANDLE", servers=8, iterations=3),
+            JobTemplateSpec(model="VGG16", servers=8, iterations=3),
+        ),
+        scheduler=SchedulerSpec(policy="best-fit"),
+    ),
+}

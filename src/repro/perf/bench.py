@@ -26,6 +26,10 @@ against the vectorized kernel on identical inputs:
 - ``alternating``: end-to-end ``AlternatingOptimizer.run`` (MCMC x
   TopologyFinder), old full-rebuild path vs. the incremental kernel
   path with per-fabric routing-matrix reuse.
+- ``scenario``: the multi-job shared-cluster scenario engine
+  (:mod:`repro.cluster`) on a contended Fat-tree -- pure-Python
+  reference allocator vs. the sparse progressive-filling kernel --
+  doubling as the same-(spec, seed)-identical-JSON determinism gate.
 
 Used by ``benchmarks/bench_perf_kernels.py`` (full sizes, writes
 ``BENCH_kernels.json``) and ``python -m repro.cli bench-smoke`` (quick
@@ -413,10 +417,79 @@ def bench_alternating(n: int, rounds: int = 2, iterations: int = 60) -> Dict:
     )
 
 
+def bench_scenario(n: int, iterations: int = 2) -> Dict:
+    """Multi-job shared-cluster scenario, reference vs kernel allocator.
+
+    Runs the Figure 16 job mix (one 8-server shard per job, as many
+    jobs as fit ``n`` servers) through the scenario engine on a shared
+    cost-equivalent Fat-tree -- the substrate where every completion
+    event re-solves the max-min allocation over *all* jobs' flows.  The
+    reference side drives the retained pure-Python allocator
+    (``solver="reference"``), the vectorized side the sparse
+    progressive-filling kernel (``solver="kernel"``); iteration times
+    must agree to float tolerance.
+
+    The same entry doubles as the determinism gate: the kernel run is
+    repeated with an identical (spec, seed) and the two result JSONs
+    must be byte-identical (``deterministic``), which ``bench-smoke``
+    enforces pre-merge.
+    """
+    from repro.cluster import ArrivalSpec, JobTemplateSpec, ScenarioSpec
+    from repro.cluster.engine import run_scenario
+    from repro.api.spec import ClusterSpec, FabricSpec
+
+    models = ("DLRM", "BERT", "CANDLE", "VGG16")
+    num_jobs = max(n // 8, 2)
+    spec = ScenarioSpec(
+        name=f"bench-scenario-n{n}",
+        cluster=ClusterSpec(servers=n, degree=4, bandwidth_gbps=100.0),
+        fabric=FabricSpec(kind="fattree"),
+        arrivals=ArrivalSpec(
+            process="explicit", times=tuple(0.0 for _ in range(num_jobs))
+        ),
+        jobs=tuple(
+            JobTemplateSpec(
+                model=models[i % len(models)], servers=8,
+                iterations=iterations,
+            )
+            for i in range(min(num_jobs, len(models)))
+        ),
+    )
+    start = time.perf_counter()
+    ref = run_scenario(spec.with_overrides({"solver": "reference"}))
+    reference_s = time.perf_counter() - start
+    start = time.perf_counter()
+    vec = run_scenario(spec)
+    vectorized_s = time.perf_counter() - start
+    repeat = run_scenario(spec)
+    deterministic = (
+        json.dumps(vec.to_dict(), sort_keys=True)
+        == json.dumps(repeat.to_dict(), sort_keys=True)
+    )
+    ref_avg, ref_p99 = ref.iteration_stats()
+    vec_avg, vec_p99 = vec.iteration_stats()
+    rel_err = max(
+        abs(ref_avg - vec_avg) / max(abs(ref_avg), 1e-300),
+        abs(ref_p99 - vec_p99) / max(abs(ref_p99), 1e-300),
+    )
+    return _record(
+        reference_s,
+        vectorized_s,
+        jobs=num_jobs,
+        iterations=iterations,
+        deterministic=bool(deterministic),
+        iteration_rel_err=float(rel_err),
+    )
+
+
 #: Sizes the staggered-phase scenario runs at: the batch baseline is
 #: quadratic-ish in events x flows, so n=128 would dominate the whole
 #: suite without changing the verdict (the acceptance gate is n=64).
 STAGGERED_SIZES = (16, 64)
+
+#: Sizes the shared-cluster scenario runs at (the determinism /
+#: equivalence gate lives at n=64).
+SCENARIO_SIZES = (16, 64)
 
 #: Sizes the search-plane scenarios run at (fixed, per the acceptance
 #: criteria): the full-rebuild baseline re-routes all n^2 pairs per
@@ -429,7 +502,7 @@ def run_benchmarks(
     sizes: Sequence[int] = FULL_SIZES,
     scenarios: Sequence[str] = (
         "phase_sim", "routing", "lp_assembly", "staggered_phase",
-        "mcmc_steps", "alternating",
+        "mcmc_steps", "alternating", "scenario",
     ),
 ) -> Dict:
     """Run the kernel micro-benchmarks and return the results tree."""
@@ -440,6 +513,7 @@ def run_benchmarks(
         "staggered_phase": bench_staggered_phase,
         "mcmc_steps": bench_mcmc_steps,
         "alternating": bench_alternating,
+        "scenario": bench_scenario,
     }
     results: Dict = {"sizes": list(sizes)}
     for scenario in scenarios:
@@ -447,6 +521,8 @@ def run_benchmarks(
         scenario_sizes = sizes
         if scenario == "staggered_phase":
             scenario_sizes = [n for n in sizes if n in STAGGERED_SIZES]
+        elif scenario == "scenario":
+            scenario_sizes = [n for n in sizes if n in SCENARIO_SIZES]
         elif scenario in ("mcmc_steps", "alternating"):
             scenario_sizes = SEARCH_SIZES
         for n in scenario_sizes:

@@ -13,6 +13,26 @@ single shared fluid network:
 
 and records per-iteration completion times, from which the bench reports
 the average and 99th-percentile across jobs (the Figure 16 series).
+
+Two usage modes share one event core:
+
+* **Batch** (the original interface): construct with a job list and call
+  :meth:`SharedClusterSimulator.run`, which starts every job at time
+  zero (with a seeded random stagger) and simulates until each reaches
+  its iteration quota.
+* **Dynamic membership** (what the scenario engine in
+  :mod:`repro.cluster.engine` drives): construct empty, then
+  :meth:`~SharedClusterSimulator.add_job` /
+  :meth:`~SharedClusterSimulator.remove_job` jobs at arbitrary
+  simulation times, stepping the clock with
+  :meth:`~SharedClusterSimulator.next_event_time` and
+  :meth:`~SharedClusterSimulator.advance_to`.
+
+Determinism: all randomness comes from the per-simulation
+``random.Random(seed)`` (used only for the optional start stagger), and
+every reduction iterates insertion-ordered containers, so two runs with
+the same inputs and seed produce bit-identical iteration times -- the
+property the scenario engine's same-spec-same-seed JSON gate relies on.
 """
 
 from __future__ import annotations
@@ -25,10 +45,19 @@ import numpy as np
 
 from repro.parallel.traffic import TrafficSummary
 from repro.sim.flows import Flow
-from repro.sim.fluid import FluidNetwork
+from repro.sim.fluid import FluidNetwork, ReferenceFluidNetwork
 from repro.sim.network_sim import _allreduce_flows, _mp_flows
 
 Link = Tuple[int, int]
+
+#: Max-min allocator backends selectable per simulation: the sparse
+#: progressive-filling kernel (default) or the retained pure-Python
+#: reference allocator (the equivalence baseline the scenario benchmark
+#: compares against).
+NETWORK_SOLVERS = {
+    "kernel": FluidNetwork,
+    "reference": ReferenceFluidNetwork,
+}
 
 
 @dataclass
@@ -61,6 +90,7 @@ class _JobState:
     phase: str = "compute"  # compute -> mp -> allreduce
     outstanding: int = 0
     stats: JobStats = None  # type: ignore[assignment]
+    started: bool = False
 
 
 def remap_traffic(
@@ -94,22 +124,124 @@ def remap_traffic(
 
 
 class SharedClusterSimulator:
-    """Concurrent training jobs over one capacitated network."""
+    """Concurrent training jobs over one capacitated network.
+
+    Parameters
+    ----------
+    capacities:
+        Directed link -> bits/s table of the shared substrate.
+    jobs:
+        Jobs to start together at time zero when :meth:`run` is called.
+        May be empty for dynamic-membership use (:meth:`add_job`).
+    seed:
+        Seeds the per-simulation RNG; the only consumer is the start
+        stagger, so identical (inputs, seed) pairs replay identically.
+    stagger:
+        Randomly offset each job's first compute phase by a fraction of
+        its compute time (the batch mode's decorrelation device).  The
+        scenario engine disables it: arrival processes supply their own
+        randomness and admission times must be exact.
+    solver:
+        Max-min allocator backend (:data:`NETWORK_SOLVERS`):
+        ``"kernel"`` (sparse progressive filling, default) or
+        ``"reference"`` (retained pure-Python allocator).
+    """
 
     def __init__(
         self,
         capacities: Dict[Link, float],
-        jobs: Sequence[JobSpec],
+        jobs: Sequence[JobSpec] = (),
         seed: int = 0,
+        stagger: bool = True,
+        solver: str = "kernel",
     ):
-        if not jobs:
-            raise ValueError("need at least one job")
-        self.network = FluidNetwork(capacities)
+        try:
+            network_cls = NETWORK_SOLVERS[solver]
+        except KeyError:
+            raise ValueError(
+                f"unknown solver {solver!r}; "
+                f"use one of {sorted(NETWORK_SOLVERS)}"
+            ) from None
+        self.network = network_cls(capacities)
         self.rng = random.Random(seed)
-        self.states = [
+        self.stagger = stagger
+        self.now = 0.0
+        self.states: List[_JobState] = [
             _JobState(spec=job, stats=JobStats(name=job.name))
             for job in jobs
         ]
+        self._timers: List[Tuple[float, _JobState]] = []
+        self._flow_owner: Dict[int, _JobState] = {}
+        self._finished_buffer: List[_JobState] = []
+
+    # -- dynamic membership --------------------------------------------
+    def add_job(self, spec: JobSpec, start: Optional[float] = None) -> _JobState:
+        """Admit ``spec`` at simulation time ``start`` (default: now).
+
+        The job begins its first compute phase at ``start`` (plus the
+        seeded stagger offset when ``stagger`` is enabled) and runs
+        until removed; the caller owns the iteration quota.
+        """
+        t0 = self.now if start is None else start
+        state = _JobState(
+            spec=spec, stats=JobStats(name=spec.name), started=True
+        )
+        offset = self.rng.random() * spec.compute_s if self.stagger else 0.0
+        state.iteration_start = t0
+        self.states.append(state)
+        self._timers.append((t0 + offset + spec.compute_s, state))
+        return state
+
+    def remove_job(self, state: _JobState) -> None:
+        """Withdraw a job: cancel its timer and drop its in-flight flows."""
+        # Remove by identity: distinct jobs with identical specs and
+        # fresh stats compare equal, and list.remove would detach the
+        # wrong one.
+        self.states = [s for s in self.states if s is not state]
+        self._timers = [(t, s) for t, s in self._timers if s is not state]
+        dead = [
+            flow_id
+            for flow_id, owner in self._flow_owner.items()
+            if owner is state
+        ]
+        for flow_id in dead:
+            flow = self.network.active.get(flow_id)
+            if flow is not None:
+                self.network.remove_flow(flow)
+            del self._flow_owner[flow_id]
+
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the next compute timer or flow completion."""
+        next_timer = min((t for t, _ in self._timers), default=None)
+        dt_flow = self.network.time_to_next_completion()
+        next_flow = self.now + dt_flow if dt_flow is not None else None
+        candidates = [t for t in (next_timer, next_flow) if t is not None]
+        return min(candidates) if candidates else None
+
+    def advance_to(self, target: float) -> List[_JobState]:
+        """Advance the clock to ``target`` and process due events.
+
+        Returns the states that completed a training iteration at this
+        event (the hook the scenario engine checks quotas on).
+        """
+        self._finished_buffer = []
+        completed = self.network.advance(max(target - self.now, 0.0) + 1e-12)
+        self.now = target
+        for flow in completed:
+            owner = self._flow_owner.pop(flow.flow_id, None)
+            if owner is None:
+                continue
+            owner.outstanding -= 1
+            if owner.outstanding == 0:
+                self._finish_communication(owner, self.now)
+        still_pending = []
+        for timer, state in self._timers:
+            if timer <= self.now + 1e-12:
+                self._start_communication(state, self.now)
+            else:
+                still_pending.append((timer, state))
+        self._timers = still_pending
+        return self._finished_buffer
 
     # ------------------------------------------------------------------
     def run(
@@ -118,17 +250,24 @@ class SharedClusterSimulator:
         max_sim_time_s: float = 3600.0,
     ) -> List[JobStats]:
         """Simulate until every job completes its iteration quota."""
-        now = 0.0
-        self._compute_done: List[Tuple[float, _JobState]] = []
-        # Stagger job starts by a random fraction of their compute time so
-        # the cluster does not run in lockstep.
+        if not self.states:
+            raise ValueError("need at least one job")
+        # Stagger job starts by a random fraction of their compute time
+        # so the cluster does not run in lockstep.  Jobs admitted via
+        # add_job() are already started and keep their existing timers.
         for state in self.states:
-            offset = self.rng.random() * state.spec.compute_s
-            state.iteration_start = now
-            self._compute_done.append(
-                (now + offset + state.spec.compute_s, state)
+            if state.started:
+                continue
+            offset = (
+                self.rng.random() * state.spec.compute_s
+                if self.stagger
+                else 0.0
             )
-        flow_owner: Dict[int, _JobState] = {}
+            state.iteration_start = self.now
+            self._timers.append(
+                (self.now + offset + state.spec.compute_s, state)
+            )
+            state.started = True
 
         while True:
             if all(
@@ -136,41 +275,18 @@ class SharedClusterSimulator:
                 for s in self.states
             ):
                 break
-            if now > max_sim_time_s:
+            if self.now > max_sim_time_s:
                 raise RuntimeError(
                     f"shared-cluster simulation exceeded {max_sim_time_s}s"
                 )
-            next_timer = min((t for t, _ in self._compute_done), default=None)
-            dt_flow = self.network.time_to_next_completion()
-            next_flow = now + dt_flow if dt_flow is not None else None
-            candidates = [t for t in (next_timer, next_flow) if t is not None]
-            if not candidates:
+            target = self.next_event_time()
+            if target is None:
                 break
-            target = min(candidates)
-            completed = self.network.advance(max(target - now, 0.0) + 1e-12)
-            now = target
-
-            for flow in completed:
-                owner = flow_owner.pop(flow.flow_id, None)
-                if owner is None:
-                    continue
-                owner.outstanding -= 1
-                if owner.outstanding == 0:
-                    self._finish_communication(owner, now)
-
-            still_pending = []
-            for timer, state in self._compute_done:
-                if timer <= now + 1e-12:
-                    self._start_communication(state, now, flow_owner)
-                else:
-                    still_pending.append((timer, state))
-            self._compute_done = still_pending
+            self.advance_to(target)
         return [state.stats for state in self.states]
 
     # ------------------------------------------------------------------
-    def _start_communication(
-        self, state: _JobState, now: float, flow_owner: Dict[int, _JobState]
-    ) -> None:
+    def _start_communication(self, state: _JobState, now: float) -> None:
         spec = state.spec
         flows: List[Flow] = []
         flows.extend(_mp_flows(spec.fabric, spec.traffic))
@@ -181,14 +297,15 @@ class SharedClusterSimulator:
         state.phase = "comm"
         state.outstanding = len(flows)
         for flow in flows:
-            flow_owner[flow.flow_id] = state
+            self._flow_owner[flow.flow_id] = state
             self.network.add_flow(flow)
 
     def _finish_communication(self, state: _JobState, now: float) -> None:
         state.stats.iteration_times.append(now - state.iteration_start)
         state.iteration_start = now
         state.phase = "compute"
-        self._compute_done.append((now + state.spec.compute_s, state))
+        self._timers.append((now + state.spec.compute_s, state))
+        self._finished_buffer.append(state)
 
 
 def iteration_time_stats(

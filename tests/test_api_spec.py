@@ -179,7 +179,8 @@ class TestGoldenSpecs:
 
     def test_specs_directory_is_populated(self):
         assert sorted(p.name for p in SPECS_DIR.glob("*.json")) == [
-            "quickstart.json", "shared_compare.json", "sweep_grid.json",
+            "quickstart.json", "scenario_shared.json",
+            "shared_compare.json", "sweep_grid.json",
         ]
 
     @pytest.mark.parametrize(

@@ -1,0 +1,93 @@
+"""run_sweep over ScenarioSpec grids, including the process-pool story."""
+
+import json
+
+import pytest
+
+from repro.api import SweepResult, point_seed, run_sweep
+from repro.cluster import ScenarioSpec
+
+
+def base_spec():
+    return ScenarioSpec.preset("shared").with_overrides(
+        {f"jobs.{i}.iterations": 2 for i in range(4)}
+    )
+
+
+GRID = {"fabric.kind": ["topoopt", "fattree"]}
+
+
+class TestScenarioSweep:
+    def test_rows_carry_scenario_metrics(self):
+        sweep = run_sweep(base_spec(), GRID, executor="serial")
+        rows = sweep.rows()
+        assert [row["fabric.kind"] for row in rows] == [
+            "topoopt", "fattree"
+        ]
+        for row in rows:
+            assert row["error"] is None
+            assert row["jobs_completed"] == 4
+            assert row["jct_avg_s"] > 0
+            assert row["iteration_p99_s"] >= row["iteration_avg_s"]
+            assert row["policy"] == "first-fit"
+        topo, fat = rows
+        assert fat["iteration_p99_s"] > topo["iteration_p99_s"]
+
+    def test_per_point_seeds_deterministic(self):
+        spec = base_spec()
+        sweep = run_sweep(spec, GRID, executor="serial")
+        for point in sweep.points:
+            assert point.seed == point_seed(spec.seed, point.overrides)
+            assert point.result.spec.seed == point.seed
+
+    def test_explicit_seed_axis_wins(self):
+        sweep = run_sweep(
+            base_spec(), {"seed": [3, 4]}, executor="serial"
+        )
+        assert [point.seed for point in sweep.points] == [3, 4]
+
+    def test_process_executor_matches_serial(self):
+        # The ROADMAP's process-pool story: scenario specs, points, and
+        # results pickle, and the derived per-point seeds do not depend
+        # on the executor, so a process-pool sweep is bit-identical to
+        # a serial one.
+        serial = run_sweep(base_spec(), GRID, executor="serial")
+        process = run_sweep(
+            base_spec(), GRID, executor="process", max_workers=2
+        )
+        assert len(serial.points) == len(process.points)
+        for s, p in zip(serial.points, process.points):
+            assert s.seed == p.seed
+            assert s.result.to_dict() == p.result.to_dict()
+
+    def test_sweep_json_round_trip(self):
+        sweep = run_sweep(base_spec(), GRID, executor="serial")
+        reloaded = SweepResult.from_dict(
+            json.loads(json.dumps(sweep.to_dict()))
+        )
+        assert isinstance(reloaded.base_spec, ScenarioSpec)
+        assert reloaded.rows() == sweep.rows()
+
+    def test_failing_point_becomes_error_row(self):
+        sweep = run_sweep(
+            base_spec(),
+            {"max_sim_time_s": [1e-9, 3600.0]},
+            executor="serial",
+        )
+        rows = sweep.rows()
+        assert not sweep.ok
+        assert "ScenarioError" in rows[0]["error"]
+        assert rows[0]["jct_avg_s"] is None
+        # The healthy point is unaffected, and the row schema is stable.
+        assert rows[1]["error"] is None
+        assert set(rows[0]) == set(rows[1])
+
+    def test_policy_axis(self):
+        sweep = run_sweep(
+            base_spec(),
+            {"policy": ["first-fit", "best-fit"]},
+            executor="serial",
+        )
+        assert [row["policy"] for row in sweep.rows()] == [
+            "first-fit", "best-fit"
+        ]
