@@ -12,14 +12,22 @@ kernels on identical inputs across n in {16, 64, 128}:
   incremental frontier solver),
 - MCMC strategy-search steps/sec on a TopoOpt fabric (full-rebuild
   scoring vs the sparse incremental cost-model kernel, n in {32, 64}),
-- end-to-end alternating optimization (old vs new search plane).
+- end-to-end alternating optimization (old vs new search plane),
+- the multi-job shared-cluster scenario engine (reference allocator vs
+  the persistent substrate flow kernel, n in {16, 64, 256}),
+- the fleet-scale trace scenario (1000 servers, 1000 wall-clock-
+  duration trace jobs, analytic fast-forward; absolute wall time, no
+  reference side).
 
 Writes ``BENCH_kernels.json`` at the repo root (and a text table under
 ``benchmarks/results/``) so future PRs can track the perf trajectory.
 Acceptance targets: >=5x on the 64-server all-to-all phase simulation,
 >=5x on routing construction at n=128, >=5x on the 64-server staggered
-phase vs the per-event full recompute, and >=5x MCMC steps/sec at n=64
-with per-step costs matching the full-rebuild oracle to 1e-12 relative.
+phase vs the per-event full recompute, >=5x MCMC steps/sec at n=64
+with per-step costs matching the full-rebuild oracle to 1e-12
+relative, >=3x on the shared-cluster scenario at n=256 with exact
+allocator equivalence and (spec, seed) determinism, and the fleet
+scenario draining its full trace in minutes.
 """
 
 from pathlib import Path
@@ -54,6 +62,19 @@ def main() -> None:
     assert results["staggered_phase"]["n=64"]["makespan_rel_err"] < 1e-6
     assert results["mcmc_steps"]["n=64"]["cost_rel_err"] < 1e-12
     assert results["alternating"]["n=64"]["cost_rel_err"] < 1e-9
+    scenario = results["scenario"]["n=256"]
+    assert scenario["speedup"] >= 3.0, (
+        f"scenario n=256 speedup {scenario['speedup']}x < 3x"
+    )
+    assert scenario["deterministic"], "scenario lost (spec, seed) determinism"
+    assert scenario["iteration_rel_err"] == 0.0
+    fleet = results["scenario_fleet"]["n=1000"]
+    assert fleet["jobs_completed"] == fleet["jobs_submitted"], (
+        f"fleet scenario stranded jobs: {fleet}"
+    )
+    assert fleet["wall_s"] < 600.0, (
+        f"fleet scenario took {fleet['wall_s']}s (> 10 minutes)"
+    )
 
 
 def test_bench_perf_kernels():

@@ -2,13 +2,15 @@
 # Pre-merge sanity check: documentation checks first (fast), then every
 # example at smoke scale, then the kernel micro-benchmarks at smoke
 # scale (<60 s) -- flow simulation, routing, LP assembly, the search
-# plane (MCMC steps/sec plus end-to-end alternating optimization), and
-# the multi-job shared-cluster scenario engine.  Exits non-zero if the
-# docs are broken, an example fails or times out, a vectorized kernel
-# has regressed to slower than the retained seed implementation, the
-# incremental cost model drifts from its full-rebuild oracle, or the
-# scenario engine loses (spec, seed) determinism / reference-allocator
-# equivalence.
+# plane (MCMC steps/sec plus end-to-end alternating optimization), the
+# multi-job shared-cluster scenario engine, and a capped fleet-scale
+# trace scenario.  Exits non-zero if the docs are broken, an example
+# fails or times out, a vectorized kernel has regressed to slower than
+# the retained seed implementation, the incremental cost model drifts
+# from its full-rebuild oracle, the scenario engine loses (spec, seed)
+# determinism / reference-allocator equivalence, the scenario kernel
+# falls under its 1.5x speedup floor at n=64, or the fleet scenario
+# fails to drain its trace.
 #
 # Usage: scripts/bench_smoke.sh
 set -eu

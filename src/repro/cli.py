@@ -17,9 +17,10 @@ a multi-job shared-cluster scenario spec
 topoopt,fattree``; see ``docs/scenarios.md``).
 
 Tooling subcommands: ``bench-smoke`` (kernel micro-benchmarks, <60 s),
-``check-docs`` (doctests + doc reference validation), and
-``check-examples`` (runs every ``examples/*.py`` at smoke scale under a
-wall-time cap).
+``bench`` (one benchmark entry at a chosen size, ``--profile N`` for a
+cProfile breakdown), ``check-docs`` (doctests + doc reference
+validation), and ``check-examples`` (runs every ``examples/*.py`` at
+smoke scale under a wall-time cap).
 
 The original flag interface (``python -m repro.cli --model DLRM ...``)
 survives as a thin legacy shim that constructs an ``ExperimentSpec``
@@ -593,9 +594,11 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     and end-to-end alternating optimization), and the multi-job
     scenario engine, and fails (exit 1) if a vectorized kernel has
     regressed to slower than the retained seed implementation at n=64,
-    the incremental MCMC costs drift from the full-rebuild oracle, or
-    the scenario engine loses (spec, seed) determinism / allocator
-    equivalence.
+    the incremental MCMC costs drift from the full-rebuild oracle, the
+    scenario engine loses (spec, seed) determinism / allocator
+    equivalence, the scenario kernel falls under its 1.5x speedup
+    floor at n=64, or the capped fleet-scale scenario fails to drain
+    its trace.
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -639,7 +642,66 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
         print("EQUIVALENCE REGRESSION: scenario kernel allocator "
               "drifted from the pure-Python reference", file=sys.stderr)
         return 1
+    if scenario["speedup"] < 1.5:
+        print(f"PERF REGRESSION: scenario kernel speedup "
+              f"{scenario['speedup']}x at {gate_key} under the 1.5x "
+              f"floor", file=sys.stderr)
+        return 1
+    fleet = next(iter(results["scenario_fleet"].values()))
+    if fleet["jobs_completed"] < fleet["jobs_submitted"]:
+        print(f"FLEET REGRESSION: scenario_fleet completed "
+              f"{fleet['jobs_completed']}/{fleet['jobs_submitted']} "
+              f"jobs (trace did not drain)", file=sys.stderr)
+        return 1
     print("bench-smoke ok")
+    return 0
+
+
+def cmd_bench(argv: Sequence[str] = ()) -> int:
+    """Run one kernel micro-benchmark entry, optionally under cProfile.
+
+    ``repro bench scenario --n 256`` runs a single entry at one size
+    and prints its record as JSON.  ``--profile 25`` reruns the entry
+    under :mod:`cProfile` and prints the top 25 functions by cumulative
+    time -- the first tool to reach for when a bench-smoke speedup
+    floor trips and you need to see where the hot loop went.
+    """
+    from repro.perf.bench import BENCH_ENTRIES
+
+    parser = argparse.ArgumentParser(prog="repro bench")
+    parser.add_argument(
+        "entry", choices=sorted(BENCH_ENTRIES),
+        help="benchmark entry to run",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, metavar="SIZE",
+        help="problem size (servers); default 64, fleet default 200",
+    )
+    parser.add_argument(
+        "--profile", type=int, default=0, metavar="TOP",
+        help="rerun under cProfile and print the TOP functions by "
+             "cumulative time",
+    )
+    args = parser.parse_args(list(argv))
+    n = args.n
+    if n is None:
+        n = 200 if args.entry == "scenario_fleet" else 64
+    runner = BENCH_ENTRIES[args.entry]
+    record = runner(n)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        runner(n)
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(args.profile)
+        print(stream.getvalue(), end="")
     return 0
 
 
@@ -815,6 +877,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "scenario": cmd_scenario,
+    "bench": cmd_bench,
     "bench-smoke": bench_smoke,
     "check-docs": check_docs,
     "check-examples": check_examples,

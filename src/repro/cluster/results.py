@@ -20,9 +20,40 @@ import numpy as np
 from repro.cluster.spec import ScenarioSpec
 
 
+def _weighted_percentile(
+    values: np.ndarray, counts: np.ndarray, q: float
+) -> float:
+    """``np.percentile(np.repeat(values, counts), q)`` without the repeat.
+
+    Matches NumPy's default linear interpolation: the virtual expanded
+    sample of size ``n = counts.sum()`` is indexed at position
+    ``(n - 1) * q / 100`` and interpolated between its neighbours.
+    """
+    order = np.argsort(values, kind="stable")
+    ordered = values[order]
+    cumulative = np.cumsum(counts[order])
+    n = int(cumulative[-1])
+    position = (n - 1) * q / 100.0
+    lo = int(np.floor(position))
+    hi = int(np.ceil(position))
+    v_lo = ordered[np.searchsorted(cumulative, lo, side="right")]
+    v_hi = ordered[np.searchsorted(cumulative, hi, side="right")]
+    return float(v_lo + (v_hi - v_lo) * (position - lo))
+
+
 @dataclass(frozen=True)
 class JobResult:
-    """One job's life: arrival -> queue -> shard -> iterations -> done."""
+    """One job's life: arrival -> queue -> shard -> iterations -> done.
+
+    ``iteration_times`` is exact and per-iteration for step-by-step
+    simulations.  Fast-forwarded fleet scenarios run-length encode it:
+    ``iteration_counts[i]`` (when present) says how many consecutive
+    iterations took ``iteration_times[i]`` seconds, which keeps a
+    million-iteration trace job at a handful of entries.  ``duration_s``
+    records the wall-clock budget of ``durations='wallclock'`` jobs.
+    Both stay out of the JSON when unset, so quota-mode results are
+    byte-identical to earlier releases.
+    """
 
     index: int
     name: str
@@ -35,6 +66,18 @@ class JobResult:
     completed_s: float
     compute_s: float
     iteration_times: Tuple[float, ...]
+    iteration_counts: Optional[Tuple[int, ...]] = None
+    duration_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.iteration_counts is not None and len(
+            self.iteration_counts
+        ) != len(self.iteration_times):
+            raise ValueError(
+                "iteration_counts must parallel iteration_times "
+                f"({len(self.iteration_counts)} vs "
+                f"{len(self.iteration_times)} entries)"
+            )
 
     @property
     def num_servers(self) -> int:
@@ -52,14 +95,21 @@ class JobResult:
 
     @property
     def iterations_completed(self) -> int:
+        if self.iteration_counts is not None:
+            return int(sum(self.iteration_counts))
         return len(self.iteration_times)
 
     @property
     def iteration_avg_s(self) -> float:
+        if self.iteration_counts is not None:
+            return float(
+                np.average(self.iteration_times,
+                           weights=self.iteration_counts)
+            )
         return float(np.mean(self.iteration_times))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "index": self.index,
             "name": self.name,
             "model": self.model,
@@ -72,6 +122,13 @@ class JobResult:
             "compute_s": self.compute_s,
             "iteration_times": [float(t) for t in self.iteration_times],
         }
+        if self.iteration_counts is not None:
+            data["iteration_counts"] = [
+                int(c) for c in self.iteration_counts
+            ]
+        if self.duration_s is not None:
+            data["duration_s"] = float(self.duration_s)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
@@ -80,6 +137,10 @@ class JobResult:
         kwargs["iteration_times"] = tuple(
             float(t) for t in kwargs["iteration_times"]
         )
+        if kwargs.get("iteration_counts") is not None:
+            kwargs["iteration_counts"] = tuple(
+                int(c) for c in kwargs["iteration_counts"]
+            )
         return cls(**kwargs)
 
 
@@ -111,11 +172,40 @@ class ScenarioResult:
         return samples
 
     def iteration_stats(self, skip_first: int = 0) -> Tuple[float, float]:
-        """(average, p99) iteration time across all jobs."""
-        samples = self.iteration_samples(skip_first)
-        if not samples:
+        """(average, p99) iteration time across all jobs.
+
+        Jobs with run-length-encoded iterations (``iteration_counts``)
+        contribute by weight without materializing the expansion; the
+        weighted percentile reproduces ``np.percentile``'s linear
+        interpolation over the virtual expanded sample exactly, and
+        jobs without counts take the original exact path, so existing
+        results are untouched.
+        """
+        if not any(job.iteration_counts is not None for job in self.jobs):
+            samples = self.iteration_samples(skip_first)
+            if not samples:
+                raise ValueError("no iteration samples recorded")
+            return float(np.mean(samples)), float(np.percentile(samples, 99))
+        times: List[float] = []
+        counts: List[int] = []
+        for job in self.jobs:
+            job_counts = job.iteration_counts or (
+                (1,) * len(job.iteration_times)
+            )
+            skip = skip_first
+            for value, count in zip(job.iteration_times, job_counts):
+                if skip >= count:
+                    skip -= count
+                    continue
+                times.append(float(value))
+                counts.append(int(count - skip))
+                skip = 0
+        if not times:
             raise ValueError("no iteration samples recorded")
-        return float(np.mean(samples)), float(np.percentile(samples, 99))
+        values = np.asarray(times)
+        weights = np.asarray(counts, dtype=np.int64)
+        mean = float(np.average(values, weights=weights))
+        return mean, _weighted_percentile(values, weights, 99.0)
 
     def jct_stats(self) -> Tuple[float, float]:
         """(average, p99) job completion time."""

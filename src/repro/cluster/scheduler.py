@@ -26,6 +26,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.cluster.spec import SCHEDULER_POLICIES
 
 Hole = Tuple[int, int]  # (start, length)
@@ -46,6 +48,10 @@ class ShardAllocator:
         self.policy = policy
         self.rng = rng
         self._free = set(range(num_servers))
+        # Mirror of _free as a 0/1 mask, padded with a trailing 0 so
+        # run ends always show up in the diff below.
+        self._mask = np.ones(num_servers + 1, dtype=np.int8)
+        self._mask[num_servers] = 0
 
     # ------------------------------------------------------------------
     @property
@@ -57,17 +63,20 @@ class ShardAllocator:
         return self.num_servers - len(self._free)
 
     def holes(self) -> List[Hole]:
-        """Maximal free runs as ``(start, length)``, in address order."""
-        holes: List[Hole] = []
-        start = None
-        for server in range(self.num_servers + 1):
-            if server in self._free:
-                if start is None:
-                    start = server
-            elif start is not None:
-                holes.append((start, server - start))
-                start = None
-        return holes
+        """Maximal free runs as ``(start, length)``, in address order.
+
+        Computed as run boundaries of the free mask (one ``np.diff``)
+        rather than a per-server Python scan: fragmentation is sampled
+        at every admission and departure, so this is on the scenario
+        engine's per-event path.
+        """
+        edges = np.diff(self._mask, prepend=np.int8(0))
+        starts = np.flatnonzero(edges == 1)
+        ends = np.flatnonzero(edges == -1)
+        return [
+            (int(start), int(end - start))
+            for start, end in zip(starts, ends)
+        ]
 
     def fragmentation(self) -> float:
         """External fragmentation: ``1 - largest_hole / total_free``.
@@ -101,6 +110,7 @@ class ShardAllocator:
             start, _ = candidates[self.rng.randrange(len(candidates))]
         servers = tuple(range(start, start + count))
         self._free -= set(servers)
+        self._mask[start:start + count] = 0
         return servers
 
     def free(self, servers: Tuple[int, ...]) -> None:
@@ -109,3 +119,4 @@ class ShardAllocator:
             if server in self._free:
                 raise ValueError(f"server {server} is already free")
         self._free |= set(servers)
+        self._mask[list(servers)] = 1

@@ -46,6 +46,10 @@ from repro.sim.cluster import NETWORK_SOLVERS
 #: Arrival processes the engine understands.
 ARRIVAL_PROCESSES = ("explicit", "poisson", "trace")
 
+#: How a job's lifetime is bounded: a fixed iteration quota from its
+#: template, or the trace generator's wall-clock duration field.
+DURATION_MODES = ("iterations", "wallclock")
+
 #: Shard-allocation policies of :class:`repro.cluster.scheduler.ShardAllocator`.
 SCHEDULER_POLICIES = ("first-fit", "best-fit", "random")
 
@@ -81,6 +85,8 @@ SCENARIO_SHORTHANDS: Dict[str, str] = {
     "rounds": "optimizer.rounds",
     "mcmc_iterations": "optimizer.mcmc_iterations",
     "solver": "solver",
+    "durations": "arrivals.durations",
+    "fast_forward": "fast_forward",
 }
 
 
@@ -176,6 +182,13 @@ class ArrivalSpec:
       :data:`FAMILY_MODELS`, interarrival gaps are exponential.
 
     ``max_servers = 0`` means "auto": half the cluster, capped at 16.
+
+    ``durations`` selects how long each job runs: ``"iterations"``
+    (the template's fixed quota) or ``"wallclock"`` (the trace
+    generator's per-job ``duration_hours`` field -- the job departs at
+    the first iteration boundary at or past its deadline).  Wall-clock
+    durations only exist in the trace population, so ``"wallclock"``
+    requires ``process == "trace"``.
     """
 
     process: str = "poisson"
@@ -183,6 +196,7 @@ class ArrivalSpec:
     mean_interarrival_s: float = 30.0
     times: Tuple[float, ...] = ()
     max_servers: int = 0
+    durations: str = "iterations"
 
     def __post_init__(self):
         object.__setattr__(self, "times", tuple(self.times))
@@ -190,6 +204,16 @@ class ArrivalSpec:
             self.process in ARRIVAL_PROCESSES,
             f"arrivals.process: unknown process {self.process!r}; "
             f"registered: {sorted(ARRIVAL_PROCESSES)}",
+        )
+        _require(
+            self.durations in DURATION_MODES,
+            f"arrivals.durations: unknown mode {self.durations!r}; "
+            f"use one of {sorted(DURATION_MODES)}",
+        )
+        _require(
+            self.durations == "iterations" or self.process == "trace",
+            "arrivals.durations='wallclock' needs process='trace' "
+            "(only the trace population carries duration_hours)",
         )
         _require(self.count >= 1,
                  f"arrivals.count must be >= 1, got {self.count}")
@@ -217,6 +241,7 @@ class ArrivalSpec:
             "mean_interarrival_s": self.mean_interarrival_s,
             "times": [float(t) for t in self.times],
             "max_servers": self.max_servers,
+            "durations": self.durations,
         }
 
     @classmethod
@@ -288,6 +313,16 @@ class ScenarioSpec:
     )
     solver: str = "kernel"
     max_sim_time_s: float = 3600.0
+    #: Skip steady-state iterations analytically: once a job on an
+    #: isolated shard completes a simulated iteration, every following
+    #: iteration is identical until its routing changes, so the engine
+    #: can account ``K`` iterations in O(1) and jump to the earliest of
+    #: departure / next failure / next repair.  Off by default -- the
+    #: analytic clock accumulates float error differently from the
+    #: step-by-step one, so results are equivalent but not bit-identical
+    #: to a full simulation.  Requires the shardable ``topoopt`` fabric
+    #: (shared-fabric jobs contend, so no steady state exists).
+    fast_forward: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "jobs", tuple(self.jobs))
@@ -301,6 +336,11 @@ class ScenarioSpec:
         _require(
             self.max_sim_time_s > 0,
             f"max_sim_time_s must be > 0, got {self.max_sim_time_s}",
+        )
+        _require(
+            not self.fast_forward or self.fabric.kind == "topoopt",
+            "fast_forward requires the shardable 'topoopt' fabric: jobs "
+            "on a shared substrate contend and have no steady state",
         )
         self.fabric.validate_kind()
         if self.fabric.kind != "topoopt":
@@ -340,6 +380,7 @@ class ScenarioSpec:
             "optimizer": self.optimizer.to_dict(),
             "solver": self.solver,
             "max_sim_time_s": self.max_sim_time_s,
+            "fast_forward": self.fast_forward,
         }
 
     @classmethod

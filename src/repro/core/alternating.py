@@ -114,10 +114,10 @@ class AlternatingOptimizer:
             IterationCostModel,
             ReferenceIterationCostModel,
         )
-        from repro.perf.costmodel import CostModelKernel
+        from repro.perf.warmcache import kernel_for
 
         fabric = self._initial_fabric()
-        kernel = CostModelKernel(fabric) if self.incremental else None
+        kernel = kernel_for(fabric) if self.incremental else None
         best: Optional[AlternatingResult] = None
         rounds: List[AlternatingRound] = []
         previous_cost = float("inf")
@@ -142,7 +142,7 @@ class AlternatingOptimizer:
             # Score the strategy on its own optimized topology; the
             # kernel carries over to the next round's search.
             if self.incremental:
-                kernel = CostModelKernel(fabric)
+                kernel = kernel_for(fabric)
                 cost_model = IterationCostModel(
                     fabric, self.search.compute_s, kernel=kernel
                 )

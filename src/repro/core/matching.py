@@ -9,9 +9,18 @@ on freshly matched pairs is halved before the next round so repeated
 rounds diversify connectivity instead of piling parallel links onto the
 single heaviest pair (the "diminishing return" of Algorithm 1 line 17).
 
-The Blossom algorithm itself is provided by :func:`networkx.max_weight_matching`
-(Galil's O(n^3) implementation of Edmonds' algorithm); this module adapts
-it to TopoOpt's demand matrices and implements the matching rounds.
+Two implementations share the interface.  The historical one builds a
+:mod:`networkx` graph and runs Galil's O(n^3) Blossom -- it is retained
+as :func:`max_weight_matching_reference`, the equivalence oracle.  The
+default ``"kernel"`` backend decomposes the demand graph into connected
+components (``scipy.sparse.csgraph``) and solves each *bipartite*
+component -- paths, stars, even cycles, and most real MP demand graphs
+-- with the Hungarian kernel
+(:func:`scipy.optimize.linear_sum_assignment` over a zero-padded
+bipartite weight matrix, which is exact for non-negative weights
+because any matching extends to a padded perfect matching of equal
+weight).  Components containing odd cycles fall back to the Blossom
+oracle, so every input is solved exactly.
 """
 
 from __future__ import annotations
@@ -23,20 +32,16 @@ import numpy as np
 
 Pair = Tuple[int, int]
 
+#: Matching backends accepted by :func:`max_weight_matching`.
+MATCHING_BACKENDS = ("kernel", "reference")
 
-def max_weight_matching(demand: np.ndarray) -> Set[Pair]:
-    """One round of Blossom maximum-weight matching over a demand matrix.
 
-    Parameters
-    ----------
-    demand:
-        ``n x n`` array of (symmetrized) traffic demand in bytes.  Entries
-        ``demand[i, j] + demand[j, i]`` form the undirected edge weight.
+def max_weight_matching_reference(demand: np.ndarray) -> Set[Pair]:
+    """The seed implementation: Blossom over an explicit nx graph.
 
-    Returns
-    -------
-    Set of matched pairs ``(i, j)`` with ``i < j``.  Zero-demand pairs are
-    never matched.
+    Kept verbatim as the equivalence oracle for the kernel backend --
+    both return a maximum-weight matching, and the tests assert equal
+    total weight on every structure either can see.
     """
     n = demand.shape[0]
     if demand.shape != (n, n):
@@ -52,6 +57,105 @@ def max_weight_matching(demand: np.ndarray) -> Set[Pair]:
     return {(min(a, b), max(a, b)) for a, b in matching}
 
 
+def _bipartite_component_matching(
+    nodes: np.ndarray, color: np.ndarray, weights: np.ndarray,
+    matched: Set[Pair],
+) -> None:
+    """Hungarian solve of one 2-colored component into ``matched``."""
+    from scipy.optimize import linear_sum_assignment
+
+    left = nodes[color[nodes] == 0]
+    right = nodes[color[nodes] == 1]
+    size = max(left.size, right.size)
+    # Zero padding to square: unmatched vertices pair with a phantom
+    # partner at zero weight, so maximizing the assignment maximizes
+    # the matching weight exactly (weights are non-negative).
+    cost = np.zeros((size, size))
+    cost[:left.size, :right.size] = weights[np.ix_(left, right)]
+    rows, cols = linear_sum_assignment(cost, maximize=True)
+    keep = cost[rows, cols] > 0
+    for r, c in zip(rows[keep], cols[keep]):
+        a, b = int(left[r]), int(right[c])
+        matched.add((min(a, b), max(a, b)))
+
+
+def max_weight_matching(
+    demand: np.ndarray, backend: str = "kernel"
+) -> Set[Pair]:
+    """One round of maximum-weight matching over a demand matrix.
+
+    Parameters
+    ----------
+    demand:
+        ``n x n`` array of (symmetrized) traffic demand in bytes.  Entries
+        ``demand[i, j] + demand[j, i]`` form the undirected edge weight.
+    backend:
+        ``"kernel"`` (scipy component decomposition + Hungarian, odd
+        cycles via Blossom) or ``"reference"`` (pure Blossom oracle).
+
+    Returns
+    -------
+    Set of matched pairs ``(i, j)`` with ``i < j``.  Zero-demand pairs are
+    never matched.
+    """
+    if backend not in MATCHING_BACKENDS:
+        raise ValueError(
+            f"unknown matching backend {backend!r}; "
+            f"use one of {sorted(MATCHING_BACKENDS)}"
+        )
+    if backend == "reference":
+        return max_weight_matching_reference(demand)
+    n = demand.shape[0]
+    if demand.shape != (n, n):
+        raise ValueError(f"demand must be square, got {demand.shape}")
+    from scipy import sparse
+    from scipy.sparse import csgraph
+
+    dense = np.asarray(demand, dtype=float)
+    weights = dense + dense.T
+    np.fill_diagonal(weights, 0.0)
+    if not (weights > 0).any():
+        return set()
+    adjacency = sparse.csr_matrix(weights > 0)
+    num_components, labels = csgraph.connected_components(
+        adjacency, directed=False
+    )
+    indptr, indices = adjacency.indptr, adjacency.indices
+    color = np.full(n, -1, dtype=np.int8)
+    matched: Set[Pair] = set()
+    for component in range(num_components):
+        nodes = np.flatnonzero(labels == component)
+        if nodes.size < 2:
+            continue
+        # 2-coloring BFS: bipartite components go to the Hungarian
+        # kernel, odd-cycle components to the Blossom oracle.
+        bipartite = True
+        color[nodes[0]] = 0
+        stack = [int(nodes[0])]
+        while stack:
+            u = stack.pop()
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if color[v] == -1:
+                    color[v] = color[u] ^ 1
+                    stack.append(int(v))
+                elif color[v] == color[u]:
+                    bipartite = False
+        if bipartite:
+            _bipartite_component_matching(nodes, color, weights, matched)
+            continue
+        graph = nx.Graph()
+        graph.add_nodes_from(int(u) for u in nodes)
+        for u in nodes:
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if u < v:
+                    graph.add_edge(
+                        int(u), int(v), weight=float(weights[u, v])
+                    )
+        blossom = nx.max_weight_matching(graph, maxcardinality=False)
+        matched.update((min(a, b), max(a, b)) for a, b in blossom)
+    return matched
+
+
 def halve_discount(value: float) -> float:
     """The paper's default diminishing-return: divide demand by two."""
     return value / 2.0
@@ -61,6 +165,7 @@ def mp_matchings(
     demand: np.ndarray,
     rounds: int,
     discount: Optional[Callable[[float], float]] = None,
+    backend: str = "kernel",
 ) -> List[Set[Pair]]:
     """Run ``rounds`` of matching with demand discounting between rounds.
 
@@ -78,7 +183,7 @@ def mp_matchings(
     work = np.array(demand, dtype=float, copy=True)
     matchings: List[Set[Pair]] = []
     for _ in range(rounds):
-        matched = max_weight_matching(work)
+        matched = max_weight_matching(work, backend=backend)
         matchings.append(matched)
         for (i, j) in matched:
             work[i, j] = discount(work[i, j])

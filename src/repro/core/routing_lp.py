@@ -35,6 +35,15 @@ Link = Tuple[int, int]
 Pair = Tuple[int, int]
 PathsFn = Callable[[int, int], Sequence[Sequence[int]]]
 
+#: Below this many LP variables the constraint matrices are assembled
+#: and returned densely: the two ``scipy.sparse.csr_matrix`` builds each
+#: carry ~0.15 ms of fixed setup cost that dominates tiny problems (the
+#: ``lp_assembly`` benchmark measured the sparse path at 0.43x the dense
+#: reference for n=16 rings; dense and sparse cross over around 600
+#: variables on the same rings).  ``linprog`` accepts either form, and
+#: both carry identical entries.
+DENSE_ASSEMBLY_MAX_VARS = 512
+
 
 @dataclass
 class LpRoutingResult:
@@ -82,14 +91,16 @@ def assemble_lp_constraints(
     volumes: Sequence[float],
     paths: Sequence[Sequence[Sequence[int]]],
     capacities: Dict[Link, float],
-) -> Tuple[
-    sparse.csr_matrix, np.ndarray, sparse.csr_matrix, np.ndarray, List[int], int
-]:
-    """Assemble the LP's sparse constraint matrices.
+) -> Tuple[object, np.ndarray, object, np.ndarray, List[int], int]:
+    """Assemble the LP's constraint matrices.
 
     Variable layout is ``[x_0 ... x_{P-1}, t]`` where each demand pair
     owns a contiguous block of path-fraction variables.  Returns
-    ``(a_eq, b_eq, a_ub, b_ub, var_offsets, t_index)``.  Shared by
+    ``(a_eq, b_eq, a_ub, b_ub, var_offsets, t_index)`` where the
+    constraint matrices are ``scipy.sparse.csr_matrix`` for large
+    problems and plain ``numpy`` arrays below
+    :data:`DENSE_ASSEMBLY_MAX_VARS` (``linprog`` accepts both; the
+    sparse constructor's fixed cost dominates tiny problems).  Shared by
     :func:`optimize_routing` and the kernel micro-benchmarks so the
     benchmarked assembly is exactly the production code path.
     """
@@ -103,6 +114,12 @@ def assemble_lp_constraints(
         total_vars += len(candidates)
     t_index = total_vars
     total_vars += 1
+
+    if total_vars <= DENSE_ASSEMBLY_MAX_VARS:
+        return _assemble_dense(
+            volumes, paths, capacities, link_index, var_offsets,
+            total_vars, t_index,
+        )
 
     # Equality: per-pair fractions sum to 1 (one sparse entry per path).
     eq_rows: List[int] = []
@@ -138,6 +155,38 @@ def assemble_lp_constraints(
     a_ub = sparse.csr_matrix(
         (ub_vals, (ub_rows, ub_cols)), shape=(num_links, total_vars)
     )
+    b_ub = np.zeros(num_links)
+    return a_eq, b_eq, a_ub, b_ub, var_offsets, t_index
+
+
+def _assemble_dense(
+    volumes: Sequence[float],
+    paths: Sequence[Sequence[Sequence[int]]],
+    capacities: Dict[Link, float],
+    link_index: Dict[Link, int],
+    var_offsets: List[int],
+    total_vars: int,
+    t_index: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[int], int]:
+    """Small-problem assembly: fill dense arrays directly, no CSR build."""
+    num_links = len(link_index)
+    a_eq = np.zeros((len(paths), total_vars))
+    for row, (offset, candidates) in enumerate(zip(var_offsets, paths)):
+        a_eq[row, offset:offset + len(candidates)] = 1.0
+    b_eq = np.ones(len(paths))
+
+    a_ub = np.zeros((num_links, total_vars))
+    for volume, offset, candidates in zip(volumes, var_offsets, paths):
+        for path_idx, path in enumerate(candidates):
+            col = offset + path_idx
+            for a, b in zip(path, path[1:]):
+                link = (a, b)
+                if link not in link_index:
+                    raise ValueError(
+                        f"candidate path {path} uses unknown link {link}"
+                    )
+                a_ub[link_index[link], col] += volume / capacities[link]
+    a_ub[:, t_index] = -1.0
     b_ub = np.zeros(num_links)
     return a_eq, b_eq, a_ub, b_ub, var_offsets, t_index
 

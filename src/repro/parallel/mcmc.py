@@ -51,6 +51,7 @@ from repro.parallel.traffic import (
     layer_traffic,
 )
 from repro.perf.costmodel import CostModelKernel, IncrementalCostEvaluator
+from repro.perf.warmcache import kernel_for as _warm_kernel
 
 Link = Tuple[int, int]
 
@@ -180,7 +181,7 @@ class IterationCostModel:
     ):
         self.fabric = fabric
         self.compute_s = compute_s
-        self.kernel = kernel if kernel is not None else CostModelKernel(fabric)
+        self.kernel = kernel if kernel is not None else _warm_kernel(fabric)
 
     def mp_time(self, traffic: TrafficSummary) -> float:
         return self.kernel.mp_time(traffic)
@@ -252,7 +253,7 @@ class _IncrementalScorer:
         kernel: Optional[CostModelKernel] = None,
     ):
         self.search = search
-        self.kernel = kernel if kernel is not None else CostModelKernel(fabric)
+        self.kernel = kernel if kernel is not None else _warm_kernel(fabric)
         self.evaluator = IncrementalCostEvaluator(
             self.kernel, search.compute_s
         )

@@ -1,0 +1,123 @@
+"""Process-wide warm caches for compiled kernels and pipelines.
+
+The scenario engine re-admits jobs built from the same
+:class:`~repro.cluster.spec.JobTemplateSpec` over and over -- and bench
+harnesses replay whole scenarios -- yet until this module every
+admission re-ran the workload pipeline (strategy build, traffic
+extraction, TopologyFinder) and every cost model recompiled its routing
+matrices.  Both artifacts are pure functions of their inputs, so they
+are cached process-wide here:
+
+* :data:`PIPELINE_CACHE` -- the scenario engine's per-template pipeline
+  output, keyed by the full input fingerprint (model, scale, shard
+  size, strategy, batch, seed where the strategy is stochastic, cluster
+  geometry, optimizer knobs).
+* :data:`COSTMODEL_CACHE` -- compiled
+  :class:`repro.perf.costmodel.CostModelKernel` instances via
+  :func:`kernel_for`, keyed by the identity of the fabric's immutable
+  topology result (held alive by the cache entry) or, for switch
+  fabrics, by their full link-capacity table.
+
+Entries are only ever *equal inputs -> equal outputs* reuses, so warm
+runs produce bit-identical results to cold ones; the caches exist to
+delete wall-clock time, not to change anything observable.  This is
+also the seed of the ROADMAP's service-mode cache: a long-lived process
+serving many scenario requests keeps its compiled state across them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+
+class WarmCache:
+    """A bounded insertion-ordered memo table with LRU eviction."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value for ``key``, building it on a miss."""
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = builder()
+            self._store[key] = value
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+            return value
+        self.hits += 1
+        self._store.move_to_end(key)
+        return value
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: Scenario-engine pipeline outputs (see ``cluster/engine._prepare``).
+PIPELINE_CACHE = WarmCache(maxsize=128)
+
+#: Compiled cost-model kernels (see :func:`kernel_for`).
+COSTMODEL_CACHE = WarmCache(maxsize=64)
+
+
+def kernel_for(fabric):
+    """The process-wide compiled ``CostModelKernel`` for ``fabric``.
+
+    Fabrics wrapping a TopologyFinder result are keyed by that result's
+    *identity* -- routing tables and ring plans are not recoverable
+    from the link set alone -- with the result object kept alive by
+    the cache entry so its id cannot be recycled while the entry
+    lives.  Plain switch fabrics are keyed by class and full sorted
+    capacity table, which determines their deterministic routing.
+    """
+    from repro.perf.costmodel import CostModelKernel
+
+    if hasattr(fabric, "fabric"):
+        # Wrapper fabrics (e.g. relabeled shards) route through hidden
+        # state the keys below cannot fingerprint; compile uncached.
+        return CostModelKernel(fabric)
+    result = getattr(fabric, "result", None)
+    if result is not None:
+        key: Tuple = (
+            type(fabric).__name__,
+            id(result),
+            getattr(fabric, "link_bandwidth_bps", None),
+        )
+    else:
+        key = (
+            type(fabric).__name__,
+            getattr(fabric, "num_servers", None),
+            tuple(sorted(fabric.capacities().items())),
+        )
+    anchor, kernel = COSTMODEL_CACHE.get_or_build(
+        key, lambda: (result, CostModelKernel(fabric))
+    )
+    return kernel
+
+
+def clear_all() -> None:
+    """Empty every process-wide warm cache (tests, memory pressure)."""
+    PIPELINE_CACHE.clear()
+    COSTMODEL_CACHE.clear()

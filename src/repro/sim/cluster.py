@@ -44,20 +44,41 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.parallel.traffic import TrafficSummary
+from repro.perf.fairshare import (
+    IncrementalFairShare,
+    progressive_filling_rates,
+)
 from repro.sim.flows import Flow
 from repro.sim.fluid import FluidNetwork, ReferenceFluidNetwork
 from repro.sim.network_sim import _allreduce_flows, _mp_flows
 
 Link = Tuple[int, int]
 
-#: Max-min allocator backends selectable per simulation: the sparse
-#: progressive-filling kernel (default) or the retained pure-Python
-#: reference allocator (the equivalence baseline the scenario benchmark
-#: compares against).
+_EPS = 1e-12
+
+#: Max-min allocator backends selectable per simulation: the persistent
+#: array-backed kernel (default; see :class:`_SubstrateFlowKernel`) or
+#: the retained pure-Python reference allocator (the equivalence
+#: baseline the scenario benchmark compares against).  The ``kernel``
+#: entry keeps :class:`repro.sim.fluid.FluidNetwork` as its nominal
+#: value for API compatibility, but :class:`SharedClusterSimulator`
+#: routes it through the persistent kernel rather than constructing a
+#: per-event network.
 NETWORK_SOLVERS = {
     "kernel": FluidNetwork,
     "reference": ReferenceFluidNetwork,
 }
+
+#: How the persistent kernel repairs the max-min allocation per event:
+#: ``"batch"`` re-runs masked progressive filling over the persistent
+#: incidence (round-for-round identical arithmetic to the per-event
+#: rebuild it replaced, hence bit-identical to the reference
+#: trajectory), ``"incremental"`` delta-repairs through one
+#: :class:`repro.perf.fairshare.IncrementalFairShare` instance per
+#: substrate (exact up to float rounding, not bitwise).  The scenario
+#: JSON gate requires bitwise equality, so ``"batch"`` is the default;
+#: flip for experiments on workloads where per-event solves dominate.
+KERNEL_SOLVE_MODE = "batch"
 
 
 @dataclass
@@ -91,6 +112,17 @@ class _JobState:
     outstanding: int = 0
     stats: JobStats = None  # type: ignore[assignment]
     started: bool = False
+    #: Kernel backend only: this job's registered flow columns in the
+    #: substrate's persistent incidence (None until the first
+    #: communication phase builds and registers them).
+    flow_cols: Optional[np.ndarray] = None
+    #: Monotonic sequence number of the job's latest communication
+    #: phase; orders simultaneous phase completions exactly as the
+    #: reference allocator's insertion-ordered flow dict does.
+    phase_seq: int = 0
+    #: Kernel backend only: routing changed mid-phase, so the cached
+    #: columns must be dropped and rebuilt at the next phase start.
+    flows_stale: bool = False
 
 
 def remap_traffic(
@@ -104,15 +136,14 @@ def remap_traffic(
     """
     from repro.core.topology_finder import AllReduceGroup
 
-    n_global = max(server_map) + 1
+    server_ids = np.asarray(server_map, dtype=np.int64)
+    n_global = int(server_ids.max()) + 1
     mp = np.zeros((n_global, n_global))
-    n_local = traffic.n
-    for src in range(n_local):
-        for dst in range(n_local):
-            if traffic.mp_matrix[src, dst] > 0:
-                mp[server_map[src], server_map[dst]] += traffic.mp_matrix[
-                    src, dst
-                ]
+    local = np.asarray(traffic.mp_matrix, dtype=float)
+    src, dst = np.nonzero(local > 0)
+    # server_map is injective (distinct physical servers), so plain
+    # fancy assignment accumulates exactly one value per global pair.
+    mp[server_ids[src], server_ids[dst]] = local[src, dst]
     groups = [
         AllReduceGroup(
             members=tuple(server_map[m] for m in g.members),
@@ -121,6 +152,238 @@ def remap_traffic(
         for g in traffic.allreduce_groups
     ]
     return TrafficSummary(n=n_global, allreduce_groups=groups, mp_matrix=mp)
+
+
+class _SubstrateFlowKernel:
+    """Persistent array-backed max-min allocator for one substrate.
+
+    The replacement for rebuilding a :class:`FluidNetwork` incidence
+    per event: every job's flows are registered **once** as columns of
+    a persistent (links x flows) incidence over the substrate's fixed
+    link set, and phase transitions merely flip an active mask.  Per
+    event the allocation is repaired either by masked progressive
+    filling over the persistent matrix (``mode="batch"`` -- the same
+    per-round arithmetic as the per-event rebuild, so rates are
+    bit-identical) or by delta repairs through one
+    :class:`repro.perf.fairshare.IncrementalFairShare` instance
+    (``mode="incremental"``).
+
+    All per-flow state (size, remaining bits, rate, activity) lives in
+    NumPy arrays indexed by column id; the owner bookkeeping stays in
+    :class:`SharedClusterSimulator`.  Columns of departed jobs are
+    marked dead and physically dropped by :meth:`compact` once they
+    dominate the matrix, so month-long scenarios do not accrete cost.
+    """
+
+    def __init__(self, capacities: Dict[Link, float], mode: str = "batch"):
+        if not capacities:
+            raise ValueError("network needs at least one link")
+        if mode not in ("batch", "incremental"):
+            raise ValueError(
+                f"unknown kernel solve mode {mode!r}; "
+                "use 'batch' or 'incremental'"
+            )
+        self.mode = mode
+        self._link_index = {
+            link: row for row, link in enumerate(capacities)
+        }
+        self._cap_vec = np.fromiter(
+            capacities.values(), dtype=float, count=len(capacities)
+        )
+        self.num_links = len(capacities)
+        # Growing COO triplets of the persistent incidence.
+        self._coo_rows: List[int] = []
+        self._coo_cols: List[int] = []
+        self._nnz_per_col: List[int] = []
+        self._col_count = 0
+        # Per-column state.
+        self._size = np.empty(0)
+        self._eps = np.empty(0)
+        self.remaining = np.empty(0)
+        self._rates = np.empty(0)
+        self._active = np.zeros(0, dtype=bool)
+        self._dead = np.zeros(0, dtype=bool)
+        # Assembled lazily after registrations.
+        self._incidence = None
+        self._incidence_t = None
+        self._stale_structure = False
+        self._rates_dirty = False
+        self._solver: Optional[IncrementalFairShare] = None
+        self._dead_nnz = 0
+        self._live_nnz = 0
+
+    # -- registration --------------------------------------------------
+    def register(
+        self, link_lists: Sequence[Sequence[Link]], sizes: Sequence[float]
+    ) -> np.ndarray:
+        """Add one job's flows as inactive columns; return their ids."""
+        start = self._col_count
+        for offset, links in enumerate(link_lists):
+            col = start + offset
+            nnz = 0
+            # Duplicate links within one flow count once (the set
+            # semantics of the reference allocator).
+            for link in dict.fromkeys(links):
+                row = self._link_index.get(link)
+                if row is None:
+                    raise KeyError(
+                        f"flow {col} uses link {link} which does not "
+                        "exist in the network"
+                    )
+                self._coo_rows.append(row)
+                self._coo_cols.append(col)
+                nnz += 1
+            self._nnz_per_col.append(nnz)
+            self._live_nnz += nnz
+        count = len(link_lists)
+        self._col_count += count
+        size = np.asarray(sizes, dtype=float)
+        self._size = np.concatenate([self._size, size])
+        self._eps = np.concatenate(
+            [self._eps, _EPS * np.maximum(1.0, size)]
+        )
+        self.remaining = np.concatenate([self.remaining, size.copy()])
+        self._rates = np.concatenate([self._rates, np.zeros(count)])
+        self._active = np.concatenate(
+            [self._active, np.zeros(count, dtype=bool)]
+        )
+        self._dead = np.concatenate(
+            [self._dead, np.zeros(count, dtype=bool)]
+        )
+        self._stale_structure = True
+        return np.arange(start, self._col_count, dtype=np.int64)
+
+    def release(self, cols: np.ndarray) -> None:
+        """Mark a departed job's columns dead (deactivating live ones)."""
+        live = cols[self._active[cols]]
+        if live.size:
+            self.deactivate(live)
+        self._dead[cols] = True
+        for col in cols:
+            moved = self._nnz_per_col[col]
+            self._dead_nnz += moved
+            self._live_nnz -= moved
+
+    @property
+    def wants_compaction(self) -> bool:
+        return self._dead_nnz > max(self._live_nnz, 256)
+
+    def compact(self) -> np.ndarray:
+        """Drop dead columns; return the old -> new column id mapping."""
+        keep = ~self._dead
+        mapping = np.full(self._col_count, -1, dtype=np.int64)
+        mapping[keep] = np.arange(int(keep.sum()), dtype=np.int64)
+        cols = np.asarray(self._coo_cols, dtype=np.int64)
+        rows = np.asarray(self._coo_rows, dtype=np.int64)
+        kept_entries = keep[cols]
+        self._coo_rows = rows[kept_entries].tolist()
+        self._coo_cols = mapping[cols[kept_entries]].tolist()
+        self._nnz_per_col = [
+            nnz
+            for nnz, alive in zip(self._nnz_per_col, keep)
+            if alive
+        ]
+        self._size = self._size[keep]
+        self._eps = self._eps[keep]
+        self.remaining = self.remaining[keep]
+        self._rates = self._rates[keep]
+        self._active = self._active[keep]
+        self._col_count = int(keep.sum())
+        self._dead = np.zeros(self._col_count, dtype=bool)
+        self._dead_nnz = 0
+        self._stale_structure = True
+        self._rates_dirty = True
+        return mapping
+
+    # -- phase transitions ---------------------------------------------
+    def activate(self, cols: np.ndarray) -> None:
+        """Start a communication phase: reset and activate ``cols``."""
+        self.remaining[cols] = self._size[cols]
+        self._active[cols] = True
+        self._rates_dirty = True
+        if self._solver is not None and not self._stale_structure:
+            self._solver.add_flows(cols)
+
+    def deactivate(self, cols: np.ndarray) -> None:
+        self._active[cols] = False
+        self._rates_dirty = True
+        if self._solver is not None and not self._stale_structure:
+            self._solver.remove_flows(cols)
+
+    # -- solves --------------------------------------------------------
+    def _rebuild_structure(self) -> None:
+        from scipy import sparse
+
+        nnz = len(self._coo_rows)
+        self._incidence = sparse.csr_matrix(
+            (
+                np.ones(nnz),
+                (
+                    np.asarray(self._coo_rows, dtype=np.int64),
+                    np.asarray(self._coo_cols, dtype=np.int64),
+                ),
+            ),
+            shape=(self.num_links, self._col_count),
+        )
+        self._incidence_t = self._incidence.T.tocsr()
+        self._stale_structure = False
+        if self.mode == "incremental" and self._col_count:
+            self._solver = IncrementalFairShare(
+                self._cap_vec, self._incidence, active=self._active
+            )
+            self._rates = self._solver.rates_view().copy()
+            self._rates_dirty = False
+
+    def _solve_if_dirty(self) -> None:
+        if self._stale_structure:
+            self._rebuild_structure()
+        if not self._rates_dirty:
+            return
+        if self._solver is not None:
+            self._rates = self._solver.rates_view().copy()
+        else:
+            self._rates = progressive_filling_rates(
+                self._cap_vec,
+                self._incidence,
+                self._active,
+                incidence_t=self._incidence_t,
+            )
+        self._rates_dirty = False
+
+    # -- time stepping -------------------------------------------------
+    def time_to_next_completion(self) -> Optional[float]:
+        """Seconds until the earliest active flow finishes (rates fixed)."""
+        self._solve_if_dirty()
+        act = np.flatnonzero(self._active)
+        if act.size == 0:
+            return None
+        rates = self._rates[act]
+        moving = rates > _EPS
+        if not moving.any():
+            return None
+        best = float((self.remaining[act[moving]] / rates[moving]).min())
+        return max(best, 0.0)
+
+    def advance(self, dt: float) -> np.ndarray:
+        """Progress active flows by ``dt``; return completed column ids.
+
+        Uses the rates currently in force (matching the lazy-recompute
+        semantics of :class:`FluidNetwork`: callers query
+        :meth:`time_to_next_completion` between events, which refreshes
+        them).
+        """
+        if dt < 0:
+            raise ValueError(f"cannot advance time backwards (dt={dt})")
+        act = np.flatnonzero(self._active)
+        if act.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self.remaining[act] -= self._rates[act] * dt
+        done_mask = self.remaining[act] <= self._eps[act]
+        done = act[done_mask]
+        if done.size:
+            self.remaining[done] = 0.0
+            self.deactivate(done)
+        return done
 
 
 class SharedClusterSimulator:
@@ -155,14 +418,20 @@ class SharedClusterSimulator:
         stagger: bool = True,
         solver: str = "kernel",
     ):
-        try:
-            network_cls = NETWORK_SOLVERS[solver]
-        except KeyError:
+        if solver not in NETWORK_SOLVERS:
             raise ValueError(
                 f"unknown solver {solver!r}; "
                 f"use one of {sorted(NETWORK_SOLVERS)}"
-            ) from None
-        self.network = network_cls(capacities)
+            )
+        self.solver = solver
+        if solver == "reference":
+            self.network = ReferenceFluidNetwork(capacities)
+            self._kernel: Optional[_SubstrateFlowKernel] = None
+        else:
+            self.network = None
+            self._kernel = _SubstrateFlowKernel(
+                capacities, mode=KERNEL_SOLVE_MODE
+            )
         self.rng = random.Random(seed)
         self.stagger = stagger
         self.now = 0.0
@@ -171,8 +440,11 @@ class SharedClusterSimulator:
             for job in jobs
         ]
         self._timers: List[Tuple[float, _JobState]] = []
+        #: In-flight flow -> owning job.  Keys are flow ids on the
+        #: reference backend and persistent column ids on the kernel.
         self._flow_owner: Dict[int, _JobState] = {}
         self._finished_buffer: List[_JobState] = []
+        self._phase_counter = 0
 
     # -- dynamic membership --------------------------------------------
     def add_job(self, spec: JobSpec, start: Optional[float] = None) -> _JobState:
@@ -200,20 +472,80 @@ class SharedClusterSimulator:
         self.states = [s for s in self.states if s is not state]
         self._timers = [(t, s) for t, s in self._timers if s is not state]
         dead = [
-            flow_id
-            for flow_id, owner in self._flow_owner.items()
+            key
+            for key, owner in self._flow_owner.items()
             if owner is state
         ]
+        if self._kernel is not None:
+            for key in dead:
+                del self._flow_owner[key]
+            if state.flow_cols is not None:
+                self._kernel.release(state.flow_cols)
+                state.flow_cols = None
+                if self._kernel.wants_compaction:
+                    self._compact_kernel()
+            return
         for flow_id in dead:
             flow = self.network.active.get(flow_id)
             if flow is not None:
                 self.network.remove_flow(flow)
             del self._flow_owner[flow_id]
 
+    def defer_job(self, state: _JobState, until: float) -> None:
+        """Skip a job ahead to the iteration boundary at ``until``.
+
+        The scenario engine's fast-forward path accounts a run of
+        identical steady-state iterations analytically and lands the
+        job here: its pending compute timer is replaced so the next
+        *simulated* iteration starts at ``until``, with cached flow
+        columns (kernel backend) left intact for reuse.
+        """
+        self._timers = [(t, s) for t, s in self._timers if s is not state]
+        state.iteration_start = until
+        state.phase = "compute"
+        self._timers.append((until + state.spec.compute_s, state))
+
+    def invalidate_flows(self, state: _JobState) -> None:
+        """Drop a job's cached flow columns (after routing changed).
+
+        The kernel backend builds each job's flow set once and reuses
+        it every phase; failure injections patch routing in place, so
+        the engine calls this to force a rebuild at the next phase.
+        No-op on the reference backend, which rebuilds per phase.
+
+        A job caught mid-communication keeps its in-flight flows on the
+        old paths until the phase completes -- exactly the reference
+        semantics, where flows already in the network are untouched by
+        a routing patch -- and rebuilds at the next phase start.
+        """
+        if self._kernel is None or state.flow_cols is None:
+            return
+        if state.phase == "comm" and state.outstanding > 0:
+            state.flows_stale = True
+            return
+        self._kernel.release(state.flow_cols)
+        state.flow_cols = None
+        state.flows_stale = False
+        if self._kernel.wants_compaction:
+            self._compact_kernel()
+
+    def _compact_kernel(self) -> None:
+        mapping = self._kernel.compact()
+        for state in self.states:
+            if state.flow_cols is not None:
+                state.flow_cols = mapping[state.flow_cols]
+        self._flow_owner = {
+            int(mapping[col]): owner
+            for col, owner in self._flow_owner.items()
+        }
+
     def next_event_time(self) -> Optional[float]:
         """Absolute time of the next compute timer or flow completion."""
         next_timer = min((t for t, _ in self._timers), default=None)
-        dt_flow = self.network.time_to_next_completion()
+        if self._kernel is not None:
+            dt_flow = self._kernel.time_to_next_completion()
+        else:
+            dt_flow = self.network.time_to_next_completion()
         next_flow = self.now + dt_flow if dt_flow is not None else None
         candidates = [t for t in (next_timer, next_flow) if t is not None]
         return min(candidates) if candidates else None
@@ -225,15 +557,33 @@ class SharedClusterSimulator:
         event (the hook the scenario engine checks quotas on).
         """
         self._finished_buffer = []
-        completed = self.network.advance(max(target - self.now, 0.0) + 1e-12)
+        dt = max(target - self.now, 0.0) + 1e-12
         self.now = target
-        for flow in completed:
-            owner = self._flow_owner.pop(flow.flow_id, None)
-            if owner is None:
-                continue
-            owner.outstanding -= 1
-            if owner.outstanding == 0:
+        if self._kernel is not None:
+            done_cols = self._kernel.advance(dt)
+            finishers: List[_JobState] = []
+            for col in done_cols:
+                owner = self._flow_owner.pop(int(col), None)
+                if owner is None:
+                    continue
+                owner.outstanding -= 1
+                if owner.outstanding == 0:
+                    finishers.append(owner)
+            # The reference allocator completes flows in phase-start
+            # (dict insertion) order; column ids are registration
+            # order, so re-sort simultaneous finishers to match.
+            finishers.sort(key=lambda s: s.phase_seq)
+            for owner in finishers:
                 self._finish_communication(owner, self.now)
+        else:
+            completed = self.network.advance(dt)
+            for flow in completed:
+                owner = self._flow_owner.pop(flow.flow_id, None)
+                if owner is None:
+                    continue
+                owner.outstanding -= 1
+                if owner.outstanding == 0:
+                    self._finish_communication(owner, self.now)
         still_pending = []
         for timer, state in self._timers:
             if timer <= self.now + 1e-12:
@@ -288,14 +638,47 @@ class SharedClusterSimulator:
     # ------------------------------------------------------------------
     def _start_communication(self, state: _JobState, now: float) -> None:
         spec = state.spec
-        flows: List[Flow] = []
-        flows.extend(_mp_flows(spec.fabric, spec.traffic))
+        if self._kernel is not None:
+            cols = state.flow_cols
+            if cols is not None and state.flows_stale:
+                # Routing changed while the previous phase was in
+                # flight; its columns are inactive now, so drop and
+                # rebuild from the patched fabric.
+                self._kernel.release(cols)
+                state.flow_cols = None
+                state.flows_stale = False
+                cols = None
+            if cols is None:
+                # Built once per job (and after routing invalidation),
+                # not once per phase: paths and sizes are pure
+                # functions of (fabric, traffic).
+                flows = _mp_flows(spec.fabric, spec.traffic)
+                flows.extend(_allreduce_flows(spec.fabric, spec.traffic))
+                cols = self._kernel.register(
+                    [flow.links for flow in flows],
+                    [flow.size_bits for flow in flows],
+                )
+                state.flow_cols = cols
+            if cols.size == 0:
+                self._finish_communication(state, now)
+                return
+            state.phase = "comm"
+            state.outstanding = int(cols.size)
+            self._phase_counter += 1
+            state.phase_seq = self._phase_counter
+            for col in cols:
+                self._flow_owner[int(col)] = state
+            self._kernel.activate(cols)
+            return
+        flows = _mp_flows(spec.fabric, spec.traffic)
         flows.extend(_allreduce_flows(spec.fabric, spec.traffic))
         if not flows:
             self._finish_communication(state, now)
             return
         state.phase = "comm"
         state.outstanding = len(flows)
+        self._phase_counter += 1
+        state.phase_seq = self._phase_counter
         for flow in flows:
             self._flow_owner[flow.flow_id] = state
             self.network.add_flow(flow)

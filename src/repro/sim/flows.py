@@ -96,27 +96,32 @@ def flows_from_matrix(
     ``paths_fn(src, dst)`` returns candidate paths; bytes are split
     evenly across them (the simulator's ECMP stand-in).
     """
+    import numpy as np
+
     flows: List[Flow] = []
-    n = matrix.shape[0]
-    for src in range(n):
-        for dst in range(n):
-            byte_count = float(matrix[src, dst])
-            if src == dst or byte_count <= 0:
-                continue
-            candidates = paths_fn(src, dst)
-            if not candidates:
-                raise ValueError(
-                    f"no path from {src} to {dst}; cannot route "
-                    f"{byte_count} bytes"
+    dense = np.asarray(matrix, dtype=float)
+    # Row-major scan over just the nonzero entries (the Python loop
+    # over all n^2 cells dominated fleet-scale scenarios, where the
+    # global-id matrix is large and almost empty).
+    srcs, dsts = np.nonzero(dense > 0)
+    for src, dst in zip(srcs.tolist(), dsts.tolist()):
+        if src == dst:
+            continue
+        byte_count = float(dense[src, dst])
+        candidates = paths_fn(src, dst)
+        if not candidates:
+            raise ValueError(
+                f"no path from {src} to {dst}; cannot route "
+                f"{byte_count} bytes"
+            )
+        share = byte_count / len(candidates)
+        for path in candidates:
+            flows.append(
+                Flow(
+                    path=tuple(path),
+                    size_bits=share * 8.0,
+                    kind=kind,
+                    tag=tag,
                 )
-            share = byte_count / len(candidates)
-            for path in candidates:
-                flows.append(
-                    Flow(
-                        path=tuple(path),
-                        size_bits=share * 8.0,
-                        kind=kind,
-                        tag=tag,
-                    )
-                )
+            )
     return flows

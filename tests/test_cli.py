@@ -145,8 +145,8 @@ class TestDeclarativeCommands:
 
     def test_subcommands_cover_the_dispatch_table(self):
         assert set(SUBCOMMANDS) == {
-            "run", "sweep", "compare", "scenario", "bench-smoke",
-            "check-docs", "check-examples",
+            "run", "sweep", "compare", "scenario", "bench",
+            "bench-smoke", "check-docs", "check-examples",
         }
 
 

@@ -96,3 +96,71 @@ class TestHelpers:
         rounds = [{(0, 1), (2, 3)}, {(0, 1)}, set()]
         counts = matching_edge_counts(rounds)
         assert counts == {(0, 1): 2, (2, 3): 1}
+
+
+class TestKernelBackendOracle:
+    """The scipy kernel backend against the retained Blossom oracle."""
+
+    @staticmethod
+    def total_weight(matched, demand):
+        return sum(
+            demand[i, j] + demand[j, i] for i, j in matched
+        )
+
+    @staticmethod
+    def assert_valid(matched, demand):
+        seen = set()
+        for i, j in matched:
+            assert i < j
+            assert demand[i, j] + demand[j, i] > 0
+            assert i not in seen and j not in seen
+            seen.update((i, j))
+
+    def test_random_graphs_match_oracle_weight(self):
+        from repro.core.matching import max_weight_matching_reference
+
+        rng = np.random.default_rng(29)
+        for trial in range(60):
+            n = int(rng.integers(2, 14))
+            density = float(rng.uniform(0.1, 0.9))
+            demand = rng.uniform(0.0, 100.0, size=(n, n))
+            demand *= rng.random((n, n)) < density
+            np.fill_diagonal(demand, 0.0)
+            kernel = max_weight_matching(demand, backend="kernel")
+            oracle = max_weight_matching_reference(demand)
+            self.assert_valid(kernel, demand)
+            assert self.total_weight(kernel, demand) == pytest.approx(
+                self.total_weight(oracle, demand), rel=1e-9, abs=1e-9
+            )
+
+    def test_odd_cycle_falls_back_to_blossom_exactly(self):
+        # A 5-cycle is non-bipartite: the kernel must route it through
+        # the Blossom fallback and still find the optimal matching
+        # (the two heaviest non-adjacent edges).
+        n = 5
+        demand = np.zeros((n, n))
+        weights = [10.0, 1.0, 9.0, 1.0, 8.0]
+        for k in range(n):
+            demand[k, (k + 1) % n] = weights[k]
+        matched = max_weight_matching(demand, backend="kernel")
+        assert matched == {(0, 1), (2, 3)}
+
+    def test_path_component_uses_hungarian(self):
+        # Even structures (paths) are bipartite: alternating heavy
+        # edges force the kernel to skip the single heaviest edge's
+        # neighbors, a case greedy matching gets wrong.
+        demand = demand_for(
+            {(0, 1): 5.0, (1, 2): 8.0, (2, 3): 5.0}, 4
+        )
+        matched = max_weight_matching(demand, backend="kernel")
+        assert matched == {(0, 1), (2, 3)}
+
+    def test_backends_validated(self):
+        with pytest.raises(ValueError, match="backend"):
+            max_weight_matching(np.zeros((2, 2)), backend="bogus")
+
+    def test_mp_matchings_backend_passthrough(self):
+        demand = demand_for({(0, 1): 100.0, (2, 3): 40.0}, 4)
+        kernel = mp_matchings(demand, rounds=3, backend="kernel")
+        reference = mp_matchings(demand, rounds=3, backend="reference")
+        assert kernel == reference

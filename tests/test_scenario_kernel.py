@@ -1,0 +1,244 @@
+"""Scenario hot-loop kernelization (ISSUE 6).
+
+Equivalence and feature gates for the persistent substrate flow kernel,
+the fleet-scale scenario machinery (wall-clock durations, analytic
+fast-forward), the process-wide warm caches, the weighted iteration
+statistics, and the LP assembly dispatch:
+
+* kernel vs reference solver: byte-identical ``ScenarioResult`` JSON
+  (modulo the spec's own ``solver`` field) on staggered multi-job
+  scenarios with mid-scenario link failures, across seeds;
+* wall-clock trace durations produce run-length-encoded iteration logs
+  that round-trip through JSON;
+* fast-forward on/off agree on iteration counts and makespan;
+* warm caches change wall time only, never results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.spec import ClusterSpec, FabricSpec
+from repro.cluster import (
+    ArrivalSpec,
+    FailureInjection,
+    JobTemplateSpec,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.cluster.results import _weighted_percentile
+
+
+def normalized_json(result) -> str:
+    """Result JSON with the spec's solver field masked out.
+
+    The solver choice is recorded in the spec block, so kernel and
+    reference runs can only ever be compared after masking it; every
+    other byte must agree.
+    """
+    data = result.to_dict()
+    data["spec"]["solver"] = "<masked>"
+    return json.dumps(data, sort_keys=True)
+
+
+def staggered_spec(seed: int, solver: str) -> ScenarioSpec:
+    return ScenarioSpec.preset("shared").with_overrides({
+        "seed": seed,
+        "solver": solver,
+        "arrivals.times": [0.0, 40.0, 95.0],
+        "jobs.0.iterations": 5,
+        "jobs.1.iterations": 5,
+        "jobs.2.iterations": 5,
+    })
+
+
+class TestKernelMatchesReference:
+    def test_staggered_failures_byte_identical_across_seeds(self):
+        period = run_scenario(
+            staggered_spec(0, "kernel")
+        ).jobs[0].iteration_avg_s
+        failures = [
+            FailureInjection(
+                time_s=1.5 * period, job_index=0, repair_s=3.5 * period
+            ),
+            # Job 1 arrives at t=40; hit it mid-flight.
+            FailureInjection(time_s=40.0 + 1.5 * period, job_index=1),
+        ]
+        for seed in (0, 1, 2):
+            kernel = run_scenario(
+                staggered_spec(seed, "kernel"), failures=failures
+            )
+            reference = run_scenario(
+                staggered_spec(seed, "reference"), failures=failures
+            )
+            assert normalized_json(kernel) == normalized_json(reference)
+            # The failures really happened (not skipped) in both runs.
+            kinds = [entry["kind"] for entry in kernel.failure_log]
+            assert "skipped" not in kinds and len(kinds) == 3
+
+    def test_shared_fabric_contention_byte_identical(self):
+        # The fattree substrate is shared: all jobs' flows contend in
+        # one fair-share solve, the path where the persistent flow
+        # kernel replaces the per-event solver rebuild.
+        spec = ScenarioSpec(
+            name="kernel-vs-reference-shared",
+            cluster=ClusterSpec(servers=32, degree=4, bandwidth_gbps=100.0),
+            fabric=FabricSpec(kind="fattree"),
+            arrivals=ArrivalSpec(
+                process="explicit", times=(0.0, 0.1, 17.0, 44.0)
+            ),
+            jobs=(
+                JobTemplateSpec(model="DLRM", servers=8, iterations=4),
+                JobTemplateSpec(model="BERT", servers=8, iterations=4),
+                JobTemplateSpec(model="CANDLE", servers=8, iterations=4),
+                JobTemplateSpec(model="VGG16", servers=8, iterations=4),
+            ),
+        )
+        for seed in (0, 7):
+            kernel = run_scenario(spec.with_overrides({"seed": seed}))
+            reference = run_scenario(
+                spec.with_overrides({"seed": seed, "solver": "reference"})
+            )
+            assert normalized_json(kernel) == normalized_json(reference)
+
+
+class TestWallclockDurations:
+    def spec(self):
+        return ScenarioSpec.preset("lifetime").with_overrides({
+            "arrivals.count": 5,
+            "arrivals.durations": "wallclock",
+            "fast_forward": True,
+            "max_sim_time_s": 4e7,
+        })
+
+    def test_jobs_run_their_traced_hours(self):
+        result = run_scenario(self.spec())
+        assert len(result.jobs) == 5
+        for job in result.jobs:
+            assert job.duration_s is not None and job.duration_s > 0
+            # The job departs at the first iteration boundary at or
+            # past its deadline; queueing can only push it later.
+            assert job.completed_s - job.arrival_s >= job.duration_s * 0.999
+            assert job.iteration_counts is not None
+            assert sum(job.iteration_counts) == job.iterations_completed
+            assert len(job.iteration_counts) == len(job.iteration_times)
+
+    def test_rle_iteration_log_round_trips(self):
+        from repro.cluster.results import ScenarioResult
+
+        result = run_scenario(self.spec())
+        data = result.to_dict()
+        # Months of iterations compress to a handful of RLE segments.
+        for job in data["jobs"]:
+            assert len(job["iteration_times"]) < 64
+        restored = ScenarioResult.from_dict(data)
+        assert restored.to_dict() == data
+
+    def test_wallclock_requires_trace_process(self):
+        from repro.api.spec import SpecError
+
+        with pytest.raises(SpecError, match="wallclock"):
+            ArrivalSpec(process="poisson", durations="wallclock")
+
+
+class TestFastForward:
+    def test_quota_mode_matches_step_by_step(self):
+        base = ScenarioSpec.preset("lifetime").with_overrides({
+            "arrivals.count": 6,
+            "max_sim_time_s": 4e5,
+        })
+        stepped = run_scenario(base)
+        jumped = run_scenario(base.with_overrides({"fast_forward": True}))
+        assert len(stepped.jobs) == len(jumped.jobs)
+        for a, b in zip(stepped.jobs, jumped.jobs):
+            assert a.iterations_completed == b.iterations_completed
+            assert b.completed_s == pytest.approx(a.completed_s, rel=1e-9)
+        assert jumped.makespan_s == pytest.approx(
+            stepped.makespan_s, rel=1e-9
+        )
+
+    def test_requires_topoopt_fabric(self):
+        from repro.api.spec import SpecError
+
+        with pytest.raises(SpecError, match="fast_forward"):
+            ScenarioSpec(
+                fabric=FabricSpec(kind="fattree"), fast_forward=True
+            )
+
+
+class TestWarmCaches:
+    def test_warm_rerun_is_byte_identical(self):
+        from repro.perf.warmcache import PIPELINE_CACHE, clear_all
+
+        clear_all()
+        spec = ScenarioSpec.preset("shared")
+        cold = run_scenario(spec)
+        cold_misses = PIPELINE_CACHE.misses
+        assert cold_misses > 0
+        warm = run_scenario(spec)
+        assert PIPELINE_CACHE.misses == cold_misses  # all hits
+        assert PIPELINE_CACHE.hits > 0
+        assert (
+            json.dumps(cold.to_dict(), sort_keys=True)
+            == json.dumps(warm.to_dict(), sort_keys=True)
+        )
+
+    def test_costmodel_kernel_reused_per_fabric(self):
+        from repro.network.fattree import FatTreeFabric
+        from repro.perf.warmcache import kernel_for
+
+        fabric = FatTreeFabric(16, 4, 100e9)
+        twin = FatTreeFabric(16, 4, 100e9)
+        assert kernel_for(fabric) is kernel_for(twin)
+
+    def test_lru_eviction_bounds_size(self):
+        from repro.perf.warmcache import WarmCache
+
+        cache = WarmCache(maxsize=2)
+        for key in range(5):
+            cache.get_or_build(key, lambda k=key: k * 10)
+        assert len(cache) == 2
+        assert cache.get_or_build(4, lambda: -1) == 40  # still cached
+
+
+class TestWeightedPercentile:
+    def test_matches_numpy_on_expanded_samples(self):
+        rng = np.random.default_rng(11)
+        values = rng.uniform(0.1, 5.0, size=40)
+        counts = rng.integers(1, 6, size=40)
+        expanded = np.repeat(values, counts)
+        for q in (0.0, 25.0, 50.0, 99.0, 100.0):
+            assert _weighted_percentile(values, counts, q) == pytest.approx(
+                float(np.percentile(expanded, q)), rel=1e-12
+            )
+
+    def test_unit_counts_degenerate_to_plain_percentile(self):
+        values = np.array([3.0, 1.0, 2.0])
+        counts = np.ones(3)
+        assert _weighted_percentile(values, counts, 50.0) == 2.0
+
+
+class TestLpAssemblyDispatch:
+    def test_dense_and_sparse_paths_agree(self, monkeypatch):
+        from repro.core import routing_lp
+
+        volumes = [2.0, 1.0]
+        paths = [[[0, 1], [0, 2, 1]], [[1, 2]]]
+        capacities = {
+            (0, 1): 10.0, (0, 2): 10.0, (2, 1): 10.0, (1, 2): 10.0
+        }
+        dense = routing_lp.assemble_lp_constraints(
+            volumes, paths, capacities
+        )
+        assert isinstance(dense[0], np.ndarray)
+        monkeypatch.setattr(routing_lp, "DENSE_ASSEMBLY_MAX_VARS", 0)
+        sparse_out = routing_lp.assemble_lp_constraints(
+            volumes, paths, capacities
+        )
+        assert not isinstance(sparse_out[0], np.ndarray)
+        assert np.array_equal(sparse_out[0].toarray(), dense[0])
+        assert np.array_equal(sparse_out[2].toarray(), dense[2])
+        assert np.array_equal(sparse_out[1], dense[1])
+        assert np.array_equal(sparse_out[3], dense[3])
+        assert sparse_out[4] == dense[4] and sparse_out[5] == dense[5]
