@@ -9,8 +9,12 @@
 # the retained seed implementation, the incremental cost model drifts
 # from its full-rebuild oracle, the scenario engine loses (spec, seed)
 # determinism / reference-allocator equivalence, the scenario kernel
-# falls under its 1.5x speedup floor at n=64, or the fleet scenario
-# fails to drain its trace.
+# falls under its 1.5x speedup floor at n=64, the fleet scenario
+# fails to drain its trace, or the scheduler policy sweep regresses
+# (every queue policy -- FCFS, EASY, conservative backfill -- must
+# drain a 100-job production trace deterministically under a 60 s
+# wall-time cap, and backfill must strictly beat FCFS mean queueing
+# delay on the canonical head-of-line-blocking trace).
 #
 # Usage: scripts/bench_smoke.sh
 set -eu

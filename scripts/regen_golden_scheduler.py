@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the scheduler golden snapshots under ``tests/golden/``.
+
+Run after an *intentional* change to scheduler semantics or the result
+JSON schema::
+
+    PYTHONPATH=src python scripts/regen_golden_scheduler.py
+
+Each policy in :data:`repro.cluster.invariants.GOLDEN_POLICIES` gets
+one ``scheduler_<key>.json`` snapshot of the canonical head-of-line
+blocking trace.  ``tests/test_scheduler_golden.py`` asserts the
+byte-identity of fresh runs against these files, so a diff here is a
+semantic change that belongs in the commit message.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.cluster.engine import run_scenario  # noqa: E402
+from repro.cluster.invariants import (  # noqa: E402
+    GOLDEN_POLICIES,
+    check_scenario_invariants,
+    golden_scenario_spec,
+)
+
+
+def main() -> int:
+    golden_dir = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "tests" / "golden"
+    )
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    for key in GOLDEN_POLICIES:
+        result = run_scenario(golden_scenario_spec(key))
+        violations = check_scenario_invariants(result)
+        if violations:
+            print(f"REFUSING to snapshot {key}: invariants violated")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        path = golden_dir / f"scheduler_{key}.json"
+        path.write_text(
+            json.dumps(result.to_dict(), sort_keys=True, indent=2)
+            + "\n"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

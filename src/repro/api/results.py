@@ -386,7 +386,7 @@ _SCENARIO_COLUMNS = (
     "fabric_kind", "servers", "policy", "jobs_completed", "makespan_s",
     "iteration_avg_s", "iteration_p99_s", "jct_avg_s", "jct_p99_s",
     "queueing_avg_s", "queueing_p99_s", "mean_utilization",
-    "peak_fragmentation",
+    "peak_fragmentation", "preemptions", "resizes",
 )
 
 

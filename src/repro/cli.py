@@ -476,7 +476,10 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
     ``--set`` overrides fields as in ``repro run``.  ``--fabrics a,b``
     replays the *same* arrival trace on several fabrics and prints the
     Figure 16-style comparison (per-fabric average / p99 iteration
-    time, JCT, queueing).
+    time, JCT, queueing).  ``--scheduler fcfs,easy,conservative``
+    replays the same trace under several queue policies and prints the
+    per-policy JCT / queueing-delay comparison; a single policy simply
+    overrides the spec's ``queue`` field.
     """
     from repro.cluster import SCENARIO_PRESETS, ScenarioSpec, run_scenario
 
@@ -500,13 +503,38 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
         help="run the same scenario on several fabrics and compare",
     )
     parser.add_argument(
+        "--scheduler", default=None, metavar="QUEUE,QUEUE,...",
+        help="queue policy (fcfs, easy, conservative); several "
+             "comma-separated policies replay the same trace under "
+             "each and print the comparison",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the ScenarioResult JSON to PATH ('-' for stdout); "
-             "with --fabrics, a {kind: result} object",
+             "with --fabrics a {kind: result} object, with a "
+             "multi-policy --scheduler a {queue: result} object",
     )
     args = parser.parse_args(list(argv))
     try:
         spec = _load_spec(args, spec_cls=ScenarioSpec)
+        schedulers = []
+        if args.scheduler:
+            schedulers = [
+                q.strip() for q in args.scheduler.split(",") if q.strip()
+            ]
+            if not schedulers:
+                raise SpecError(
+                    "--scheduler needs at least one queue policy"
+                )
+            if args.fabrics and len(schedulers) > 1:
+                raise SpecError(
+                    "--scheduler accepts several policies or --fabrics "
+                    "several fabrics, not both at once"
+                )
+            if len(schedulers) == 1:
+                # Plain override: the whole run uses this discipline.
+                spec = spec.with_overrides({"queue": schedulers[0]})
+                schedulers = []
         if args.fabrics:
             kinds = [k.strip() for k in args.fabrics.split(",") if k.strip()]
             if not kinds:
@@ -516,6 +544,13 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
                     spec.with_overrides({"fabric.kind": kind})
                 )
                 for kind in kinds
+            }
+        elif schedulers:
+            results = {
+                queue: run_scenario(
+                    spec.with_overrides({"queue": queue})
+                )
+                for queue in schedulers
             }
         else:
             results = {spec.fabric.kind: run_scenario(spec)}
@@ -532,7 +567,7 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
           f"{spec.scheduler.policy} scheduling")
     print(f"arrivals      : {spec.arrivals.process}, "
           f"{len(primary.jobs)} jobs")
-    if not args.fabrics:
+    if not args.fabrics and not schedulers:
         result = primary
         print(f"\n{'job':<14} {'srv':>4} {'arrive':>9} {'queued':>9} "
               f"{'jct':>9} {'iter avg':>10}")
@@ -549,6 +584,25 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
         print(f"                utilization "
               f"{metrics['mean_utilization'] * 100:.0f}%, peak "
               f"fragmentation {metrics['peak_fragmentation']:.2f}")
+    elif schedulers:
+        table = []
+        for queue, result in results.items():
+            metrics = result.metrics()
+            table.append([
+                queue,
+                f"{metrics['jct_avg_s']:.2f}",
+                f"{metrics['jct_p99_s']:.2f}",
+                f"{metrics['queueing_avg_s']:.2f}",
+                str(metrics["preemptions"]),
+                str(metrics["resizes"]),
+            ])
+        print()
+        for line in _format_rows(
+            ("scheduler", "jct_avg_s", "jct_p99_s", "queue_avg_s",
+             "preempts", "resizes"),
+            table,
+        ):
+            print(line)
     else:
         table = []
         for kind, result in results.items():
@@ -568,9 +622,10 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
         ):
             print(line)
     if args.json:
-        # Shape follows the flag, not the count: --fabrics always gets
-        # the {kind: result} object, even with a single-name list.
-        if args.fabrics:
+        # Shape follows the flags, not the count: --fabrics (and a
+        # multi-policy --scheduler) always gets the keyed object, even
+        # with a single-name list.
+        if args.fabrics or schedulers:
             payload: Dict[str, Any] = {
                 k: r.to_dict() for k, r in results.items()
             }
@@ -597,8 +652,11 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     the incremental MCMC costs drift from the full-rebuild oracle, the
     scenario engine loses (spec, seed) determinism / allocator
     equivalence, the scenario kernel falls under its 1.5x speedup
-    floor at n=64, or the capped fleet-scale scenario fails to drain
-    its trace.
+    floor at n=64, the capped fleet-scale scenario fails to drain its
+    trace, or the scheduler policy sweep fails its gate (every queue
+    policy drains a 100-job trace deterministically under a 60 s
+    wall-time cap, with backfill strictly beating FCFS queueing delay
+    on the head-of-line-blocking trace).
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -652,6 +710,26 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
         print(f"FLEET REGRESSION: scenario_fleet completed "
               f"{fleet['jobs_completed']}/{fleet['jobs_submitted']} "
               f"jobs (trace did not drain)", file=sys.stderr)
+        return 1
+    sweep = next(iter(results["scheduler_sweep"].values()))
+    if not sweep["drained"]:
+        print("SCHEDULER REGRESSION: a queue policy failed to drain "
+              "the 100-job trace", file=sys.stderr)
+        return 1
+    if not sweep["deterministic"]:
+        print("DETERMINISM REGRESSION: same (spec, seed) under EASY "
+              "backfill produced different result JSON",
+              file=sys.stderr)
+        return 1
+    if not sweep["backfill_beats_fcfs"]:
+        print("SCHEDULER REGRESSION: backfill no longer beats FCFS "
+              "mean queueing delay on the head-of-line-blocking "
+              "trace", file=sys.stderr)
+        return 1
+    if sweep["wall_s"] > 60.0:
+        print(f"PERF REGRESSION: scheduler_sweep took "
+              f"{sweep['wall_s']}s (wall-time cap 60 s)",
+              file=sys.stderr)
         return 1
     print("bench-smoke ok")
     return 0

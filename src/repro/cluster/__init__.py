@@ -5,8 +5,14 @@ This package turns the repo from "simulate one job on one fabric" into
 (:class:`ScenarioSpec`: arrival process, job mix, scheduler policy,
 fabric, duration), run it (:func:`run_scenario`), and consume a typed,
 JSON-serializable :class:`ScenarioResult` (per-job JCT and queueing
-delay, iteration-time tails, utilization and fragmentation timelines).
-See ``docs/scenarios.md`` for the schema and metric definitions.
+delay, iteration-time tails, utilization and fragmentation timelines,
+the scheduler event log).  The scheduler is a policy plane
+(:class:`JobScheduler`): FCFS / EASY / conservative-backfill queue
+disciplines, priority preemption with checkpoint/restart costs,
+elastic shard grow/shrink, and look-ahead shard provisioning
+(:class:`ShardManager`) — with a replayable invariant harness in
+:mod:`repro.cluster.invariants`.  See ``docs/scenarios.md`` for the
+schema, policy semantics, and metric definitions.
 
 Quick start::
 
@@ -15,7 +21,7 @@ Quick start::
     spec = ScenarioSpec.preset("shared")      # Figure 16's job mix
     result = run_scenario(spec)
     print(result.metrics()["iteration_p99_s"])
-    shared = run_scenario(spec.with_overrides({"fabric.kind": "fattree"}))
+    easy = run_scenario(spec.with_overrides({"queue": "easy"}))
 """
 
 from repro.cluster.engine import (
@@ -24,11 +30,26 @@ from repro.cluster.engine import (
     ScenarioError,
     run_scenario,
 )
+from repro.cluster.invariants import (
+    GOLDEN_POLICIES,
+    check_scenario_invariants,
+    golden_scenario_spec,
+    random_scenario_spec,
+    verify_scenario,
+)
 from repro.cluster.results import JobResult, ScenarioResult
-from repro.cluster.scheduler import ShardAllocator
+from repro.cluster.scheduler import (
+    AvailabilityProfile,
+    JobScheduler,
+    ShardAllocator,
+    ShardManager,
+)
 from repro.cluster.spec import (
     ARRIVAL_PROCESSES,
     FAMILY_MODELS,
+    PREEMPTION_MODES,
+    PROVISIONING_MODES,
+    QUEUE_POLICIES,
     SCENARIO_PRESETS,
     SCENARIO_SHORTHANDS,
     SCHEDULER_POLICIES,
@@ -41,12 +62,18 @@ from repro.cluster.spec import (
 __all__ = [
     "ARRIVAL_PROCESSES",
     "FAMILY_MODELS",
+    "GOLDEN_POLICIES",
+    "PREEMPTION_MODES",
+    "PROVISIONING_MODES",
+    "QUEUE_POLICIES",
     "SCENARIO_PRESETS",
     "SCENARIO_SHORTHANDS",
     "SCHEDULER_POLICIES",
     "ArrivalSpec",
+    "AvailabilityProfile",
     "FailureInjection",
     "JobResult",
+    "JobScheduler",
     "JobTemplateSpec",
     "ScenarioEngine",
     "ScenarioError",
@@ -54,5 +81,10 @@ __all__ = [
     "ScenarioSpec",
     "SchedulerSpec",
     "ShardAllocator",
+    "ShardManager",
+    "check_scenario_invariants",
+    "golden_scenario_spec",
+    "random_scenario_spec",
     "run_scenario",
+    "verify_scenario",
 ]

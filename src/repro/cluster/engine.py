@@ -38,12 +38,13 @@ iterations ride the repaired paths.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 import random
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.registry import (
@@ -60,7 +61,13 @@ from repro.api.spec import (
     WorkloadSpec,
 )
 from repro.cluster.results import JobResult, ScenarioResult
-from repro.cluster.scheduler import ShardAllocator
+from repro.cluster.scheduler import (
+    JobScheduler,
+    QueuedJob,
+    RunningJob,
+    ShardAllocator,
+    ShardManager,
+)
 from repro.cluster.spec import FAMILY_MODELS, ScenarioSpec
 from repro.models.compute import compute_time_seconds
 from repro.models.configs import CONFIG_FAMILIES
@@ -108,6 +115,12 @@ class _JobPlan:
     #: Wall-clock budget (``arrivals.durations='wallclock'``); ``None``
     #: keeps the template's iteration quota.
     duration_s: Optional[float] = None
+    #: Scheduling priority (``preemption="priority"``): higher wins.
+    priority: int = 0
+    #: Effective elastic shard-size range (collapses to ``servers`` for
+    #: inelastic templates; only consulted when ``scheduler.elastic``).
+    min_servers: int = 0
+    max_servers: int = 0
 
 
 @dataclass
@@ -118,6 +131,42 @@ class _Prepared:
     compute_s: float
     strategy_name: str
     fabric: Optional[object] = None  # local-id TopoOptFabric (shard mode)
+    #: Lazily measured uncontended iteration wall time (the backfill
+    #: disciplines' reservation currency); exact on isolated shards.
+    est_iteration_s: Optional[float] = None
+
+
+@dataclass
+class _JobLife:
+    """Cross-segment accounting of one job's whole life.
+
+    Preemption and elastic resize split a job into *segments* (one
+    per :class:`_Running` incarnation); everything that must survive a
+    segment boundary -- completed iterations, the sealed RLE iteration
+    log, wall-clock service time, costs owed at the next start -- lives
+    here.  A job that is never preempted or resized has exactly one
+    segment and this reduces to the old single-entry bookkeeping.
+    """
+
+    plan: _JobPlan
+    #: First admission time (queueing delay is measured to here).
+    admitted_s: Optional[float] = None
+    #: Iterations completed in *sealed* (past) segments.
+    done: int = 0
+    #: RLE iteration log of sealed segments.
+    log: List[Tuple[float, int]] = field(default_factory=list)
+    #: Wall-clock service time accumulated in sealed segments
+    #: (wall-clock-duration jobs stop their budget clock while evicted).
+    served_s: float = 0.0
+    segments: int = 0
+    preemptions: int = 0
+    resizes: int = 0
+    #: Checkpoint/restart debt charged at the next segment start.
+    pending_overhead_s: float = 0.0
+    #: When the job was last evicted (None = not currently evicted).
+    requeued_s: Optional[float] = None
+    #: Total time spent requeued between eviction and re-admission.
+    preempted_wait_s: float = 0.0
 
 
 @dataclass
@@ -128,6 +177,10 @@ class _Running:
     substrate: SharedClusterSimulator
     state: object
     admitted_s: float
+    life: Optional[_JobLife] = None
+    #: When this segment's first compute phase starts (admission time
+    #: plus provisioning latency and any checkpoint/restart debt).
+    start_s: float = 0.0
     failure_manager: Optional[object] = None
     #: First iteration boundary at or past this absolute time ends the
     #: job (wall-clock durations); ``None`` means quota mode.
@@ -143,6 +196,8 @@ class _Running:
     #: Fast-forwarded straight to departure: the job left its substrate
     #: early and only awaits its scheduled analytic departure time.
     detached: bool = False
+    #: Exact analytic departure time of a detached job.
+    analytic_finish_s: Optional[float] = None
 
 
 class ScenarioEngine:
@@ -160,6 +215,17 @@ class ScenarioEngine:
             spec.scheduler.policy,
             random.Random(point_seed(spec.seed, {"stream": "allocator"})),
         )
+        self.scheduler = JobScheduler(spec.scheduler, self._allocator)
+        self.manager = ShardManager(spec.scheduler)
+        #: ``(now, key, t_res, start, count)`` head-of-queue reservation
+        #: snapshots from every backfill pass (in-memory only; the
+        #: invariant harness checks "backfill never delays the head"
+        #: against these).
+        self.reservation_trace: List[Tuple[float, int, float, int, int]] = []
+        #: JSON-native admit/preempt/resize/depart event record; lands
+        #: on the result as ``scheduler_log`` so occupancy can be
+        #: reconstructed and invariant-checked after the fact.
+        self.scheduler_log: List[Dict[str, Any]] = []
         # Per-template pipeline outputs live in the process-wide warm
         # cache (repro.perf.warmcache.PIPELINE_CACHE): repeated
         # admissions of one template -- and repeated scenarios over the
@@ -207,18 +273,25 @@ class ScenarioEngine:
             scale, {}
         ):
             scale = "shared"  # trace fallback: every family model has one
+        resolved_servers = servers or template.servers
+        lo, hi = template.elastic_range()
+        lo = min(lo, resolved_servers)
+        hi = min(max(hi, resolved_servers), self.spec.cluster.servers)
         return _JobPlan(
             index=index,
             name=f"{model}-{index}",
             model=model,
             scale=scale,
-            servers=servers or template.servers,
+            servers=resolved_servers,
             iterations=template.iterations,
             strategy=template.strategy,
             batch_per_gpu=template.batch_per_gpu,
             arrival_s=arrival_s,
             seed=point_seed(self.spec.seed, {"job": index}),
             duration_s=duration_s,
+            priority=template.priority,
+            min_servers=lo,
+            max_servers=hi,
         )
 
     def _draw_jobs(self) -> List[_JobPlan]:
@@ -380,11 +453,75 @@ class ScenarioEngine:
             )
         return prepared
 
+    # -- duration estimates --------------------------------------------
+    def _est_iteration(self, prepared: _Prepared, servers: int) -> float:
+        """Uncontended wall time of one iteration of this pipeline.
+
+        The backfill disciplines' reservation currency.  Measured by
+        running a single-job, single-iteration simulation on the job's
+        own shard-local fabric -- on an isolated ``topoopt`` shard
+        every real iteration repeats this one exactly (relabeling
+        preserves capacities), so the estimate is *exact* there.  On a
+        shared substrate the local build ignores contention, making the
+        estimate a lower bound, as user-supplied runtime estimates are
+        in real clusters.  Cached on the (warm-cache-shared) pipeline
+        output, so each template pays for one estimate per shard size.
+        """
+        if prepared.est_iteration_s is not None:
+            return prepared.est_iteration_s
+        try:
+            fabric = prepared.fabric
+            if fabric is None:
+                ctx = FabricBuildContext(
+                    num_servers=servers,
+                    degree=self.spec.cluster.degree,
+                    link_bandwidth_bps=self.spec.cluster.link_bandwidth_bps,
+                    seed=self.spec.seed,
+                )
+                fabric = build_fabric(self.spec.fabric, ctx)
+            sim = SharedClusterSimulator(
+                fabric.capacities(),
+                seed=0,
+                stagger=False,
+                solver=self.spec.solver,
+            )
+            state = sim.add_job(
+                JobSpec(
+                    name="estimate",
+                    traffic=prepared.traffic,
+                    compute_s=prepared.compute_s,
+                    fabric=fabric,
+                ),
+                start=0.0,
+            )
+            for _ in range(10000):
+                if state.stats.iteration_times:
+                    break
+                target = sim.next_event_time()
+                if target is None:
+                    break
+                sim.advance_to(target)
+            if state.stats.iteration_times:
+                estimate = float(state.stats.iteration_times[0])
+            else:
+                estimate = 2.0 * prepared.compute_s
+        except Exception:
+            # Some fabrics cannot build at arbitrary shard sizes; fall
+            # back to a crude compute-bound guess rather than failing
+            # the scenario over an estimate.
+            estimate = 2.0 * prepared.compute_s
+        prepared.est_iteration_s = max(estimate, _TIME_EPS)
+        return prepared.est_iteration_s
+
     # -- the event loop ------------------------------------------------
     def run(self) -> ScenarioResult:
         spec = self.spec
+        sched_spec = spec.scheduler
+        scheduler = self.scheduler
+        manager = self.manager
         pending: Deque[_JobPlan] = deque(self._draw_jobs())
-        queue: Deque[_JobPlan] = deque()
+        queue: List[_JobLife] = []
+        lives: Dict[int, _JobLife] = {}
         running: Dict[int, _Running] = {}
         #: id(state) -> entry: O(1) owner lookup when a substrate
         #: reports iterated states (the per-event scan over ``running``
@@ -429,7 +566,23 @@ class ScenarioEngine:
             return entry.log
 
         def total_done(entry: _Running) -> int:
-            return len(entry.state.stats.iteration_times) + entry.ff_count
+            return (
+                entry.life.done
+                + len(entry.state.stats.iteration_times)
+                + entry.ff_count
+            )
+
+        def log_event(
+            now: float, event: str, index: int, servers, **extra
+        ) -> None:
+            record: Dict[str, Any] = {
+                "time_s": float(now),
+                "event": event,
+                "job_index": int(index),
+                "servers": [int(s) for s in servers],
+            }
+            record.update(extra)
+            self.scheduler_log.append(record)
 
         def job_horizon(index: int) -> float:
             """Earliest pending failure/repair aimed at job ``index``."""
@@ -469,6 +622,7 @@ class ScenarioEngine:
                 entry.substrate.remove_job(entry.state)
                 drop_substrate(entry.substrate)
                 entry.detached = True
+                entry.analytic_finish_s = finish
                 by_state.pop(id(entry.state), None)
                 heapq.heappush(analytic, (finish, plan.index))
                 return
@@ -481,59 +635,290 @@ class ScenarioEngine:
             mark_dirty(entry.substrate)
 
         def job_iterations(entry: _Running):
-            if entry.log is None:
+            sealed = list(entry.life.log)
+            if entry.log is None and not sealed:
                 return tuple(entry.state.stats.iteration_times), None
-            log = flush_log(entry)
+            sealed.extend(flush_log(entry))
             return (
-                tuple(t for t, _ in log),
-                tuple(c for _, c in log),
+                tuple(t for t, _ in sealed),
+                tuple(c for _, c in sealed),
             )
 
-        def try_admit(now: float) -> None:
-            while queue:
-                plan = queue[0]
-                servers = self._allocator.allocate(plan.servers)
-                if servers is None:
-                    return  # FCFS head-of-line blocking, no backfill
-                queue.popleft()
-                prepared = self._prepare(plan)
-                traffic = remap_traffic(prepared.traffic, list(servers))
-                if self.shardable:
-                    fabric = prepared.fabric.relabel(list(servers))
-                    substrate = SharedClusterSimulator(
-                        fabric.capacities(),
-                        seed=0,
-                        stagger=False,
-                        solver=spec.solver,
-                    )
-                    self._substrates.append(substrate)
+        def seal_segment(entry: _Running, now: float) -> None:
+            """Fold the live segment into the job's lifetime record."""
+            life = entry.life
+            segment_done = (
+                len(entry.state.stats.iteration_times) + entry.ff_count
+            )
+            life.log.extend(flush_log(entry))
+            life.done += segment_done
+            life.served_s += max(0.0, now - entry.start_s)
+            entry.log = None
+            entry.logged_upto = 0
+            entry.ff_count = 0
+
+        def est_finish(entry: _Running, now: float) -> float:
+            """When this running job releases its block (estimate).
+
+            Detached fast-forwarded jobs have an exact booked departure;
+            attached jobs project iteration boundaries from the segment
+            start (exact on isolated shards, a bound under contention).
+            """
+            if entry.detached:
+                return entry.analytic_finish_s
+            d = self._est_iteration(entry.prepared, len(entry.servers))
+            if entry.deadline_s is not None:
+                k = max(
+                    1,
+                    math.ceil(
+                        (entry.deadline_s - entry.start_s) / d - _TIME_EPS
+                    ),
+                )
+                return entry.start_s + k * d
+            remaining = max(entry.plan.iterations - entry.life.done, 0)
+            return entry.start_s + remaining * d
+
+        def queued_view(life: _JobLife, now: float) -> QueuedJob:
+            plan = life.plan
+            if scheduler.needs_estimates:
+                d = self._est_iteration(self._prepare(plan), plan.servers)
+                if plan.duration_s is not None:
+                    left = max(plan.duration_s - life.served_s, 0.0)
+                    run_s = d * max(1, math.ceil(left / d - _TIME_EPS))
                 else:
-                    fabric = self._shared_fabric
-                    substrate = self._substrates[0]
+                    run_s = d * max(plan.iterations - life.done, 0)
+                estimate = (
+                    life.pending_overhead_s
+                    + sched_spec.admission_latency_s
+                    + run_s
+                )
+            else:
+                estimate = math.inf
+            return QueuedJob(
+                key=plan.index,
+                servers=plan.servers,
+                min_servers=plan.min_servers,
+                max_servers=plan.max_servers,
+                priority=plan.priority,
+                est_duration_s=estimate,
+            )
+
+        def running_view(entry: _Running, now: float) -> RunningJob:
+            plan = entry.life.plan
+            return RunningJob(
+                key=plan.index,
+                servers=entry.servers,
+                priority=plan.priority,
+                est_finish_s=(
+                    est_finish(entry, now)
+                    if scheduler.needs_estimates else math.inf
+                ),
+                preemptible=not entry.detached,
+                resizable=not entry.detached,
+                max_servers=plan.max_servers,
+            )
+
+        def requeue(life: _JobLife) -> None:
+            """Reinsert an evicted job, keeping arrival-index order."""
+            keys = [item.plan.index for item in queue]
+            queue.insert(bisect.bisect_left(keys, life.plan.index), life)
+
+        def start_segment(
+            life: _JobLife,
+            servers: Tuple[int, ...],
+            now: float,
+            backfilled: bool,
+        ) -> None:
+            plan = life.plan
+            size = len(servers)
+            seg_plan = (
+                plan if size == plan.servers
+                else replace(plan, servers=size)
+            )
+            prepared = self._prepare(seg_plan)
+            traffic = remap_traffic(prepared.traffic, list(servers))
+            if self.shardable:
+                fabric = prepared.fabric.relabel(list(servers))
+                substrate = SharedClusterSimulator(
+                    fabric.capacities(),
+                    seed=0,
+                    stagger=False,
+                    solver=spec.solver,
+                )
+                self._substrates.append(substrate)
+            else:
+                fabric = self._shared_fabric
+                substrate = self._substrates[0]
+            job = JobSpec(
+                name=plan.name,
+                traffic=traffic,
+                compute_s=prepared.compute_s,
+                fabric=fabric,
+            )
+            start = (
+                now
+                + life.pending_overhead_s
+                + manager.admission_latency(plan.index, now)
+            )
+            life.pending_overhead_s = 0.0
+            manager.forget(plan.index)
+            if life.segments:
+                state = substrate.resume_job(job, start=start)
+            else:
+                state = substrate.add_job(job, start=start)
+            entry = _Running(
+                plan=seg_plan,
+                prepared=prepared,
+                servers=servers,
+                substrate=substrate,
+                state=state,
+                admitted_s=now,
+                life=life,
+                start_s=start,
+                deadline_s=(
+                    start + (plan.duration_s - life.served_s)
+                    if plan.duration_s is not None else None
+                ),
+            )
+            running[plan.index] = entry
+            by_state[id(state)] = entry
+            mark_dirty(substrate)
+            if life.admitted_s is None:
+                life.admitted_s = now
+            if life.requeued_s is not None:
+                life.preempted_wait_s += now - life.requeued_s
+                life.requeued_s = None
+            life.segments += 1
+            log_event(
+                now, "admit", plan.index, servers, backfilled=backfilled
+            )
+            sample(now)
+
+        def preempt_entry(entry: _Running, now: float) -> None:
+            """Evict a running job (its block is already freed).
+
+            The scheduler freed the allocator block before returning
+            the ``preempt`` action; this applies the simulator half --
+            checkpoint the job out of its substrate -- and requeues it
+            with its completed iterations conserved and the
+            checkpoint/restart debt booked for its next start.
+            """
+            life = entry.life
+            seal_segment(entry, now)
+            entry.substrate.suspend_job(entry.state)
+            if self.shardable:
+                drop_substrate(entry.substrate)
+            else:
+                mark_dirty(entry.substrate)
+            by_state.pop(id(entry.state), None)
+            del running[life.plan.index]
+            life.preemptions += 1
+            life.pending_overhead_s += (
+                sched_spec.checkpoint_s + sched_spec.restart_s
+            )
+            life.requeued_s = now
+            manager.forget(life.plan.index)
+            requeue(life)
+            log_event(now, "preempt", life.plan.index, entry.servers)
+            sample(now)
+
+        def resize_entry(
+            entry: _Running, block: Tuple[int, ...], now: float
+        ) -> None:
+            """Elastic grow: move the job onto its new (larger) block.
+
+            The allocator side already happened in the scheduler; here
+            the old segment is sealed, the pipeline re-runs at the new
+            shard size (warm-cached per (template, size)), and the job
+            restarts ``resize_latency_s`` later on the new block.
+            """
+            life = entry.life
+            plan = life.plan
+            seal_segment(entry, now)
+            by_state.pop(id(entry.state), None)
+            seg_plan = replace(plan, servers=len(block))
+            prepared = self._prepare(seg_plan)
+            traffic = remap_traffic(prepared.traffic, list(block))
+            start = now + sched_spec.resize_latency_s
+            if self.shardable:
+                fabric = prepared.fabric.relabel(list(block))
+                substrate = SharedClusterSimulator(
+                    fabric.capacities(),
+                    seed=0,
+                    stagger=False,
+                    solver=spec.solver,
+                )
+                entry.substrate.suspend_job(entry.state)
+                drop_substrate(entry.substrate)
+                self._substrates.append(substrate)
                 job = JobSpec(
                     name=plan.name,
                     traffic=traffic,
                     compute_s=prepared.compute_s,
                     fabric=fabric,
                 )
-                start = now + spec.scheduler.admission_latency_s
-                state = substrate.add_job(job, start=start)
-                entry = _Running(
-                    plan=plan,
-                    prepared=prepared,
-                    servers=servers,
-                    substrate=substrate,
-                    state=state,
-                    admitted_s=now,
-                    deadline_s=(
-                        start + plan.duration_s
-                        if plan.duration_s is not None else None
-                    ),
+                state = substrate.resume_job(job, start=start)
+            else:
+                substrate = entry.substrate
+                job = JobSpec(
+                    name=plan.name,
+                    traffic=traffic,
+                    compute_s=prepared.compute_s,
+                    fabric=self._shared_fabric,
                 )
-                running[plan.index] = entry
-                by_state[id(state)] = entry
-                mark_dirty(substrate)
-                sample(now)
+                state = substrate.resize_job(entry.state, job, start=start)
+            entry.plan = seg_plan
+            entry.prepared = prepared
+            entry.servers = tuple(block)
+            entry.substrate = substrate
+            entry.state = state
+            entry.start_s = start
+            entry.deadline_s = (
+                start + (plan.duration_s - life.served_s)
+                if plan.duration_s is not None else None
+            )
+            life.resizes += 1
+            by_state[id(state)] = entry
+            mark_dirty(substrate)
+            log_event(now, "resize", plan.index, block)
+            sample(now)
+
+        def control(now: float) -> None:
+            """Drain the scheduler's action stream at this instant."""
+            if not (queue or (sched_spec.elastic and running)):
+                return
+            for _ in range(100000):
+                qviews = [queued_view(life, now) for life in queue]
+                if qviews:
+                    manager.note_head(
+                        scheduler.ordered(qviews)[0].key, now
+                    )
+                rviews = (
+                    [running_view(e, now) for e in running.values()]
+                    if scheduler.needs_running else ()
+                )
+                scheduler.last_head_reservation = None
+                action = scheduler.next_action(now, qviews, rviews)
+                if scheduler.last_head_reservation is not None:
+                    self.reservation_trace.append(
+                        (now,) + scheduler.last_head_reservation
+                    )
+                if action is None:
+                    return
+                if action.kind == "admit":
+                    life = lives[action.key]
+                    queue.remove(life)
+                    start_segment(
+                        life, action.servers, now, action.backfilled
+                    )
+                elif action.kind == "preempt":
+                    for key in action.victims:
+                        preempt_entry(running[key], now)
+                else:  # grow
+                    resize_entry(running[action.key], action.servers, now)
+            raise ScenarioError(
+                "scheduler control loop did not converge"
+            )
 
         def depart(entry: _Running, now: float) -> None:
             if not entry.detached:
@@ -544,7 +929,8 @@ class ScenarioEngine:
                     mark_dirty(entry.substrate)
                 by_state.pop(id(entry.state), None)
             self._allocator.free(entry.servers)
-            plan = entry.plan
+            life = entry.life
+            plan = life.plan
             times, counts = job_iterations(entry)
             finished.append(
                 JobResult(
@@ -555,14 +941,18 @@ class ScenarioEngine:
                     strategy=entry.prepared.strategy_name,
                     servers=entry.servers,
                     arrival_s=plan.arrival_s,
-                    admitted_s=entry.admitted_s,
+                    admitted_s=life.admitted_s,
                     completed_s=now,
                     compute_s=entry.prepared.compute_s,
                     iteration_times=times,
                     iteration_counts=counts,
                     duration_s=plan.duration_s,
+                    preemptions=life.preemptions,
+                    resizes=life.resizes,
+                    preempted_wait_s=life.preempted_wait_s,
                 )
             )
+            log_event(now, "depart", plan.index, entry.servers)
             sample(now)
 
         while pending or queue or running:
@@ -588,7 +978,7 @@ class ScenarioEngine:
                 event for _, event in substrate_events if event is not None
             )
             if not candidates:
-                stuck = [plan.name for plan in queue]
+                stuck = [life.plan.name for life in queue]
                 raise ScenarioError(
                     f"scenario stalled with jobs queued: {stuck}"
                 )
@@ -619,6 +1009,15 @@ class ScenarioEngine:
                         departures.append(entry)
                     elif spec.fast_forward and self.shardable:
                         fast_forward(entry, now)
+            #: Whether this event can change a scheduling decision.
+            #: Admission/backfill/preemption/growth opportunities only
+            #: improve when servers free up, the queue changes, or
+            #: routing changes -- never from time passing alone (a
+            #: backfill window only shrinks as ``now`` approaches the
+            #: head's reservation), so plain iteration completions skip
+            #: the control pass.  This keeps the O(queue) reservation
+            #: walk off the per-iteration hot path.
+            control_due = bool(departures)
             for entry in departures:
                 del running[entry.plan.index]
                 depart(entry, now)
@@ -628,16 +1027,22 @@ class ScenarioEngine:
                 _, index = heapq.heappop(analytic)
                 depart(running.pop(index), now)
                 makespan = max(makespan, now)
+                control_due = True
             # 2. failures due at now
             while failure_events and failure_events[0][0] <= now + _TIME_EPS:
                 _, action, injection = failure_events.popleft()
                 self._apply_failure(action, injection, running, now)
+                control_due = True
             # 3. arrivals due at now
             while pending and pending[0].arrival_s <= now + _TIME_EPS:
-                queue.append(pending.popleft())
-            # 4. admissions (after departures freed ports)
-            if queue:
-                try_admit(now)
+                plan = pending.popleft()
+                life = _JobLife(plan=plan)
+                lives[plan.index] = life
+                queue.append(life)
+                control_due = True
+            # 4. scheduling decisions (after departures freed ports)
+            if control_due:
+                control(now)
 
         # Injections scheduled past the last departure never fired;
         # record them so the log accounts for every requested failure.
@@ -659,6 +1064,7 @@ class ScenarioEngine:
             utilization_timeline=tuple(utilization),
             fragmentation_timeline=tuple(fragmentation),
             failure_log=tuple(self.failure_log),
+            scheduler_log=tuple(self.scheduler_log),
         )
 
     # -- failures ------------------------------------------------------

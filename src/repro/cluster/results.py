@@ -68,6 +68,14 @@ class JobResult:
     iteration_times: Tuple[float, ...]
     iteration_counts: Optional[Tuple[int, ...]] = None
     duration_s: Optional[float] = None
+    #: Scheduler-lifecycle accounting: how many times the job was
+    #: checkpoint-evicted, how many elastic resizes it went through,
+    #: and how long it sat requeued after evictions.  All zero under
+    #: plain FCFS and omitted from the JSON then, so pre-scheduler
+    #: results stay byte-identical.
+    preemptions: int = 0
+    resizes: int = 0
+    preempted_wait_s: float = 0.0
 
     def __post_init__(self):
         if self.iteration_counts is not None and len(
@@ -128,6 +136,12 @@ class JobResult:
             ]
         if self.duration_s is not None:
             data["duration_s"] = float(self.duration_s)
+        if self.preemptions:
+            data["preemptions"] = int(self.preemptions)
+        if self.resizes:
+            data["resizes"] = int(self.resizes)
+        if self.preempted_wait_s:
+            data["preempted_wait_s"] = float(self.preempted_wait_s)
         return data
 
     @classmethod
@@ -161,6 +175,9 @@ class ScenarioResult:
     utilization_timeline: Tuple[Tuple[float, int], ...] = ()
     fragmentation_timeline: Tuple[Tuple[float, float], ...] = ()
     failure_log: Tuple[Dict[str, Any], ...] = ()
+    #: Scheduler decision stream: admit/preempt/resize/depart events as
+    #: plain dicts (``time_s``, ``event``, ``job_index``, ``servers``).
+    scheduler_log: Tuple[Dict[str, Any], ...] = ()
     wall_time_s: Optional[float] = field(default=None, compare=False)
 
     # -- aggregate metrics ---------------------------------------------
@@ -250,6 +267,10 @@ class ScenarioResult:
             "queueing_p99_s": queue_p99,
             "mean_utilization": self.mean_utilization(),
             "peak_fragmentation": self.peak_fragmentation(),
+            "preemptions": int(
+                sum(job.preemptions for job in self.jobs)
+            ),
+            "resizes": int(sum(job.resizes for job in self.jobs)),
         }
 
     # -- serialization -------------------------------------------------
@@ -268,6 +289,9 @@ class ScenarioResult:
                 for t, value in self.fragmentation_timeline
             ],
             "failure_log": [dict(entry) for entry in self.failure_log],
+            "scheduler_log": [
+                dict(entry) for entry in self.scheduler_log
+            ],
             "metrics": self.metrics(),
             "provenance": {"seed": self.spec.seed},
         }
@@ -288,5 +312,8 @@ class ScenarioResult:
             ),
             failure_log=tuple(
                 dict(entry) for entry in data.get("failure_log", ())
+            ),
+            scheduler_log=tuple(
+                dict(entry) for entry in data.get("scheduler_log", ())
             ),
         )

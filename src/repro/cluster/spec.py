@@ -53,6 +53,26 @@ DURATION_MODES = ("iterations", "wallclock")
 #: Shard-allocation policies of :class:`repro.cluster.scheduler.ShardAllocator`.
 SCHEDULER_POLICIES = ("first-fit", "best-fit", "random")
 
+#: Queue disciplines of :class:`repro.cluster.scheduler.JobScheduler`:
+#: plain FCFS with head-of-line blocking, EASY backfill (only the head
+#: of the queue holds a reservation), or conservative backfill (every
+#: queued job holds one).
+QUEUE_POLICIES = ("fcfs", "easy", "conservative")
+
+#: Preemption modes: ``"none"`` (jobs run to completion) or
+#: ``"priority"`` (a queued job may evict strictly-lower-priority
+#: running jobs, which requeue and later resume with their completed
+#: iterations conserved, paying ``checkpoint_s + restart_s``).
+PREEMPTION_MODES = ("none", "priority")
+
+#: How per-admission optical reconfiguration latency is charged:
+#: ``"flat"`` pays ``admission_latency_s`` on every admission;
+#: ``"lookahead"`` lets the :class:`repro.cluster.scheduler.ShardManager`
+#: start provisioning a job's topology once it reaches the queue head,
+#: so waiting time is credited against the latency (Appendix C's
+#: look-ahead provisioning).
+PROVISIONING_MODES = ("flat", "lookahead")
+
 #: Allocator backends of the underlying fluid simulation -- derived
 #: from the registry :class:`repro.sim.cluster.SharedClusterSimulator`
 #: actually dispatches on, so the two can never drift apart.
@@ -87,6 +107,13 @@ SCENARIO_SHORTHANDS: Dict[str, str] = {
     "solver": "solver",
     "durations": "arrivals.durations",
     "fast_forward": "fast_forward",
+    "queue": "scheduler.queue",
+    "preemption": "scheduler.preemption",
+    "checkpoint_s": "scheduler.checkpoint_s",
+    "restart_s": "scheduler.restart_s",
+    "elastic": "scheduler.elastic",
+    "resize_latency_s": "scheduler.resize_latency_s",
+    "provisioning": "scheduler.provisioning",
 }
 
 
@@ -100,6 +127,16 @@ class JobTemplateSpec:
     ``optimizer.strategy``.  ``weight`` biases the weighted draw used by
     the ``poisson`` arrival process (``explicit`` cycles the templates
     in order; ``trace`` matches templates by model name).
+
+    ``priority`` orders the queue and gates preemption when the
+    scenario's scheduler runs ``preemption="priority"`` (higher wins;
+    only strictly lower-priority running jobs can be evicted).
+    ``min_servers`` / ``max_servers`` declare an **elastic** shard
+    range around the preferred ``servers`` (both default to ``servers``
+    = inelastic): with ``scheduler.elastic`` on, an arriving job
+    shrinks down to ``min_servers`` to fit a fragmented cluster, and an
+    idle cluster grows it toward ``max_servers``, re-running the
+    strategy x topology pipeline at the new shard size.
     """
 
     model: str = "DLRM"
@@ -109,6 +146,9 @@ class JobTemplateSpec:
     weight: float = 1.0
     strategy: Optional[str] = None
     batch_per_gpu: Optional[int] = None
+    priority: int = 0
+    min_servers: Optional[int] = None
+    max_servers: Optional[int] = None
 
     def __post_init__(self):
         families = sorted(CONFIG_FAMILIES) + ["custom"]
@@ -140,6 +180,18 @@ class JobTemplateSpec:
             self.batch_per_gpu is None or self.batch_per_gpu >= 1,
             f"job.batch_per_gpu must be >= 1, got {self.batch_per_gpu}",
         )
+        if self.min_servers is not None:
+            _require(
+                2 <= self.min_servers <= self.servers,
+                f"job.min_servers must be in [2, servers={self.servers}], "
+                f"got {self.min_servers}",
+            )
+        if self.max_servers is not None:
+            _require(
+                self.max_servers >= self.servers,
+                f"job.max_servers must be >= servers={self.servers}, "
+                f"got {self.max_servers}",
+            )
         if self.strategy is not None:
             from repro.api.registry import STRATEGIES
 
@@ -158,7 +210,16 @@ class JobTemplateSpec:
             "weight": self.weight,
             "strategy": self.strategy,
             "batch_per_gpu": self.batch_per_gpu,
+            "priority": self.priority,
+            "min_servers": self.min_servers,
+            "max_servers": self.max_servers,
         }
+
+    def elastic_range(self) -> Tuple[int, int]:
+        """The (min, max) shard sizes this template may run at."""
+        lo = self.servers if self.min_servers is None else self.min_servers
+        hi = self.servers if self.max_servers is None else self.max_servers
+        return lo, hi
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobTemplateSpec":
@@ -255,14 +316,37 @@ class SchedulerSpec:
     """How queued jobs are placed onto free servers.
 
     ``policy`` picks the contiguous-block allocation rule
-    (:data:`SCHEDULER_POLICIES`); the queue itself is FCFS with
-    head-of-line blocking (no backfill).  ``admission_latency_s`` models
-    the optical reconfiguration paid per admission (Appendix C: ~1 ms
-    with look-ahead provisioning, minutes for a cold patch-panel run).
+    (:data:`SCHEDULER_POLICIES`).  ``queue`` picks the discipline
+    (:data:`QUEUE_POLICIES`): plain FCFS head-of-line blocking, EASY
+    backfill, or conservative backfill -- both backfills reserve
+    (time x block) windows from the engine's wall-clock duration
+    estimates.  ``admission_latency_s`` models the optical
+    reconfiguration paid per admission (Appendix C: ~1 ms with
+    look-ahead provisioning, minutes for a cold patch-panel run);
+    ``provisioning="lookahead"`` turns on the :class:`ShardManager`
+    that starts provisioning once a job reaches the queue head,
+    crediting its waiting time against that latency.
+
+    ``preemption="priority"`` lets a blocked queued job evict
+    strictly-lower-priority running jobs; an evicted job requeues with
+    its completed iterations conserved and pays ``checkpoint_s`` (state
+    save at eviction) plus ``restart_s`` (reload at resume) as extra
+    start latency.  ``elastic=True`` activates the templates'
+    ``min_servers``/``max_servers`` ranges: arrivals shrink to fit,
+    idle capacity grows running jobs, and each resize pays
+    ``resize_latency_s`` while the strategy x topology pipeline re-runs
+    at the new size.
     """
 
     policy: str = "first-fit"
     admission_latency_s: float = 0.0
+    queue: str = "fcfs"
+    preemption: str = "none"
+    checkpoint_s: float = 0.0
+    restart_s: float = 0.0
+    elastic: bool = False
+    resize_latency_s: float = 0.0
+    provisioning: str = "flat"
 
     def __post_init__(self):
         _require(
@@ -271,15 +355,39 @@ class SchedulerSpec:
             f"registered: {sorted(SCHEDULER_POLICIES)}",
         )
         _require(
-            self.admission_latency_s >= 0,
-            f"scheduler.admission_latency_s must be >= 0, "
-            f"got {self.admission_latency_s}",
+            self.queue in QUEUE_POLICIES,
+            f"scheduler.queue: unknown discipline {self.queue!r}; "
+            f"registered: {sorted(QUEUE_POLICIES)}",
         )
+        _require(
+            self.preemption in PREEMPTION_MODES,
+            f"scheduler.preemption: unknown mode {self.preemption!r}; "
+            f"registered: {sorted(PREEMPTION_MODES)}",
+        )
+        _require(
+            self.provisioning in PROVISIONING_MODES,
+            f"scheduler.provisioning: unknown mode {self.provisioning!r}; "
+            f"registered: {sorted(PROVISIONING_MODES)}",
+        )
+        for knob in ("admission_latency_s", "checkpoint_s", "restart_s",
+                     "resize_latency_s"):
+            value = getattr(self, knob)
+            _require(
+                value >= 0,
+                f"scheduler.{knob} must be >= 0, got {value}",
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "policy": self.policy,
             "admission_latency_s": self.admission_latency_s,
+            "queue": self.queue,
+            "preemption": self.preemption,
+            "checkpoint_s": self.checkpoint_s,
+            "restart_s": self.restart_s,
+            "elastic": self.elastic,
+            "resize_latency_s": self.resize_latency_s,
+            "provisioning": self.provisioning,
         }
 
     @classmethod
@@ -364,6 +472,11 @@ class ScenarioSpec:
                 template.servers <= self.cluster.servers,
                 f"job template needs {template.servers} servers but the "
                 f"cluster has only {self.cluster.servers}",
+            )
+            _require(
+                template.elastic_range()[1] <= self.cluster.servers,
+                f"job template's max_servers {template.max_servers} "
+                f"exceeds the cluster's {self.cluster.servers}",
             )
 
     # -- serialization -------------------------------------------------

@@ -542,6 +542,80 @@ def bench_scenario_fleet(n: int = 1000) -> Dict:
     }
 
 
+def bench_scheduler_sweep(n: int = 64) -> Dict:
+    """Policy plane drain gate: 100 trace jobs x every queue policy.
+
+    ``n`` servers ingest a 100-job production trace (section 2.2
+    population, wall-clock durations) under each queue discipline --
+    FCFS, EASY backfill, conservative backfill -- plus the EASY run
+    repeated with an identical (spec, seed) as the determinism probe.
+    The smoke gate requires every policy to drain the full trace, the
+    repeat to be byte-identical, and backfill to strictly beat FCFS on
+    mean queueing delay on a canonical head-of-line-blocking trace
+    (the golden scheduler scenario, where a 24-server job blocks two
+    8-server jobs behind a long-running 16-server one).
+    """
+    from repro.cluster import ArrivalSpec, JobTemplateSpec, ScenarioSpec
+    from repro.cluster.engine import run_scenario
+    from repro.cluster.invariants import golden_scenario_spec
+    from repro.cluster.spec import QUEUE_POLICIES, SchedulerSpec
+    from repro.api.spec import ClusterSpec, FabricSpec
+
+    jobs = 100
+    spec = ScenarioSpec(
+        name=f"bench-scheduler-sweep-n{n}",
+        cluster=ClusterSpec(servers=n, degree=4, bandwidth_gbps=100.0),
+        fabric=FabricSpec(kind="topoopt"),
+        arrivals=ArrivalSpec(
+            # ~20 h median durations x ~12 servers / 4 h interarrival
+            # is near saturation on 64 servers: the queue backs up
+            # (policies actually differ) without a standing backlog
+            # that would make the conservative O(queue) walk the
+            # benchmark instead of the policy.
+            process="trace", count=jobs, mean_interarrival_s=14400.0,
+            max_servers=16, durations="wallclock",
+        ),
+        jobs=(
+            JobTemplateSpec(model="DLRM", servers=8),
+            JobTemplateSpec(model="BERT", servers=8),
+            JobTemplateSpec(model="CANDLE", servers=8),
+            JobTemplateSpec(model="VGG16", servers=8),
+        ),
+        scheduler=SchedulerSpec(policy="best-fit"),
+        max_sim_time_s=4e7,
+        fast_forward=True,
+    )
+    record: Dict = {"servers": n, "jobs": jobs}
+    drained = True
+    start_all = time.perf_counter()
+    for queue in QUEUE_POLICIES:
+        policy_spec = spec.with_overrides({"queue": queue})
+        start = time.perf_counter()
+        result = run_scenario(policy_spec)
+        record[f"{queue}_wall_s"] = round(
+            time.perf_counter() - start, 3
+        )
+        record[f"{queue}_queueing_avg_s"] = round(
+            result.metrics()["queueing_avg_s"], 3
+        )
+        drained = drained and len(result.jobs) == jobs
+        if queue == "easy":
+            repeat = run_scenario(policy_spec)
+            record["deterministic"] = (
+                json.dumps(result.to_dict(), sort_keys=True)
+                == json.dumps(repeat.to_dict(), sort_keys=True)
+            )
+    record["drained"] = bool(drained)
+    fcfs_hol = run_scenario(golden_scenario_spec("fcfs"))
+    easy_hol = run_scenario(golden_scenario_spec("easy"))
+    record["backfill_beats_fcfs"] = bool(
+        easy_hol.metrics()["queueing_avg_s"]
+        < fcfs_hol.metrics()["queueing_avg_s"]
+    )
+    record["wall_s"] = round(time.perf_counter() - start_all, 3)
+    return record
+
+
 #: Sizes the staggered-phase scenario runs at: the batch baseline is
 #: quadratic-ish in events x flows, so n=128 would dominate the whole
 #: suite without changing the verdict (the acceptance gate is n=64).
@@ -561,6 +635,11 @@ SCENARIO_SIZES = (16, 64, 256)
 FLEET_SIZES = (1000,)
 FLEET_SMOKE_SIZES = (200,)
 
+#: Scheduler policy-sweep size (servers; the trace is always 100
+#: jobs).  One size at both scales: the gate is behavioral (drain,
+#: determinism, backfill < FCFS queueing), not a speedup curve.
+SCHEDULER_SWEEP_SIZES = (64,)
+
 #: Sizes the search-plane scenarios run at (fixed, per the acceptance
 #: criteria): the full-rebuild baseline re-routes all n^2 pairs per
 #: proposal, so n=128 would dominate the suite without changing the
@@ -578,6 +657,7 @@ BENCH_ENTRIES = {
     "alternating": bench_alternating,
     "scenario": bench_scenario,
     "scenario_fleet": bench_scenario_fleet,
+    "scheduler_sweep": bench_scheduler_sweep,
 }
 
 
@@ -586,6 +666,7 @@ def run_benchmarks(
     scenarios: Sequence[str] = (
         "phase_sim", "routing", "lp_assembly", "staggered_phase",
         "mcmc_steps", "alternating", "scenario", "scenario_fleet",
+        "scheduler_sweep",
     ),
 ) -> Dict:
     """Run the kernel micro-benchmarks and return the results tree."""
@@ -604,6 +685,8 @@ def run_benchmarks(
             )
         elif scenario == "scenario_fleet":
             scenario_sizes = FLEET_SIZES if full_run else FLEET_SMOKE_SIZES
+        elif scenario == "scheduler_sweep":
+            scenario_sizes = SCHEDULER_SWEEP_SIZES
         elif scenario in ("mcmc_steps", "alternating"):
             scenario_sizes = SEARCH_SIZES
         for n in scenario_sizes:

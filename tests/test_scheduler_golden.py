@@ -1,0 +1,61 @@
+"""Golden determinism snapshots for the scheduler policies.
+
+Every policy configuration in
+:data:`repro.cluster.invariants.GOLDEN_POLICIES` has a committed
+``ScenarioResult`` JSON snapshot under ``tests/golden/``; a fresh run
+of the same (spec, seed) must reproduce it byte for byte, wired like
+the kernel-vs-reference byte-identity tests.  A legitimate semantic
+change regenerates them with::
+
+    PYTHONPATH=src python scripts/regen_golden_scheduler.py
+
+and the snapshot diff then documents exactly what changed.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster.engine import run_scenario
+from repro.cluster.invariants import (
+    GOLDEN_POLICIES,
+    golden_scenario_spec,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_POLICIES))
+def test_policy_matches_golden_snapshot(key):
+    path = GOLDEN_DIR / f"scheduler_{key}.json"
+    assert path.exists(), (
+        f"missing snapshot {path}; run "
+        f"scripts/regen_golden_scheduler.py"
+    )
+    expected = path.read_text()
+    result = run_scenario(golden_scenario_spec(key))
+    actual = (
+        json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n"
+    )
+    assert actual == expected, (
+        f"policy {key!r} diverged from its golden snapshot; if the "
+        f"change is intentional, regenerate with "
+        f"scripts/regen_golden_scheduler.py"
+    )
+
+
+def test_snapshots_cover_distinct_behaviors():
+    """The five snapshots are not five copies of one timeline."""
+    logs = {}
+    for key in GOLDEN_POLICIES:
+        data = json.loads(
+            (GOLDEN_DIR / f"scheduler_{key}.json").read_text()
+        )
+        logs[key] = [
+            (e["event"], e["job_index"])
+            for e in data["scheduler_log"]
+        ]
+    assert logs["fcfs"] != logs["easy"]
+    assert any(e == "preempt" for e, _ in logs["preempt"])
+    assert any(e == "resize" for e, _ in logs["elastic"])
