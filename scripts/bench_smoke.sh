@@ -10,15 +10,20 @@
 # from its full-rebuild oracle, the scenario engine loses (spec, seed)
 # determinism / reference-allocator equivalence, the scenario kernel
 # falls under its 1.5x speedup floor at n=64, the fleet scenario
-# fails to drain its trace, or the scheduler policy sweep regresses
+# fails to drain its trace, the scheduler policy sweep regresses
 # (every queue policy -- FCFS, EASY, conservative backfill -- must
 # drain a 100-job production trace deterministically under a 60 s
 # wall-time cap, and backfill must strictly beat FCFS mean queueing
-# delay on the canonical head-of-line-blocking trace).
+# delay on the canonical head-of-line-blocking trace), a randomized
+# chaos scenario breaks a scheduler invariant or loses determinism,
+# or the failure-storm scenario regresses (every recovery policy --
+# detour, reoptimize, checkpoint-restart -- must drain the trace
+# through a correlated fault storm with zero invariant violations).
 #
 # Usage: scripts/bench_smoke.sh
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli check-docs
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli check-examples
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli chaos-smoke
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m repro.cli bench-smoke "$@"

@@ -347,18 +347,25 @@ class SweepPoint:
     seed: int
     result: Optional[object] = None
     error: Optional[str] = None
+    #: How many pool submissions this point took.  1 (the default, and
+    #: omitted from the JSON) means it ran clean; >1 means a crashed or
+    #: hung worker was retried with the same derived seed.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.result is not None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "overrides": dict(self.overrides),
             "seed": self.seed,
             "result": self.result.to_dict() if self.result else None,
             "error": self.error,
         }
+        if self.attempts > 1:
+            data["attempts"] = int(self.attempts)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepPoint":
@@ -371,6 +378,7 @@ class SweepPoint:
                 else None
             ),
             error=data.get("error"),
+            attempts=int(data.get("attempts", 1)),
         )
 
 

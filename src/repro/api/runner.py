@@ -25,8 +25,12 @@ import itertools
 import json
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.registry import (
@@ -477,11 +481,60 @@ def _run_point(args: Tuple[ExperimentSpec, Dict[str, Any]]) -> SweepPoint:
         )
 
 
+def _run_pool(
+    pool_cls,
+    workers: int,
+    jobs: Dict[int, Tuple[Any, Dict[str, Any]]],
+    timeout: Optional[float],
+) -> Tuple[Dict[int, SweepPoint], Dict[int, str]]:
+    """Run one round of sweep points through a fresh pool.
+
+    Returns ``(results, failures)`` keyed by point index.  A failure is
+    a *pool-level* casualty -- a worker that crashed (e.g. a broken
+    process pool) or overran ``timeout`` -- as opposed to an in-point
+    exception, which :func:`_run_point` already converts to an error
+    row.  The pool is always torn down without waiting, so one hung
+    worker cannot wedge the sweep; surviving processes are terminated.
+    """
+    results: Dict[int, SweepPoint] = {}
+    failures: Dict[int, str] = {}
+    pool = pool_cls(max_workers=workers)
+    try:
+        futures = {
+            index: pool.submit(_run_point, job)
+            for index, job in jobs.items()
+        }
+        for index, future in futures.items():
+            try:
+                results[index] = future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                future.cancel()
+                failures[index] = (
+                    f"TimeoutError: point exceeded "
+                    f"point_timeout_s={timeout:g}"
+                )
+            except Exception as error:  # worker crashed, not the point
+                failures[index] = f"{type(error).__name__}: {error}"
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        # A hung or crashed process pool can leave workers behind;
+        # reap them so a retry round starts from a clean slate.
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+    return results, failures
+
+
 def run_sweep(
     base_spec: ExperimentSpec,
     grid: Mapping[str, Sequence[Any]],
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    point_timeout_s: Optional[float] = None,
+    retries: int = 1,
 ) -> SweepResult:
     """Run every point of ``grid`` over ``base_spec`` concurrently.
 
@@ -495,16 +548,26 @@ def run_sweep(
     :func:`point_seed` -- unless ``"seed"`` is itself a grid axis, in
     which case the axis value is used verbatim (seed-replication
     sweeps) -- and runs in a ``concurrent.futures`` pool (``executor``:
-    ``"thread"``, ``"process"``, or ``"serial"``); a failing point
-    becomes an error row instead of aborting the sweep.  Specs, points,
-    and results all pickle, so ``executor="process"`` scales paper-size
+    ``"thread"``, ``"process"``, or ``"serial"``).  Specs, points, and
+    results all pickle, so ``executor="process"`` scales paper-size
     grids across cores with the per-point seeds unchanged.
+
+    Failure containment, per point: an exception inside the point
+    becomes an error row; a worker that *crashes* or overruns
+    ``point_timeout_s`` is resubmitted -- same overrides, same derived
+    seed -- up to ``retries`` more times on a fresh pool, and only then
+    becomes an error row.  Rows that needed more than one submission
+    carry ``attempts`` so the retry is visible in the sweep result
+    rather than silent.  (``point_timeout_s`` needs a pool executor;
+    the serial path runs inline and cannot time out.)
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     points = expand_grid(grid)
     if not points:
         raise ValueError("run_sweep needs a non-empty grid")
     jobs = [(base_spec, overrides) for overrides in points]
-    if executor == "serial" or len(jobs) == 1:
+    if executor == "serial":
         results = [_run_point(job) for job in jobs]
     elif executor in ("thread", "process"):
         pool_cls = (
@@ -512,8 +575,40 @@ def run_sweep(
             else ProcessPoolExecutor
         )
         workers = max_workers or min(len(jobs), 8)
-        with pool_cls(max_workers=workers) as pool:
-            results = list(pool.map(_run_point, jobs))
+        rows: List[Optional[SweepPoint]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        pending = list(range(len(jobs)))
+        while pending:
+            for index in pending:
+                attempts[index] += 1
+            round_results, round_failures = _run_pool(
+                pool_cls,
+                min(workers, len(pending)),
+                {index: jobs[index] for index in pending},
+                point_timeout_s,
+            )
+            retry: List[int] = []
+            for index in pending:
+                if index in round_results:
+                    row = round_results[index]
+                    if attempts[index] > 1:
+                        row = dc_replace(row, attempts=attempts[index])
+                    rows[index] = row
+                elif attempts[index] <= retries:
+                    retry.append(index)
+                else:
+                    overrides = points[index]
+                    rows[index] = SweepPoint(
+                        overrides=overrides,
+                        seed=overrides.get(
+                            "seed",
+                            point_seed(base_spec.seed, overrides),
+                        ),
+                        error=round_failures[index],
+                        attempts=attempts[index],
+                    )
+            pending = retry
+        results = rows
     else:
         raise ValueError(
             f"unknown executor {executor!r}; "

@@ -346,6 +346,16 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
         choices=("thread", "process", "serial"),
     )
     parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill a sweep point that runs longer than this "
+             "(pool executors only; the serial path runs inline)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="resubmit a crashed or timed-out point this many extra "
+             "times (same seed) before recording it as an error row",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the SweepResult JSON to PATH ('-' for stdout)",
     )
@@ -376,6 +386,7 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
         sweep = run_sweep(
             spec, grid,
             max_workers=args.max_workers, executor=args.executor,
+            point_timeout_s=args.point_timeout, retries=args.retries,
         )
     except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -653,10 +664,13 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     scenario engine loses (spec, seed) determinism / allocator
     equivalence, the scenario kernel falls under its 1.5x speedup
     floor at n=64, the capped fleet-scale scenario fails to drain its
-    trace, or the scheduler policy sweep fails its gate (every queue
+    trace, the scheduler policy sweep fails its gate (every queue
     policy drains a 100-job trace deterministically under a 60 s
     wall-time cap, with backfill strictly beating FCFS queueing delay
-    on the head-of-line-blocking trace).
+    on the head-of-line-blocking trace), or the failure-storm
+    scenario fails its gate (every recovery policy drains the trace
+    through a correlated fault storm, deterministically, with zero
+    scheduler-invariant violations and >= 20 applied fault events).
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -731,6 +745,28 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
               f"{sweep['wall_s']}s (wall-time cap 60 s)",
               file=sys.stderr)
         return 1
+    storm = next(iter(results["scenario_storm"].values()))
+    if not storm["drained"]:
+        print("RESILIENCE REGRESSION: a recovery policy failed to "
+              "drain the 100-job trace through the fault storm",
+              file=sys.stderr)
+        return 1
+    if not storm["deterministic"]:
+        print("DETERMINISM REGRESSION: same (spec, seed) under the "
+              "fault storm produced different result JSON",
+              file=sys.stderr)
+        return 1
+    if storm["invariant_violations"]:
+        print(f"RESILIENCE REGRESSION: {storm['invariant_violations']} "
+              f"scheduler-invariant violations under the fault storm",
+              file=sys.stderr)
+        return 1
+    if not storm["storm_bites"]:
+        print(f"RESILIENCE REGRESSION: the storm schedule only landed "
+              f"{storm['fault_events']} fault events (floor 20) -- "
+              f"the chaos gate is no longer exercising recovery",
+              file=sys.stderr)
+        return 1
     print("bench-smoke ok")
     return 0
 
@@ -791,6 +827,7 @@ def cmd_bench(argv: Sequence[str] = ()) -> int:
 #: them all.
 DOCTEST_MODULES = (
     "repro.api.spec",
+    "repro.cluster.faults",
     "repro.cluster.spec",
     "repro.network.topology",
     "repro.perf.fairshare",
@@ -947,6 +984,56 @@ def check_examples(argv: Sequence[str] = ()) -> int:
 
 
 # ----------------------------------------------------------------------
+# chaos-smoke
+# ----------------------------------------------------------------------
+
+def chaos_smoke(argv: Sequence[str] = ()) -> int:
+    """Replay randomized fault storms against the invariant harness.
+
+    Draws ``--runs`` chaos scenarios
+    (:func:`repro.cluster.invariants.chaos_scenario_spec`: a random
+    scenario plus a random storm schedule and recovery policy), runs
+    each twice through :func:`repro.cluster.invariants.verify_scenario`
+    -- byte-identical JSON, scheduler-log replay, conservation and
+    fault-bound checks -- and fails on the first violation.  The quick
+    pre-merge slice of the chaos harness in
+    ``tests/test_chaos.py``.
+    """
+    from repro.cluster.invariants import chaos_scenario_spec, verify_scenario
+
+    parser = argparse.ArgumentParser(prog="repro chaos-smoke")
+    parser.add_argument(
+        "--runs", type=int, default=5,
+        help="number of seeded chaos scenarios to verify (default: 5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="BASE",
+        help="first chaos seed; runs use BASE..BASE+runs-1",
+    )
+    args = parser.parse_args(list(argv))
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+    for seed in range(args.seed, args.seed + args.runs):
+        spec = chaos_scenario_spec(seed)
+        try:
+            result = verify_scenario(spec)
+        except AssertionError as error:
+            print(f"chaos seed {seed} ({spec.name!r}): {error}",
+                  file=sys.stderr)
+            return 1
+        fault = result.fault_metrics()
+        print(
+            f"  seed {seed:>3}  policy {spec.recovery.policy:<18} "
+            f"jobs {len(result.jobs):>3}  "
+            f"faults {fault['fault_events']:>2}  "
+            f"lost {fault['lost_work_s']:8.1f} s  ok"
+        )
+    print(f"chaos-smoke ok ({args.runs} runs)")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -957,6 +1044,7 @@ COMMANDS = {
     "scenario": cmd_scenario,
     "bench": cmd_bench,
     "bench-smoke": bench_smoke,
+    "chaos-smoke": chaos_smoke,
     "check-docs": check_docs,
     "check-examples": check_examples,
 }

@@ -11,7 +11,12 @@ the scheduler event log).  The scheduler is a policy plane
 disciplines, priority preemption with checkpoint/restart costs,
 elastic shard grow/shrink, and look-ahead shard provisioning
 (:class:`ShardManager`) — with a replayable invariant harness in
-:mod:`repro.cluster.invariants`.  See ``docs/scenarios.md`` for the
+:mod:`repro.cluster.invariants`.  Scenarios can also declare a fault
+schedule (:class:`FaultScheduleSpec`: link cuts, host deaths,
+correlated storms) and a recovery policy (:class:`RecoverySpec`:
+detour / reoptimize / checkpoint-restart); see
+:mod:`repro.cluster.faults` and the chaos harness's
+:func:`chaos_scenario_spec`.  See ``docs/scenarios.md`` for the
 schema, policy semantics, and metric definitions.
 
 Quick start::
@@ -30,8 +35,16 @@ from repro.cluster.engine import (
     ScenarioError,
     run_scenario,
 )
+from repro.cluster.faults import (
+    FAULT_KINDS,
+    RECOVERY_POLICIES,
+    FaultEventSpec,
+    FaultScheduleSpec,
+    RecoverySpec,
+)
 from repro.cluster.invariants import (
     GOLDEN_POLICIES,
+    chaos_scenario_spec,
     check_scenario_invariants,
     golden_scenario_spec,
     random_scenario_spec,
@@ -62,19 +75,24 @@ from repro.cluster.spec import (
 __all__ = [
     "ARRIVAL_PROCESSES",
     "FAMILY_MODELS",
+    "FAULT_KINDS",
     "GOLDEN_POLICIES",
     "PREEMPTION_MODES",
     "PROVISIONING_MODES",
     "QUEUE_POLICIES",
+    "RECOVERY_POLICIES",
     "SCENARIO_PRESETS",
     "SCENARIO_SHORTHANDS",
     "SCHEDULER_POLICIES",
     "ArrivalSpec",
     "AvailabilityProfile",
     "FailureInjection",
+    "FaultEventSpec",
+    "FaultScheduleSpec",
     "JobResult",
     "JobScheduler",
     "JobTemplateSpec",
+    "RecoverySpec",
     "ScenarioEngine",
     "ScenarioError",
     "ScenarioResult",
@@ -82,6 +100,7 @@ __all__ = [
     "SchedulerSpec",
     "ShardAllocator",
     "ShardManager",
+    "chaos_scenario_spec",
     "check_scenario_invariants",
     "golden_scenario_spec",
     "random_scenario_spec",

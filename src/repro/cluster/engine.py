@@ -60,6 +60,7 @@ from repro.api.spec import (
     FabricSpec,
     WorkloadSpec,
 )
+from repro.cluster.faults import FaultEventSpec, FaultPlane
 from repro.cluster.results import JobResult, ScenarioResult
 from repro.cluster.scheduler import (
     JobScheduler,
@@ -96,6 +97,23 @@ class FailureInjection:
     job_index: int
     link: Optional[Tuple[int, int]] = None
     repair_s: Optional[float] = None
+
+    def __post_init__(self):
+        # Validate at construction, not mid-run: a bad injection list
+        # should fail before the scenario spends any simulation time.
+        if self.time_s < 0:
+            raise ScenarioError(
+                f"failure time_s must be >= 0, got {self.time_s}"
+            )
+        if self.job_index < 0:
+            raise ScenarioError(
+                f"failure job_index must be >= 0, got {self.job_index}"
+            )
+        if self.repair_s is not None and self.repair_s < self.time_s:
+            raise ScenarioError(
+                f"failure repair at {self.repair_s}s precedes "
+                f"the failure at {self.time_s}s"
+            )
 
 
 @dataclass
@@ -167,6 +185,17 @@ class _JobLife:
     requeued_s: Optional[float] = None
     #: Total time spent requeued between eviction and re-admission.
     preempted_wait_s: float = 0.0
+    #: Fault-plane accounting: crash-suspensions suffered, progress
+    #: they destroyed, time spent fault-requeued, and re-optimizations.
+    #: ``fault_requeued`` flags whether the *current* eviction was a
+    #: fault (its wait lands in ``fault_wait_s``, not the scheduler's
+    #: ``preempted_wait_s``).
+    fault_suspensions: int = 0
+    lost_iterations: int = 0
+    lost_work_s: float = 0.0
+    fault_wait_s: float = 0.0
+    reoptimizations: int = 0
+    fault_requeued: bool = False
 
 
 @dataclass
@@ -253,16 +282,19 @@ class ScenarioEngine:
         for injection in failures:
             self._failure_events.append((injection.time_s, "fail", injection))
             if injection.repair_s is not None:
-                if injection.repair_s < injection.time_s:
-                    raise ScenarioError(
-                        f"failure repair at {injection.repair_s}s precedes "
-                        f"the failure at {injection.time_s}s"
-                    )
                 self._failure_events.append(
                     (injection.repair_s, "repair", injection)
                 )
         self._failure_events.sort(key=lambda event: event[0])
         self.failure_log: List[Dict[str, Any]] = []
+        #: The declarative fault plane (``spec.faults``), resolved into
+        #: a runtime event heap; ``None`` for fault-free scenarios so
+        #: their event loop stays byte-for-byte on the historical path.
+        self.fault_plane: Optional[FaultPlane] = None
+        if spec.faults is not None:
+            self.fault_plane = FaultPlane(
+                spec.faults, spec.seed, spec.cluster.servers
+            )
 
     # -- arrival drawing -----------------------------------------------
     def _plan(self, index, template, arrival_s, model=None, servers=None,
@@ -531,6 +563,14 @@ class ScenarioEngine:
         utilization: List[Tuple[float, int]] = [(0.0, 0)]
         fragmentation: List[Tuple[float, float]] = []
         failure_events = deque(self._failure_events)
+        plane = self.fault_plane
+        recovery = spec.recovery
+        #: Fault event -> the concrete link it ended up cutting (the
+        #: spec may leave ``link=None`` = "first ring edge"), so the
+        #: matching repair heals the same edge.
+        resolved_links: Dict[FaultEventSpec, Tuple[int, int]] = {}
+        #: Arrival indices of jobs the fault plane left unplaceable.
+        unfinished: List[int] = []
         #: (departure time, job index) heap of fast-forwarded jobs that
         #: already left their substrates.
         analytic: List[Tuple[float, int]] = []
@@ -585,12 +625,23 @@ class ScenarioEngine:
             self.scheduler_log.append(record)
 
         def job_horizon(index: int) -> float:
-            """Earliest pending failure/repair aimed at job ``index``."""
-            return min(
+            """Earliest pending routing change relevant to job ``index``.
+
+            Legacy injections name their target job; the fault plane's
+            events resolve their victims only at fire time (a storm
+            picks whoever overlaps its region), so *any* pending plane
+            event caps every job's analytic jump -- no fast-forward may
+            step over a fault, and no job may detach while one is
+            still due.
+            """
+            horizon = min(
                 (t for t, _, inj in failure_events
                  if inj.job_index == index),
                 default=math.inf,
             )
+            if plane is not None:
+                horizon = min(horizon, plane.next_time())
+            return horizon
 
         def fast_forward(entry: _Running, now: float) -> None:
             """Account steady-state iterations analytically.
@@ -786,7 +837,12 @@ class ScenarioEngine:
             if life.admitted_s is None:
                 life.admitted_s = now
             if life.requeued_s is not None:
-                life.preempted_wait_s += now - life.requeued_s
+                wait = now - life.requeued_s
+                if life.fault_requeued:
+                    life.fault_wait_s += wait
+                    life.fault_requeued = False
+                else:
+                    life.preempted_wait_s += wait
                 life.requeued_s = None
             life.segments += 1
             log_event(
@@ -950,10 +1006,428 @@ class ScenarioEngine:
                     preemptions=life.preemptions,
                     resizes=life.resizes,
                     preempted_wait_s=life.preempted_wait_s,
+                    fault_suspensions=life.fault_suspensions,
+                    lost_iterations=life.lost_iterations,
+                    lost_work_s=life.lost_work_s,
+                    fault_wait_s=life.fault_wait_s,
+                    reoptimizations=life.reoptimizations,
                 )
             )
             log_event(now, "depart", plan.index, entry.servers)
             sample(now)
+
+        # -- fault handling --------------------------------------------
+        def ensure_manager(entry: _Running) -> None:
+            """Give the job a private FailureManager (copy-on-write)."""
+            from repro.sim.failures import FailureManager
+
+            if entry.failure_manager is not None:
+                return
+            import copy as _copy
+
+            from repro.network.topoopt import TopoOptFabric
+
+            isolated = _copy.deepcopy(entry.prepared.fabric.result)
+            fabric = TopoOptFabric(
+                isolated, entry.prepared.fabric.link_bandwidth_bps
+            )
+            entry.state.spec.fabric = fabric.relabel(list(entry.servers))
+            entry.failure_manager = FailureManager(isolated)
+
+        def crash_suspend(
+            entry: _Running, now: float, reason: str
+        ) -> Dict[str, Any]:
+            """Fault-evict a running job, losing uncheckpointed work.
+
+            Unlike a scheduler preemption (which checkpoints cleanly
+            and whose block the scheduler already freed), a crash
+            arrives unannounced: the engine frees the block itself and
+            the live segment only survives up to the last periodic
+            checkpoint -- which exists only under the
+            ``checkpoint-restart`` policy.  Returns the lost-work
+            accounting for the failure log (the chaos harness checks
+            ``lost_work_s <= since_checkpoint_s + step_s``).
+            """
+            life = entry.life
+            plan = life.plan
+            segment_log = list(flush_log(entry))
+            seg_iters = (
+                len(entry.state.stats.iteration_times) + entry.ff_count
+            )
+            seg_work = sum(t * c for t, c in segment_log)
+            elapsed = max(0.0, now - entry.start_s)
+            # The roll-back slack: one iteration may straddle the
+            # checkpoint boundary, so up to the *longest* iteration of
+            # the segment is lost on top of the interval remainder.
+            step = (
+                max(t for t, _ in segment_log) if segment_log
+                else self._est_iteration(entry.prepared, len(entry.servers))
+            )
+            kept_log: List[Tuple[float, int]] = []
+            kept_iters = 0
+            kept_work = 0.0
+            if recovery.policy == "checkpoint-restart":
+                interval = recovery.checkpoint_interval_s
+                ckpt_elapsed = (
+                    math.floor(elapsed / interval + _TIME_EPS) * interval
+                )
+                budget = ckpt_elapsed
+                for t, c in segment_log:
+                    if t <= 0:
+                        kept_log.append((t, c))
+                        kept_iters += c
+                        continue
+                    fit = min(c, int((budget + _TIME_EPS) // t))
+                    if fit > 0:
+                        kept_log.append((t, fit))
+                        kept_iters += fit
+                        kept_work += t * fit
+                        budget -= t * fit
+                    if fit < c:
+                        break
+            else:
+                ckpt_elapsed = 0.0
+            lost_iters = seg_iters - kept_iters
+            lost_work = seg_work - kept_work
+            life.log.extend(kept_log)
+            life.done += kept_iters
+            life.served_s += kept_work
+            entry.substrate.suspend_job(entry.state)
+            if self.shardable:
+                drop_substrate(entry.substrate)
+            else:
+                mark_dirty(entry.substrate)
+            by_state.pop(id(entry.state), None)
+            del running[plan.index]
+            self._allocator.free(entry.servers)
+            life.fault_suspensions += 1
+            life.lost_iterations += lost_iters
+            life.lost_work_s += lost_work
+            life.pending_overhead_s += recovery.restart_s
+            life.requeued_s = now
+            life.fault_requeued = True
+            manager.forget(plan.index)
+            requeue(life)
+            log_event(
+                now, "suspend", plan.index, entry.servers, reason=reason
+            )
+            sample(now)
+            return {
+                "lost_iterations": int(lost_iters),
+                "lost_work_s": float(lost_work),
+                "since_checkpoint_s": float(elapsed - ckpt_elapsed),
+                "step_s": float(step),
+            }
+
+        def reoptimize_entry(entry: _Running, now: float) -> None:
+            """Rewire a degraded job's shard on the surviving fabric.
+
+            The healthy pipeline re-runs for the job's template (a warm
+            cache hit after the first time), the shard's optical links
+            are re-provisioned, and the job resumes on the *same*
+            server block ``reoptimize_latency_s`` later -- the OCS
+            port-retrain price.  No iterations are lost: the segment is
+            sealed exactly like an elastic resize.
+            """
+            life = entry.life
+            plan = entry.plan
+            seal_segment(entry, now)
+            entry.substrate.suspend_job(entry.state)
+            drop_substrate(entry.substrate)
+            by_state.pop(id(entry.state), None)
+            prepared = self._prepare(plan)
+            traffic = remap_traffic(prepared.traffic, list(entry.servers))
+            fabric = prepared.fabric.relabel(list(entry.servers))
+            substrate = SharedClusterSimulator(
+                fabric.capacities(),
+                seed=0,
+                stagger=False,
+                solver=spec.solver,
+            )
+            self._substrates.append(substrate)
+            start = now + recovery.reoptimize_latency_s
+            state = substrate.resume_job(
+                JobSpec(
+                    name=plan.name,
+                    traffic=traffic,
+                    compute_s=prepared.compute_s,
+                    fabric=fabric,
+                ),
+                start=start,
+            )
+            entry.prepared = prepared
+            entry.substrate = substrate
+            entry.state = state
+            entry.start_s = start
+            entry.failure_manager = None
+            entry.deadline_s = (
+                start + (life.plan.duration_s - life.served_s)
+                if life.plan.duration_s is not None else None
+            )
+            life.reoptimizations += 1
+            by_state[id(state)] = entry
+            mark_dirty(substrate)
+            log_event(
+                now, "recover", plan.index, entry.servers,
+                policy="reoptimize",
+            )
+            self.failure_log.append(
+                {
+                    "time_s": now,
+                    "job_index": plan.index,
+                    "kind": "reoptimize",
+                    "latency_s": recovery.reoptimize_latency_s,
+                }
+            )
+
+        def cut_link(
+            entry: _Running, link: Tuple[int, int], now: float
+        ) -> bool:
+            """Cut one shard link, recovering per the scenario policy.
+
+            Returns True when the cut *happened* (detoured, escalated,
+            or crash-suspended the job); False when it was skipped.
+            """
+            from repro.sim.failures import LinkFailureError
+
+            index = entry.plan.index
+            base = {"time_s": now, "job_index": index}
+            ensure_manager(entry)
+            fm = entry.failure_manager
+            if recovery.policy == "checkpoint-restart":
+                # No detours under checkpoint-restart: any cut rolls
+                # the job back to its last checkpoint and requeues it.
+                log_event(now, "fault", index, [], kind="link",
+                          link=[int(v) for v in link])
+                info = crash_suspend(entry, now, "link cut")
+                self.failure_log.append(
+                    {**base, "kind": "link_cut",
+                     "link": [int(v) for v in link], **info}
+                )
+                return True
+            try:
+                repair = fm.fail_link(*link)
+            except LinkFailureError as error:
+                log_event(now, "fault", index, [], kind="link",
+                          link=[int(v) for v in link])
+                info = crash_suspend(
+                    entry, now, "link cut disconnected the shard"
+                )
+                self.failure_log.append(
+                    {**base, "kind": "link_cut",
+                     "link": [int(v) for v in link],
+                     "reason": str(error), **info}
+                )
+                return True
+            except (ValueError, RuntimeError) as error:
+                self.failure_log.append(
+                    {**base, "kind": "skipped",
+                     "link": [int(v) for v in link], "reason": str(error)}
+                )
+                return False
+            plane.fail_started[("link", index, tuple(link))] = now
+            entry.substrate.invalidate_flows(entry.state)
+            log_event(now, "fault", index, [], kind="link",
+                      link=[int(v) for v in link])
+            self.failure_log.append(
+                {**base, "kind": "mp_detour",
+                 "link": [int(v) for v in link],
+                 "extra_hops": repair.extra_hops}
+            )
+            if (
+                recovery.policy == "reoptimize"
+                and fm.overall_slowdown()
+                >= recovery.degradation_threshold - _TIME_EPS
+            ):
+                plane.fail_started.pop(("link", index, tuple(link)), None)
+                reoptimize_entry(entry, now)
+            return True
+
+        def apply_link_fault(event: FaultEventSpec, now: float) -> None:
+            entry = running.get(event.job_index)
+            base = {"time_s": now, "job_index": event.job_index}
+            if entry is None or entry.detached:
+                self.failure_log.append(
+                    {**base, "kind": "skipped", "reason": "job not running"}
+                )
+                return
+            if not self.shardable:
+                self.failure_log.append(
+                    {**base, "kind": "skipped",
+                     "reason": "shared fabrics have no per-job "
+                               "optical shard"}
+                )
+                return
+            ensure_manager(entry)
+            link = event.link or self._default_failure_link(
+                entry.failure_manager.result
+            )
+            resolved_links[event] = tuple(link)
+            cut_link(entry, tuple(link), now)
+
+        def apply_link_repair(
+            job_index: int, link: Optional[Tuple[int, int]], now: float
+        ) -> None:
+            entry = running.get(job_index)
+            base = {"time_s": now, "job_index": job_index}
+            fm = entry.failure_manager if entry is not None else None
+            if fm is None or link is None or tuple(link) not in fm.failed:
+                self.failure_log.append(
+                    {**base, "kind": "skipped", "reason": "link not failed"}
+                )
+                return
+            fm.repair_permanently(*link)
+            entry.substrate.invalidate_flows(entry.state)
+            record = {
+                **base, "kind": "port_swap",
+                "link": [int(v) for v in link],
+            }
+            started = plane.fail_started.pop(
+                ("link", job_index, tuple(link)), None
+            )
+            if started is not None:
+                record["downtime_s"] = float(now - started)
+            self.failure_log.append(record)
+            log_event(now, "repair", job_index, [], kind="link",
+                      link=[int(v) for v in link])
+
+        def apply_server_fault(server: int, now: float) -> None:
+            base = {"time_s": now, "server": int(server)}
+            if server in plane.failed_servers:
+                self.failure_log.append(
+                    {**base, "kind": "skipped",
+                     "reason": "server already failed"}
+                )
+                return
+            victim = next(
+                (
+                    e for e in running.values()
+                    if server in e.servers and not e.detached
+                ),
+                None,
+            )
+            record = {**base, "kind": "server_fail"}
+            log_event(
+                now, "fault",
+                victim.plan.index if victim is not None else -1,
+                [int(server)], kind="server",
+            )
+            if victim is not None:
+                record["job_index"] = victim.plan.index
+                record.update(
+                    crash_suspend(victim, now, f"host {server} failed")
+                )
+            plane.failed_servers.add(server)
+            self._allocator.fail_server(server)
+            plane.fail_started[("server", server)] = now
+            self.failure_log.append(record)
+
+        def apply_server_repair(server: int, now: float) -> None:
+            base = {"time_s": now, "server": int(server)}
+            if server not in plane.failed_servers:
+                self.failure_log.append(
+                    {**base, "kind": "skipped",
+                     "reason": "server not failed"}
+                )
+                return
+            plane.failed_servers.discard(server)
+            self._allocator.repair_server(server)
+            record = {**base, "kind": "server_repair"}
+            started = plane.fail_started.pop(("server", server), None)
+            if started is not None:
+                record["downtime_s"] = float(now - started)
+            self.failure_log.append(record)
+            log_event(now, "repair", -1, [int(server)], kind="server")
+
+        def apply_storm(event: FaultEventSpec, now: float) -> None:
+            """Expand a correlated storm against the engine's state.
+
+            Victim selection is deterministic: the first live hosts of
+            the region die, and ring-edge cuts round-robin over the
+            running jobs overlapping the region in arrival order.
+            """
+            end = min(
+                event.region_start + event.region_size,
+                plane.cluster_servers,
+            )
+            region = range(event.region_start, end)
+            region_set = set(region)
+            self.failure_log.append(
+                {
+                    "time_s": now,
+                    "kind": "storm",
+                    "region": [event.region_start, event.region_size],
+                    "servers_hit": event.servers_hit,
+                    "links_hit": event.links_hit,
+                }
+            )
+            hosts = [
+                s for s in region if s not in plane.failed_servers
+            ][: event.servers_hit]
+            for server in hosts:
+                apply_server_fault(server, now)
+                if event.repair_s is not None:
+                    plane.push(event.repair_s, "server_repair", server)
+            targets = sorted(
+                e.plan.index for e in running.values()
+                if not e.detached and region_set & set(e.servers)
+            )
+            cuts = 0
+            while cuts < event.links_hit and targets and self.shardable:
+                progressed = False
+                for index in list(targets):
+                    if cuts >= event.links_hit:
+                        break
+                    entry = running.get(index)
+                    if entry is None or entry.detached:
+                        targets.remove(index)
+                        continue
+                    ensure_manager(entry)
+                    fm = entry.failure_manager
+                    link = next(
+                        (
+                            edge for edge in fm.ring_edges()
+                            if edge not in fm.failed
+                        ),
+                        None,
+                    )
+                    if link is None:
+                        targets.remove(index)
+                        continue
+                    if cut_link(entry, link, now):
+                        cuts += 1
+                        progressed = True
+                        if event.repair_s is not None:
+                            plane.push(
+                                event.repair_s, "link_repair",
+                                (index, link),
+                            )
+                    else:
+                        targets.remove(index)
+                if not progressed:
+                    break
+
+        def apply_fault(tag: str, payload: Any, now: float) -> None:
+            if tag == "link_fail":
+                apply_link_fault(payload, now)
+            elif tag == "link_repair":
+                if isinstance(payload, FaultEventSpec):
+                    apply_link_repair(
+                        payload.job_index,
+                        resolved_links.get(payload, payload.link),
+                        now,
+                    )
+                else:
+                    index, link = payload
+                    apply_link_repair(index, link, now)
+            elif tag == "server_fail":
+                # The matching repair was queued when the plane was
+                # built (explicit server events know their repair_s).
+                apply_server_fault(payload.server, now)
+            elif tag == "server_repair":
+                apply_server_repair(payload, now)
+            else:  # storm
+                apply_storm(payload, now)
 
         while pending or queue or running:
             candidates: List[float] = []
@@ -961,6 +1435,8 @@ class ScenarioEngine:
                 candidates.append(pending[0].arrival_s)
             if failure_events:
                 candidates.append(failure_events[0][0])
+            if plane is not None and math.isfinite(plane.next_time()):
+                candidates.append(plane.next_time())
             if analytic:
                 candidates.append(analytic[0][0])
             # Refresh only substrates the previous event touched; the
@@ -978,6 +1454,26 @@ class ScenarioEngine:
                 event for _, event in substrate_events if event is not None
             )
             if not candidates:
+                if queue and (
+                    plane is not None
+                    or any(
+                        life.fault_suspensions
+                        for life in lives.values()
+                    )
+                ):
+                    # The fault plane made the queue unplaceable (hosts
+                    # dead for good, or a suspended job that can never
+                    # be re-admitted).  Degrade gracefully: report the
+                    # survivors as unfinished instead of raising.
+                    unfinished.extend(
+                        sorted(life.plan.index for life in queue)
+                    )
+                    for life in queue:
+                        log_event(
+                            makespan, "unfinished", life.plan.index, [],
+                        )
+                    queue.clear()
+                    break
                 stuck = [life.plan.name for life in queue]
                 raise ScenarioError(
                     f"scenario stalled with jobs queued: {stuck}"
@@ -1031,7 +1527,15 @@ class ScenarioEngine:
             # 2. failures due at now
             while failure_events and failure_events[0][0] <= now + _TIME_EPS:
                 _, action, injection = failure_events.popleft()
-                self._apply_failure(action, injection, running, now)
+                self._apply_failure(
+                    action, injection, running, now,
+                    on_disconnect=crash_suspend,
+                )
+                control_due = True
+            # 2b. fault-plane events due at now
+            if plane is not None and plane.next_time() <= now + _TIME_EPS:
+                for tag, payload in plane.pop_due(now, _TIME_EPS):
+                    apply_fault(tag, payload, now)
                 control_due = True
             # 3. arrivals due at now
             while pending and pending[0].arrival_s <= now + _TIME_EPS:
@@ -1056,6 +1560,15 @@ class ScenarioEngine:
                     "reason": "scenario ended before injection time",
                 }
             )
+        if plane is not None:
+            for when, tag, _payload in plane.drain():
+                self.failure_log.append(
+                    {
+                        "time_s": when,
+                        "kind": "skipped",
+                        "reason": f"scenario ended before {tag} time",
+                    }
+                )
 
         return ScenarioResult(
             spec=spec,
@@ -1065,6 +1578,7 @@ class ScenarioEngine:
             fragmentation_timeline=tuple(fragmentation),
             failure_log=tuple(self.failure_log),
             scheduler_log=tuple(self.scheduler_log),
+            unfinished_jobs=tuple(unfinished),
         )
 
     # -- failures ------------------------------------------------------
@@ -1074,8 +1588,9 @@ class ScenarioEngine:
         injection: FailureInjection,
         running: Dict[int, _Running],
         now: float,
+        on_disconnect=None,
     ) -> None:
-        from repro.sim.failures import FailureManager
+        from repro.sim.failures import FailureManager, LinkFailureError
 
         entry = running.get(injection.job_index)
         base = {"time_s": now, "job_index": injection.job_index}
@@ -1113,11 +1628,37 @@ class ScenarioEngine:
         if action == "fail":
             try:
                 repair = manager.fail_link(*link)
+            except LinkFailureError as error:
+                # A disconnecting cut is a real fault, not a no-op: the
+                # job cannot make progress on a split shard.  Suspend
+                # and requeue it (losing the uncheckpointed segment)
+                # instead of letting the error escape the event loop.
+                if on_disconnect is not None:
+                    info = on_disconnect(entry, now, "shard disconnected")
+                    self.failure_log.append(
+                        {
+                            **base,
+                            "kind": "link_cut",
+                            "link": list(link),
+                            "reason": str(error),
+                            **info,
+                        }
+                    )
+                else:
+                    self.failure_log.append(
+                        {
+                            **base,
+                            "kind": "skipped",
+                            "link": list(link),
+                            "reason": str(error),
+                        }
+                    )
+                return
             except (ValueError, RuntimeError) as error:
-                # Already-failed edges, links absent from the shard
-                # topology, disconnecting failures: log, don't abort --
-                # the scenario result must stay reachable (and
-                # deterministic) for any injection list.
+                # Already-failed edges and links absent from the shard
+                # topology: log, don't abort -- the scenario result
+                # must stay reachable (and deterministic) for any
+                # injection list.
                 self.failure_log.append(
                     {
                         **base,

@@ -21,10 +21,16 @@ violation it finds:
 - **Utilization bounds** — the busy-server count stays within
   ``[0, cluster.servers]`` and matches the replayed occupancy.
 - **Causality** — ``arrival <= admitted <= completed`` per job.
+- **Fault bounds** — a crash-suspension never allocates onto a dead
+  host, releases the victim's exact block, and loses at most the time
+  since the last checkpoint plus one in-flight iteration (and under
+  ``checkpoint-restart``, the checkpoint is never older than one
+  ``checkpoint_interval_s``).
 
 :func:`verify_scenario` bundles the workflow the property tests use:
 run the spec twice, assert byte-identical JSON, check the invariants,
-and return the (first) result.
+and return the (first) result.  :func:`chaos_scenario_spec` feeds it
+randomized failure storms on top of the randomized scheduler load.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.engine import run_scenario
+from repro.cluster.faults import RECOVERY_POLICIES
 from repro.cluster.results import ScenarioResult
 from repro.cluster.spec import QUEUE_POLICIES, ScenarioSpec
 
@@ -109,6 +116,7 @@ def check_scenario_invariants(result: ScenarioResult) -> List[str]:
     # -- replay the scheduler event stream -----------------------------
     occupancy: Dict[int, int] = {}  # server -> job index
     held: Dict[int, List[int]] = {}  # job index -> its current block
+    dead: set = set()  # servers currently failed (host faults)
     last_time = 0.0
     for event in result.scheduler_log:
         when = event["time_s"]
@@ -142,9 +150,14 @@ def check_scenario_invariants(result: ScenarioResult) -> List[str]:
                         f"{occupancy[server]} still holds it when job "
                         f"{job} is {kind}ed at t={when}"
                     )
+                elif server in dead:
+                    violations.append(
+                        f"job {job} {kind}ed onto failed server "
+                        f"{server} at t={when}"
+                    )
                 occupancy[server] = job
             held[job] = block
-        elif kind in ("preempt", "depart"):
+        elif kind in ("preempt", "depart", "suspend"):
             current = held.pop(job, None)
             if current is None:
                 violations.append(
@@ -159,6 +172,24 @@ def check_scenario_invariants(result: ScenarioResult) -> List[str]:
                 )
             for server in current:
                 occupancy.pop(server, None)
+        elif kind == "fault":
+            if event.get("kind") == "server":
+                for server in block:
+                    dead.add(server)
+                    occupant = occupancy.get(server)
+                    if occupant is not None and occupant != job:
+                        violations.append(
+                            f"host {server} died at t={when} naming "
+                            f"job {job} but job {occupant} holds it"
+                        )
+        elif kind == "repair":
+            if event.get("kind") == "server":
+                for server in block:
+                    dead.discard(server)
+        elif kind in ("recover", "unfinished"):
+            # Informational: a recover keeps the job on its block; an
+            # unfinished marker carries no occupancy change.
+            pass
         else:
             violations.append(f"unknown scheduler event {kind!r}")
     if held:
@@ -204,6 +235,33 @@ def check_scenario_invariants(result: ScenarioResult) -> List[str]:
             violations.append(
                 f"utilization at t={when} is {busy}, outside "
                 f"[0, {cluster_servers}]"
+            )
+
+    # -- fault-plane bounds --------------------------------------------
+    # Every crash-suspension records what it destroyed.  No policy may
+    # lose more than the time since the last checkpoint plus the one
+    # iteration that straddles it, and under checkpoint-restart the
+    # checkpoint can never be older than one interval.
+    interval = spec.recovery.checkpoint_interval_s
+    for entry in result.failure_log:
+        if "lost_work_s" not in entry:
+            continue
+        lost = float(entry["lost_work_s"])
+        since = float(entry["since_checkpoint_s"])
+        step = float(entry["step_s"])
+        if lost > since + step + _EPS:
+            violations.append(
+                f"fault at t={entry['time_s']} lost {lost}s of work, "
+                f"more than since_checkpoint ({since}s) + one "
+                f"iteration ({step}s)"
+            )
+        if (
+            spec.recovery.policy == "checkpoint-restart"
+            and since > interval + _EPS
+        ):
+            violations.append(
+                f"fault at t={entry['time_s']} rolled back {since}s, "
+                f"past the checkpoint interval ({interval}s)"
             )
     return violations
 
@@ -269,6 +327,38 @@ def golden_scenario_spec(key: str) -> ScenarioSpec:
         "count": 4,
     })
     return base.with_overrides(GOLDEN_POLICIES[key])
+
+
+def chaos_scenario_spec(
+    seed: int, policy: Optional[str] = None
+) -> ScenarioSpec:
+    """A randomized scenario *plus* a randomized fault storm schedule.
+
+    Builds on :func:`random_scenario_spec` (same contention-forcing job
+    mix) and layers seeded storms, a random recovery policy (or the
+    given ``policy``) and a small checkpoint interval on top, so the
+    chaos harness exercises host deaths, link cuts, crash-suspensions
+    and repairs in one run.  Deterministic per (seed, policy).
+    """
+    rng = random.Random(f"chaos-{seed}")
+    spec = random_scenario_spec(
+        seed, queue=rng.choice(("fcfs", "easy", "conservative"))
+    )
+    servers_hit = rng.randint(0, 2)
+    links_hit = rng.randint(0, 2)
+    if servers_hit + links_hit == 0:
+        servers_hit = 1
+    overrides: Dict[str, object] = {
+        "storms": rng.randint(1, 3),
+        "storm_window_s": round(rng.uniform(0.2, 2.0), 3),
+        "storm_region_size": rng.choice((4, 8)),
+        "storm_servers": servers_hit,
+        "storm_links": links_hit,
+        "mean_repair_s": round(rng.uniform(0.3, 1.5), 3),
+        "recovery_policy": policy or rng.choice(RECOVERY_POLICIES),
+        "checkpoint_interval_s": round(rng.uniform(0.3, 1.0), 3),
+    }
+    return spec.with_overrides(overrides)
 
 
 def verify_scenario(

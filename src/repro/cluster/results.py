@@ -76,6 +76,16 @@ class JobResult:
     preemptions: int = 0
     resizes: int = 0
     preempted_wait_s: float = 0.0
+    #: Fault-plane accounting (all zero -- and absent from the JSON --
+    #: when the scenario injects no faults): crash-suspensions suffered,
+    #: iterations of progress lost to them, the work-seconds those
+    #: iterations represent, time spent requeued after a fault, and how
+    #: many times the recovery plane re-optimized the job's fabric.
+    fault_suspensions: int = 0
+    lost_iterations: int = 0
+    lost_work_s: float = 0.0
+    fault_wait_s: float = 0.0
+    reoptimizations: int = 0
 
     def __post_init__(self):
         if self.iteration_counts is not None and len(
@@ -142,6 +152,16 @@ class JobResult:
             data["resizes"] = int(self.resizes)
         if self.preempted_wait_s:
             data["preempted_wait_s"] = float(self.preempted_wait_s)
+        if self.fault_suspensions:
+            data["fault_suspensions"] = int(self.fault_suspensions)
+        if self.lost_iterations:
+            data["lost_iterations"] = int(self.lost_iterations)
+        if self.lost_work_s:
+            data["lost_work_s"] = float(self.lost_work_s)
+        if self.fault_wait_s:
+            data["fault_wait_s"] = float(self.fault_wait_s)
+        if self.reoptimizations:
+            data["reoptimizations"] = int(self.reoptimizations)
         return data
 
     @classmethod
@@ -178,6 +198,11 @@ class ScenarioResult:
     #: Scheduler decision stream: admit/preempt/resize/depart events as
     #: plain dicts (``time_s``, ``event``, ``job_index``, ``servers``).
     scheduler_log: Tuple[Dict[str, Any], ...] = ()
+    #: Jobs still queued or suspended when the fault plane left the
+    #: scenario unable to place them (e.g. too many hosts dead at the
+    #: end of the schedule).  Empty -- and absent from the JSON -- for
+    #: every scenario that drains.
+    unfinished_jobs: Tuple[int, ...] = ()
     wall_time_s: Optional[float] = field(default=None, compare=False)
 
     # -- aggregate metrics ---------------------------------------------
@@ -251,12 +276,76 @@ class ScenarioResult:
             return 0.0
         return max(value for _, value in self.fragmentation_timeline)
 
-    def metrics(self) -> Dict[str, Any]:
-        """The aggregate block embedded in the JSON (derived, not stored)."""
-        iter_avg, iter_p99 = self.iteration_stats()
-        jct_avg, jct_p99 = self.jct_stats()
-        queue_avg, queue_p99 = self.queueing_stats()
+    def fault_metrics(self) -> Dict[str, Any]:
+        """Resilience aggregates (section 7 storms; MTTR / availability).
+
+        * ``fault_events`` -- faults the plane actually applied (detoured
+          link cuts, disconnecting cuts, host deaths); skipped
+          injections and repairs don't count.
+        * ``mttr_s`` -- mean time to repair over every repair entry that
+          recorded its outage's ``downtime_s``.
+        * ``availability`` -- fraction of in-system job-time *not* spent
+          requeued by a fault: ``1 - sum(fault_wait) / sum(jct)``.
+        * ``lost_work_s`` / ``goodput_degradation`` -- work-seconds
+          thrown away by crash-suspensions, absolute and as a fraction
+          of all work-seconds computed (kept + lost).
+        """
+        fault_kinds = {"mp_detour", "link_cut", "server_fail"}
+        fault_events = sum(
+            1 for entry in self.failure_log
+            if entry.get("kind") in fault_kinds
+        )
+        downtimes = [
+            float(entry["downtime_s"]) for entry in self.failure_log
+            if "downtime_s" in entry
+        ]
+        total_jct = sum(job.jct_s for job in self.jobs)
+        total_wait = sum(job.fault_wait_s for job in self.jobs)
+        lost = sum(job.lost_work_s for job in self.jobs)
+        served = 0.0
+        for job in self.jobs:
+            counts = job.iteration_counts or (
+                (1,) * len(job.iteration_times)
+            )
+            served += sum(
+                t * c for t, c in zip(job.iteration_times, counts)
+            )
         return {
+            "fault_events": int(fault_events),
+            "mttr_s": float(np.mean(downtimes)) if downtimes else 0.0,
+            "availability": (
+                1.0 - total_wait / total_jct if total_jct > 0 else 1.0
+            ),
+            "lost_work_s": float(lost),
+            "goodput_degradation": (
+                lost / (served + lost) if served + lost > 0 else 0.0
+            ),
+            "fault_suspensions": int(
+                sum(job.fault_suspensions for job in self.jobs)
+            ),
+            "reoptimizations": int(
+                sum(job.reoptimizations for job in self.jobs)
+            ),
+            "jobs_unfinished": len(self.unfinished_jobs),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """The aggregate block embedded in the JSON (derived, not stored).
+
+        The resilience block (:meth:`fault_metrics`) appears only when
+        the scenario saw failures or left jobs unfinished, so fault-free
+        results keep their exact historical key set (and bytes).
+        """
+        if self.jobs:
+            iter_avg, iter_p99 = self.iteration_stats()
+            jct_avg, jct_p99 = self.jct_stats()
+            queue_avg, queue_p99 = self.queueing_stats()
+        else:
+            # A storm can leave every job unfinished; aggregates over
+            # zero completions degrade to 0 instead of raising.
+            iter_avg = iter_p99 = 0.0
+            jct_avg = jct_p99 = queue_avg = queue_p99 = 0.0
+        data = {
             "jobs_completed": len(self.jobs),
             "makespan_s": self.makespan_s,
             "iteration_avg_s": iter_avg,
@@ -272,10 +361,13 @@ class ScenarioResult:
             ),
             "resizes": int(sum(job.resizes for job in self.jobs)),
         }
+        if self.failure_log or self.unfinished_jobs:
+            data.update(self.fault_metrics())
+        return data
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "type": "scenario",
             "spec": self.spec.to_dict(),
             "jobs": [job.to_dict() for job in self.jobs],
@@ -295,6 +387,11 @@ class ScenarioResult:
             "metrics": self.metrics(),
             "provenance": {"seed": self.spec.seed},
         }
+        if self.unfinished_jobs:
+            data["unfinished_jobs"] = [
+                int(index) for index in self.unfinished_jobs
+            ]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
@@ -315,5 +412,8 @@ class ScenarioResult:
             ),
             scheduler_log=tuple(
                 dict(entry) for entry in data.get("scheduler_log", ())
+            ),
+            unfinished_jobs=tuple(
+                int(index) for index in data.get("unfinished_jobs", ())
             ),
         )

@@ -55,7 +55,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -109,6 +109,11 @@ class ShardAllocator:
         self._mask[num_servers] = 0
         #: start id -> the exact server tuple carved there.
         self._blocks: Dict[int, Tuple[int, ...]] = {}
+        #: servers taken out of service by a host failure.  Failed
+        #: servers are neither free nor busy: they punch holes in the
+        #: mask (so no block is carved across them) without counting
+        #: toward utilization.
+        self._failed: Set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -116,8 +121,12 @@ class ShardAllocator:
         return len(self._free)
 
     @property
+    def failed_count(self) -> int:
+        return len(self._failed)
+
+    @property
     def busy_count(self) -> int:
-        return self.num_servers - len(self._free)
+        return self.num_servers - len(self._free) - len(self._failed)
 
     def free_mask(self) -> np.ndarray:
         """The free pool as a boolean mask (a copy; True = free)."""
@@ -231,6 +240,41 @@ class ShardAllocator:
         del self._blocks[start]
         self._free |= set(servers)
         self._mask[list(servers)] = 1
+
+    # ------------------------------------------------------------------
+    def fail_server(self, server: int) -> None:
+        """Take a *free* server out of service (host failure).
+
+        The engine evicts any resident job first (its whole block is
+        freed through the suspend path), so by the time the allocator
+        hears about the failure the server must be free.  The failed
+        server leaves both the free set and the mask: no future block
+        is carved across it, and ``busy_count`` / ``utilization`` keep
+        reporting only genuinely working servers.
+        """
+        if not 0 <= server < self.num_servers:
+            raise ValueError(
+                f"server {server} is outside this cluster's servers "
+                f"0..{self.num_servers - 1}"
+            )
+        if server in self._failed:
+            raise ValueError(f"server {server} is already failed")
+        if server not in self._free:
+            raise ValueError(
+                f"server {server} is still allocated; evict its job "
+                "before failing the host"
+            )
+        self._free.discard(server)
+        self._failed.add(server)
+        self._mask[server] = 0
+
+    def repair_server(self, server: int) -> None:
+        """Return a failed server to the free pool."""
+        if server not in self._failed:
+            raise ValueError(f"server {server} is not failed")
+        self._failed.discard(server)
+        self._free.add(server)
+        self._mask[server] = 1
 
 
 class AvailabilityProfile:

@@ -40,6 +40,11 @@ from repro.api.spec import (
     _require,
     apply_overrides,
 )
+from repro.cluster.faults import (
+    RECOVERY_POLICIES,
+    FaultScheduleSpec,
+    RecoverySpec,
+)
 from repro.models.configs import CONFIG_FAMILIES, MODEL_BUILDERS
 from repro.sim.cluster import NETWORK_SOLVERS
 
@@ -114,6 +119,17 @@ SCENARIO_SHORTHANDS: Dict[str, str] = {
     "elastic": "scheduler.elastic",
     "resize_latency_s": "scheduler.resize_latency_s",
     "provisioning": "scheduler.provisioning",
+    "storms": "faults.storms",
+    "storm_window_s": "faults.storm_window_s",
+    "storm_region_size": "faults.storm_region_size",
+    "storm_servers": "faults.storm_servers",
+    "storm_links": "faults.storm_links",
+    "mean_repair_s": "faults.mean_repair_s",
+    "recovery_policy": "recovery.policy",
+    "degradation_threshold": "recovery.degradation_threshold",
+    "reoptimize_latency_s": "recovery.reoptimize_latency_s",
+    "checkpoint_interval_s": "recovery.checkpoint_interval_s",
+    "recovery_restart_s": "recovery.restart_s",
 }
 
 
@@ -421,6 +437,14 @@ class ScenarioSpec:
     )
     solver: str = "kernel"
     max_sim_time_s: float = 3600.0
+    #: Fault schedule (link cuts, host failures, correlated storms);
+    #: ``None`` = no faults.  An empty schedule normalizes to ``None``
+    #: and both serialize identically (the key is omitted), so
+    #: pre-fault-plane results stay byte-identical.
+    faults: Optional[FaultScheduleSpec] = None
+    #: How the engine recovers from faults (detour / reoptimize /
+    #: checkpoint-restart); the default serializes to nothing.
+    recovery: RecoverySpec = field(default_factory=RecoverySpec)
     #: Skip steady-state iterations analytically: once a job on an
     #: isolated shard completes a simulated iteration, every following
     #: iteration is identical until its routing changes, so the engine
@@ -434,7 +458,24 @@ class ScenarioSpec:
 
     def __post_init__(self):
         object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.faults is not None and self.faults.is_empty:
+            object.__setattr__(self, "faults", None)
         _require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
+        if self.faults is not None:
+            for event in self.faults.events:
+                if event.kind == "server":
+                    _require(
+                        event.server < self.cluster.servers,
+                        f"fault targets server {event.server} but the "
+                        f"cluster has only {self.cluster.servers}",
+                    )
+                elif event.kind == "storm":
+                    _require(
+                        event.region_start < self.cluster.servers,
+                        f"storm region starts at server "
+                        f"{event.region_start} but the cluster has only "
+                        f"{self.cluster.servers}",
+                    )
         _require(len(self.jobs) >= 1, "jobs needs at least one template")
         _require(
             self.solver in SCENARIO_SOLVERS,
@@ -481,8 +522,14 @@ class ScenarioSpec:
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-native dict; exact inverse of :meth:`from_dict`."""
-        return {
+        """JSON-native dict; exact inverse of :meth:`from_dict`.
+
+        The fault plane's keys (``faults``, ``recovery``) are omitted
+        at their defaults so no-fault scenarios -- including every
+        committed golden snapshot -- serialize byte-identically to
+        releases that predate the fault plane.
+        """
+        data = {
             "name": self.name,
             "seed": self.seed,
             "cluster": self.cluster.to_dict(),
@@ -495,6 +542,11 @@ class ScenarioSpec:
             "max_sim_time_s": self.max_sim_time_s,
             "fast_forward": self.fast_forward,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        if self.recovery != RecoverySpec():
+            data["recovery"] = self.recovery.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -506,9 +558,14 @@ class ScenarioSpec:
             ("arrivals", ArrivalSpec),
             ("scheduler", SchedulerSpec),
             ("optimizer", OptimizerSpec),
+            ("recovery", RecoverySpec),
         ):
             if key in kwargs and not isinstance(kwargs[key], sub):
                 kwargs[key] = sub.from_dict(kwargs[key])
+        if kwargs.get("faults") is not None and not isinstance(
+            kwargs["faults"], FaultScheduleSpec
+        ):
+            kwargs["faults"] = FaultScheduleSpec.from_dict(kwargs["faults"])
         if "jobs" in kwargs:
             kwargs["jobs"] = tuple(
                 t if isinstance(t, JobTemplateSpec)
@@ -524,10 +581,16 @@ class ScenarioSpec:
         Numeric path parts index into lists, so a sweep can vary one
         template: ``{"jobs.0.model": "BERT"}``.  Shorthands come from
         :data:`SCENARIO_SHORTHANDS`.  The result is re-validated.
+
+        ``faults.*`` / ``recovery.*`` paths work even though the
+        default spec omits both keys from its dict: defaults are
+        filled in before the overrides apply, and an untouched (or
+        still-empty) fault plane normalizes away again.
         """
-        data = apply_overrides(
-            self.to_dict(), overrides, SCENARIO_SHORTHANDS
-        )
+        data = self.to_dict()
+        data.setdefault("faults", FaultScheduleSpec().to_dict())
+        data.setdefault("recovery", RecoverySpec().to_dict())
+        data = apply_overrides(data, overrides, SCENARIO_SHORTHANDS)
         return ScenarioSpec.from_dict(data)
 
     # -- presets -------------------------------------------------------

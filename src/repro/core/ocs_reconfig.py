@@ -26,6 +26,13 @@ from repro.network.topology import DirectConnectTopology
 Pair = Tuple[int, int]
 DiscountFn = Callable[[int], float]
 
+#: Optical circuit switch reconfiguration latency (section 2.3 /
+#: Table 1: commercial 3D-MEMS OCS ports retrain in ~10 ms).  This is
+#: the price a scenario's ``reoptimize`` recovery policy charges when
+#: it rewires a surviving shard after a failure, and the natural
+#: default for any other caller that models a mid-run reconfiguration.
+OCS_RECONFIG_LATENCY_S = 0.010
+
 
 def exponential_discount(links: int) -> float:
     """The paper's default: Discount(l) = sum_{x=1..l} 2^-x (Eq. 2)."""

@@ -616,6 +616,91 @@ def bench_scheduler_sweep(n: int = 64) -> Dict:
     return record
 
 
+def bench_scenario_storm(n: int = 64) -> Dict:
+    """Failure-storm drain gate: correlated faults x recovery policies.
+
+    ``n`` servers ingest the 100-job wall-clock trace from
+    :func:`bench_scheduler_sweep` while a declared fault schedule
+    (:class:`repro.cluster.faults.FaultScheduleSpec`) lands correlated
+    storms -- host deaths plus ring-link cuts inside a rack-sized
+    region -- across the busy part of the timeline.  Each recovery
+    policy (detour / reoptimize / checkpoint-restart) must drain the
+    full trace with zero invariant violations (which includes the
+    checkpoint lost-work bound), the storm schedule must actually bite
+    (>= 20 applied fault events under at least one policy), and the
+    detour run repeated with identical (spec, seed) must be
+    byte-identical JSON.
+    """
+    from repro.cluster import ArrivalSpec, JobTemplateSpec, ScenarioSpec
+    from repro.cluster.engine import run_scenario
+    from repro.cluster.invariants import check_scenario_invariants
+    from repro.cluster.spec import SchedulerSpec
+    from repro.cluster.faults import RECOVERY_POLICIES
+    from repro.api.spec import ClusterSpec, FabricSpec
+
+    jobs = 100
+    spec = ScenarioSpec(
+        name=f"bench-scenario-storm-n{n}",
+        cluster=ClusterSpec(servers=n, degree=4, bandwidth_gbps=100.0),
+        fabric=FabricSpec(kind="topoopt"),
+        arrivals=ArrivalSpec(
+            process="trace", count=jobs, mean_interarrival_s=14400.0,
+            max_servers=16, durations="wallclock",
+        ),
+        jobs=(
+            JobTemplateSpec(model="DLRM", servers=8),
+            JobTemplateSpec(model="BERT", servers=8),
+            JobTemplateSpec(model="CANDLE", servers=8),
+            JobTemplateSpec(model="VGG16", servers=8),
+        ),
+        scheduler=SchedulerSpec(policy="best-fit"),
+        max_sim_time_s=2e8,
+        fast_forward=True,
+    )
+    # Storms over the first ~23 simulated days: arrivals span ~17 days
+    # (100 x 4 h), so every storm lands while the cluster is busy.
+    spec = spec.with_overrides({
+        "storms": 8,
+        "storm_window_s": 2e6,
+        "storm_region_size": 8,
+        "storm_servers": 2,
+        "storm_links": 2,
+        "mean_repair_s": 2e4,
+        "checkpoint_interval_s": 1800.0,
+    })
+    record: Dict = {"servers": n, "jobs": jobs}
+    drained = True
+    violations = 0
+    max_fault_events = 0
+    start_all = time.perf_counter()
+    for policy in RECOVERY_POLICIES:
+        policy_spec = spec.with_overrides({"recovery_policy": policy})
+        start = time.perf_counter()
+        result = run_scenario(policy_spec)
+        key = policy.replace("-", "_")
+        record[f"{key}_wall_s"] = round(time.perf_counter() - start, 3)
+        fault = result.fault_metrics()
+        record[f"{key}_fault_events"] = fault["fault_events"]
+        record[f"{key}_lost_work_s"] = round(fault["lost_work_s"], 3)
+        max_fault_events = max(max_fault_events, fault["fault_events"])
+        drained = drained and (
+            len(result.jobs) == jobs and not result.unfinished_jobs
+        )
+        violations += len(check_scenario_invariants(result))
+        if policy == "detour":
+            repeat = run_scenario(policy_spec)
+            record["deterministic"] = (
+                json.dumps(result.to_dict(), sort_keys=True)
+                == json.dumps(repeat.to_dict(), sort_keys=True)
+            )
+    record["drained"] = bool(drained)
+    record["invariant_violations"] = violations
+    record["fault_events"] = max_fault_events
+    record["storm_bites"] = bool(max_fault_events >= 20)
+    record["wall_s"] = round(time.perf_counter() - start_all, 3)
+    return record
+
+
 #: Sizes the staggered-phase scenario runs at: the batch baseline is
 #: quadratic-ish in events x flows, so n=128 would dominate the whole
 #: suite without changing the verdict (the acceptance gate is n=64).
@@ -640,6 +725,12 @@ FLEET_SMOKE_SIZES = (200,)
 #: determinism, backfill < FCFS queueing), not a speedup curve.
 SCHEDULER_SWEEP_SIZES = (64,)
 
+#: Failure-storm scenario size (servers; the trace is always 100
+#: jobs).  One size at both scales: the gate is behavioral (drain
+#: under every recovery policy, determinism, zero invariant
+#: violations, the storm actually biting), not a speedup curve.
+STORM_SIZES = (64,)
+
 #: Sizes the search-plane scenarios run at (fixed, per the acceptance
 #: criteria): the full-rebuild baseline re-routes all n^2 pairs per
 #: proposal, so n=128 would dominate the suite without changing the
@@ -658,6 +749,7 @@ BENCH_ENTRIES = {
     "scenario": bench_scenario,
     "scenario_fleet": bench_scenario_fleet,
     "scheduler_sweep": bench_scheduler_sweep,
+    "scenario_storm": bench_scenario_storm,
 }
 
 
@@ -666,7 +758,7 @@ def run_benchmarks(
     scenarios: Sequence[str] = (
         "phase_sim", "routing", "lp_assembly", "staggered_phase",
         "mcmc_steps", "alternating", "scenario", "scenario_fleet",
-        "scheduler_sweep",
+        "scheduler_sweep", "scenario_storm",
     ),
 ) -> Dict:
     """Run the kernel micro-benchmarks and return the results tree."""
@@ -687,6 +779,8 @@ def run_benchmarks(
             scenario_sizes = FLEET_SIZES if full_run else FLEET_SMOKE_SIZES
         elif scenario == "scheduler_sweep":
             scenario_sizes = SCHEDULER_SWEEP_SIZES
+        elif scenario == "scenario_storm":
+            scenario_sizes = STORM_SIZES
         elif scenario in ("mcmc_steps", "alternating"):
             scenario_sizes = SEARCH_SIZES
         for n in scenario_sizes:

@@ -62,16 +62,22 @@ class FailureManager:
             raise ValueError(f"link {link} does not exist")
         if link in self.failed:
             raise ValueError(f"link {link} already failed")
-        self.failed.add(link)
 
         working = topology.copy()
         working.remove_link(src, dst, count=topology.multiplicity(src, dst))
+        for a, b in self.failed:
+            if working.has_link(a, b):
+                working.remove_link(a, b, count=working.multiplicity(a, b))
         detour = working.shortest_path(src, dst)
         if detour is None:
+            # Leave the manager untouched: a disconnection must not
+            # half-apply (the caller suspends the job and may retry
+            # other links against a consistent failure set).
             raise LinkFailureError(
                 f"failure of {link} disconnected the fabric; "
                 "only possible with multiple concurrent failures"
             )
+        self.failed.add(link)
         action = RepairAction(
             failed_link=link,
             kind="mp_detour",
@@ -189,3 +195,34 @@ class FailureManager:
                     if paths:
                         worst = max(worst, float(len(paths[0]) - 1))
         return worst
+
+    def overall_slowdown(self) -> float:
+        """Worst ring-edge hop stretch across *all* groups.
+
+        The scenario engine's degradation threshold compares against
+        this: once any collective in the job is stretched past the
+        threshold, a detour is no longer good enough and the recovery
+        policy escalates to re-optimization.
+        """
+        worst = 1.0
+        for plan in self.result.group_plans:
+            worst = max(worst, self.slowdown_factor(plan.group.members))
+        return worst
+
+    def ring_edges(self) -> List[Link]:
+        """Every directed ring edge, deduped, in plan/ring order.
+
+        Storm injection picks victims from this list so correlated
+        failures always target links that carry collective traffic.
+        """
+        seen: Set[Link] = set()
+        edges: List[Link] = []
+        for plan in self.result.group_plans:
+            for ring in plan.rings:
+                k = len(ring)
+                for i in range(k):
+                    edge = (ring[i], ring[(i + 1) % k])
+                    if edge not in seen:
+                        seen.add(edge)
+                        edges.append(edge)
+        return edges

@@ -146,8 +146,20 @@ class TestDeclarativeCommands:
     def test_subcommands_cover_the_dispatch_table(self):
         assert set(SUBCOMMANDS) == {
             "run", "sweep", "compare", "scenario", "bench",
-            "bench-smoke", "check-docs", "check-examples",
+            "bench-smoke", "chaos-smoke", "check-docs",
+            "check-examples",
         }
+
+
+class TestChaosSmoke:
+    def test_chaos_smoke_passes(self, capsys):
+        code = main(["chaos-smoke", "--runs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos-smoke ok (2 runs)" in out
+
+    def test_bad_runs_rejected(self, capsys):
+        assert main(["chaos-smoke", "--runs", "0"]) == 2
 
 
 class TestCheckDocs:

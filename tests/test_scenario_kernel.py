@@ -103,6 +103,52 @@ class TestKernelMatchesReference:
             assert normalized_json(kernel) == normalized_json(reference)
 
 
+class TestKernelPortSwapRoundTrip:
+    def test_repair_restores_iteration_time_under_kernel(self):
+        # Satellite: the transient-detour -> permanent-port-swap cycle
+        # must round-trip under the kernel solver: post-repair
+        # iterations match the healthy ones exactly.
+        spec = staggered_spec(0, "kernel")
+        period = run_scenario(spec).jobs[0].iteration_avg_s
+        result = run_scenario(
+            spec,
+            failures=[
+                FailureInjection(
+                    time_s=1.5 * period, job_index=0,
+                    repair_s=3.5 * period,
+                )
+            ],
+        )
+        kinds = [entry["kind"] for entry in result.failure_log]
+        assert kinds == ["mp_detour", "port_swap"]
+        times = result.jobs[0].iteration_times
+        healthy = times[0]
+        assert max(times) > healthy * 1.01       # the detour bit
+        assert times[-1] == pytest.approx(healthy, rel=1e-9)
+
+    def test_multi_failure_sequence_under_kernel(self):
+        # Two cuts on the same job, repaired in order; the job still
+        # finishes its quota and the log shows the full sequence.
+        spec = staggered_spec(0, "kernel")
+        period = run_scenario(spec).jobs[0].iteration_avg_s
+        result = run_scenario(
+            spec,
+            failures=[
+                FailureInjection(
+                    time_s=1.2 * period, job_index=0,
+                    repair_s=3.2 * period,
+                ),
+                FailureInjection(
+                    time_s=2.2 * period, job_index=0,
+                    repair_s=4.2 * period,
+                ),
+            ],
+        )
+        kinds = [entry["kind"] for entry in result.failure_log]
+        assert kinds.count("mp_detour") + kinds.count("link_cut") >= 1
+        assert result.jobs[0].iterations_completed == 5
+
+
 class TestWallclockDurations:
     def spec(self):
         return ScenarioSpec.preset("lifetime").with_overrides({

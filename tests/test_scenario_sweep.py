@@ -91,3 +91,102 @@ class TestScenarioSweep:
         assert [row["policy"] for row in sweep.rows()] == [
             "first-fit", "best-fit"
         ]
+
+
+class TestSweepRobustness:
+    """Crashed or hung workers are retried, not sweep poison."""
+
+    def test_worker_crash_retried_once(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        real = runner_mod._run_point
+        calls = {"n": 0}
+
+        def flaky(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("worker crashed")
+            return real(job)
+
+        monkeypatch.setattr(runner_mod, "_run_point", flaky)
+        sweep = run_sweep(
+            base_spec(), {"seed": [5]}, executor="thread",
+            max_workers=1, retries=1,
+        )
+        point = sweep.points[0]
+        assert point.error is None
+        assert point.attempts == 2
+        # The retry reran the same derived seed.
+        assert point.seed == 5
+
+    def test_retries_exhausted_becomes_error_row(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        def always(job):
+            raise RuntimeError("worker crashed")
+
+        monkeypatch.setattr(runner_mod, "_run_point", always)
+        sweep = run_sweep(
+            base_spec(), {"seed": [5]}, executor="thread",
+            max_workers=1, retries=1,
+        )
+        point = sweep.points[0]
+        assert "worker crashed" in point.error
+        assert point.attempts == 2
+        assert point.seed == 5
+        # The error row keeps the stable row schema.
+        assert sweep.rows()[0]["jct_avg_s"] is None
+
+    def test_point_timeout_reported(self, monkeypatch):
+        import time
+
+        import repro.api.runner as runner_mod
+
+        def hang(job):
+            time.sleep(10.0)
+
+        monkeypatch.setattr(runner_mod, "_run_point", hang)
+        sweep = run_sweep(
+            base_spec(), {"seed": [5]}, executor="thread",
+            max_workers=1, point_timeout_s=0.1, retries=0,
+        )
+        point = sweep.points[0]
+        assert "point_timeout_s" in point.error
+        assert point.attempts == 1
+
+    def test_in_point_exception_is_not_retried(self, monkeypatch):
+        # An exception *inside* the point (bad spec) is deterministic:
+        # it becomes an error row on the first attempt, no resubmission.
+        sweep = run_sweep(
+            base_spec(), {"max_sim_time_s": [1e-9]},
+            executor="thread", max_workers=1, retries=3,
+        )
+        point = sweep.points[0]
+        assert "ScenarioError" in point.error
+        assert point.attempts == 1
+
+    def test_attempts_round_trips_through_json(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        real = runner_mod._run_point
+        calls = {"n": 0}
+
+        def flaky(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            return real(job)
+
+        monkeypatch.setattr(runner_mod, "_run_point", flaky)
+        sweep = run_sweep(
+            base_spec(), {"seed": [5]}, executor="thread",
+            max_workers=1, retries=1,
+        )
+        reloaded = SweepResult.from_dict(
+            json.loads(json.dumps(sweep.to_dict()))
+        )
+        assert reloaded.points[0].attempts == 2
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(base_spec(), {"seed": [5]}, retries=-1)
