@@ -17,7 +17,11 @@ kernels on identical inputs across n in {16, 64, 128}:
   the persistent substrate flow kernel, n in {16, 64, 256}),
 - the fleet-scale trace scenario (1000 servers, 1000 wall-clock-
   duration trace jobs, analytic fast-forward; absolute wall time, no
-  reference side).
+  reference side),
+- the optimization-as-a-service loop (a Zipf-distributed 64-request
+  mix over an 8-spec universe, drained cold against an empty
+  content-addressed result store and then warm against the populated
+  one; specs/sec and p99 latency on both sides).
 
 Writes ``BENCH_kernels.json`` at the repo root (and a text table under
 ``benchmarks/results/``) so future PRs can track the perf trajectory.
@@ -26,8 +30,10 @@ Acceptance targets: >=5x on the 64-server all-to-all phase simulation,
 phase vs the per-event full recompute, >=5x MCMC steps/sec at n=64
 with per-step costs matching the full-rebuild oracle to 1e-12
 relative, >=3x on the shared-cluster scenario at n=256 with exact
-allocator equivalence and (spec, seed) determinism, and the fleet
-scenario draining its full trace in minutes.
+allocator equivalence and (spec, seed) determinism, the fleet
+scenario draining its full trace in minutes, and the service loop
+serving the warm Zipf mix >= 5x faster than cold with exactly one
+computation per unique spec and byte-identical store-served results.
 """
 
 from pathlib import Path
@@ -74,6 +80,17 @@ def main() -> None:
     )
     assert fleet["wall_s"] < 600.0, (
         f"fleet scenario took {fleet['wall_s']}s (> 10 minutes)"
+    )
+    service = results["service_throughput"]["n=16"]
+    assert service["warm_speedup"] >= 5.0, (
+        f"service warm drain {service['warm_speedup']}x cold (< 5x)"
+    )
+    assert service["dedup_exact"], (
+        f"service cold drain computed {service['computed']} specs for "
+        f"{service['unique_requested']} unique requests"
+    )
+    assert service["byte_identical"], (
+        "store-served result JSON differs from a fresh computation"
     )
 
 

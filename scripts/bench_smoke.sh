@@ -16,9 +16,14 @@
 # wall-time cap, and backfill must strictly beat FCFS mean queueing
 # delay on the canonical head-of-line-blocking trace), a randomized
 # chaos scenario breaks a scheduler invariant or loses determinism,
-# or the failure-storm scenario regresses (every recovery policy --
+# the failure-storm scenario regresses (every recovery policy --
 # detour, reoptimize, checkpoint-restart -- must drain the trace
-# through a correlated fault storm with zero invariant violations).
+# through a correlated fault storm with zero invariant violations),
+# or the optimization-as-a-service loop regresses (the warm
+# store-backed drain of the Zipf request mix must be >= 5x cold
+# specs/sec, the cold drain must compute each unique spec exactly
+# once -- in-flight dedup -- and store-served results must be
+# byte-identical to fresh computations).
 #
 # Usage: scripts/bench_smoke.sh
 set -eu

@@ -351,6 +351,10 @@ class SweepPoint:
     #: omitted from the JSON) means it ran clean; >1 means a crashed or
     #: hung worker was retried with the same derived seed.
     attempts: int = 1
+    #: True when the result came from a content-addressed
+    #: :class:`repro.service.store.ResultStore` instead of a fresh
+    #: pipeline run (omitted from the JSON when False).
+    cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -365,6 +369,8 @@ class SweepPoint:
         }
         if self.attempts > 1:
             data["attempts"] = int(self.attempts)
+        if self.cache_hit:
+            data["cache_hit"] = True
         return data
 
     @classmethod
@@ -379,6 +385,7 @@ class SweepPoint:
             ),
             error=data.get("error"),
             attempts=int(data.get("attempts", 1)),
+            cache_hit=bool(data.get("cache_hit", False)),
         )
 
 

@@ -528,6 +528,15 @@ def _run_pool(
     return results, failures
 
 
+def _point_spec(base_spec, overrides: Mapping[str, Any]):
+    """The fully-resolved spec of one grid point (seed applied)."""
+    if "seed" in overrides:
+        seed = overrides["seed"]
+    else:
+        seed = point_seed(base_spec.seed, overrides)
+    return base_spec.with_overrides({**overrides, "seed": seed}), seed
+
+
 def run_sweep(
     base_spec: ExperimentSpec,
     grid: Mapping[str, Sequence[Any]],
@@ -535,6 +544,7 @@ def run_sweep(
     executor: str = "thread",
     point_timeout_s: Optional[float] = None,
     retries: int = 1,
+    store=None,
 ) -> SweepResult:
     """Run every point of ``grid`` over ``base_spec`` concurrently.
 
@@ -560,6 +570,12 @@ def run_sweep(
     carry ``attempts`` so the retry is visible in the sweep result
     rather than silent.  (``point_timeout_s`` needs a pool executor;
     the serial path runs inline and cannot time out.)
+
+    A :class:`repro.service.store.ResultStore` passed as ``store``
+    turns the sweep memoizing: every point's fully-resolved spec is
+    looked up first -- hits become ``cache_hit`` rows without touching
+    the pool -- and every fresh result is written back, so an identical
+    second sweep recomputes nothing.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -567,17 +583,35 @@ def run_sweep(
     if not points:
         raise ValueError("run_sweep needs a non-empty grid")
     jobs = [(base_spec, overrides) for overrides in points]
+    rows: List[Optional[SweepPoint]] = [None] * len(jobs)
+    if store is not None:
+        # Store-first admission, in the parent: hits never hit the pool.
+        for index, overrides in enumerate(points):
+            try:
+                spec, seed = _point_spec(base_spec, overrides)
+                cached = store.get(spec)
+            except Exception:
+                continue  # a bad point still becomes an error row below
+            if cached is not None:
+                rows[index] = SweepPoint(
+                    overrides=overrides,
+                    seed=seed,
+                    result=cached,
+                    cache_hit=True,
+                )
+    todo = [index for index in range(len(jobs)) if rows[index] is None]
     if executor == "serial":
-        results = [_run_point(job) for job in jobs]
+        for index in todo:
+            rows[index] = _run_point(jobs[index])
+        results = rows
     elif executor in ("thread", "process"):
         pool_cls = (
             ThreadPoolExecutor if executor == "thread"
             else ProcessPoolExecutor
         )
-        workers = max_workers or min(len(jobs), 8)
-        rows: List[Optional[SweepPoint]] = [None] * len(jobs)
+        workers = max_workers or min(max(len(todo), 1), 8)
         attempts = [0] * len(jobs)
-        pending = list(range(len(jobs)))
+        pending = todo
         while pending:
             for index in pending:
                 attempts[index] += 1
@@ -614,6 +648,10 @@ def run_sweep(
             f"unknown executor {executor!r}; "
             f"use 'thread', 'process', or 'serial'"
         )
+    if store is not None:
+        for row in results:
+            if row is not None and row.ok and not row.cache_hit:
+                store.put(row.result.spec, row.result)
     return SweepResult(
         base_spec=base_spec,
         grid={k: list(v) for k, v in grid.items()},

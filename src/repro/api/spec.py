@@ -36,6 +36,8 @@ Doctest tour::
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -63,6 +65,33 @@ OVERRIDE_SHORTHANDS: Dict[str, str] = {
 
 class SpecError(ValueError):
     """A spec failed validation or deserialization."""
+
+
+def canonical_json(data: Any) -> str:
+    """The canonical JSON encoding content hashes are computed over.
+
+    Sorted keys and compact separators, so the encoding is a pure
+    function of the *content* -- dict insertion order, whitespace, and
+    construction path all wash out.
+
+    >>> canonical_json({"b": 1, "a": [2, 3]})
+    '{"a":[2,3],"b":1}'
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def spec_content_hash(spec) -> str:
+    """SHA-256 hex digest of ``canonical_json(spec.to_dict())``.
+
+    The content address of a (spec, seed) pair: every field of the spec
+    -- including ``seed``, which all randomness derives from -- feeds
+    the digest, and nothing else does.  Stable across processes,
+    Python versions, and dict-key orderings, which is what lets the
+    result store (:mod:`repro.service.store`) share entries between
+    runs and machines.
+    """
+    payload = canonical_json(spec.to_dict()).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
 
 
 def _jsonify(value: Any) -> Any:
@@ -471,6 +500,23 @@ class ExperimentSpec:
                 FabricSpec(kind="fattree"),
             ),
         )
+
+    # -- content addressing --------------------------------------------
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical (spec, seed) JSON -- the store key.
+
+        Equal specs hash equal regardless of how they were built
+        (constructor, ``from_dict``, overrides), and any field change
+        -- including ``seed`` -- changes the hash.
+
+        >>> a = ExperimentSpec.preset("testbed")
+        >>> b = ExperimentSpec.from_dict(a.to_dict())
+        >>> a.content_hash() == b.content_hash()
+        True
+        >>> a.content_hash() == a.with_overrides({"seed": 1}).content_hash()
+        False
+        """
+        return spec_content_hash(self)
 
     # -- overrides -----------------------------------------------------
     def with_overrides(

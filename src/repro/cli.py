@@ -16,11 +16,16 @@ a multi-job shared-cluster scenario spec
 (``python -m repro.cli scenario --preset shared --fabrics
 topoopt,fattree``; see ``docs/scenarios.md``).
 
+Service subcommands (``docs/service.md``): ``serve-batch`` drains a
+JSONL file of spec requests through the memoized, deduplicating
+:class:`repro.service.BatchExecutor`; ``cache`` inspects or clears a
+content-addressed result store directory.
+
 Tooling subcommands: ``bench-smoke`` (kernel micro-benchmarks, <60 s),
 ``bench`` (one benchmark entry at a chosen size, ``--profile N`` for a
-cProfile breakdown), ``check-docs`` (doctests + doc reference
-validation), and ``check-examples`` (runs every ``examples/*.py`` at
-smoke scale under a wall-time cap).
+cProfile breakdown plus warm-cache counters), ``check-docs`` (doctests
++ doc reference validation), and ``check-examples`` (runs every
+``examples/*.py`` at smoke scale under a wall-time cap).
 
 The original flag interface (``python -m repro.cli --model DLRM ...``)
 survives as a thin legacy shim that constructs an ``ExperimentSpec``
@@ -356,6 +361,12 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
              "times (same seed) before recording it as an error row",
     )
     parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed result store directory: points already "
+             "stored are served as cache hits, fresh results are "
+             "written back (docs/service.md)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the SweepResult JSON to PATH ('-' for stdout)",
     )
@@ -383,10 +394,16 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
             grid[key] = [parse_scalar(v) for v in values.split(",")]
         if not grid:
             raise SpecError("pass --grid PATH and/or --vary KEY=V1,V2")
+        store = None
+        if args.store:
+            from repro.service import ResultStore
+
+            store = ResultStore(args.store)
         sweep = run_sweep(
             spec, grid,
             max_workers=args.max_workers, executor=args.executor,
             point_timeout_s=args.point_timeout, retries=args.retries,
+            store=store,
         )
     except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -420,7 +437,11 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
     for line in _format_rows(headers, table):
         print(line)
     failed = sum(1 for row in rows if row["error"])
-    print(f"\n{len(rows)} points, {failed} failed")
+    summary = f"\n{len(rows)} points, {failed} failed"
+    if store is not None:
+        hits = sum(1 for point in sweep.points if point.cache_hit)
+        summary += f", {hits} cache hits"
+    print(summary)
     if args.json and not _write_json(args.json, sweep.to_dict()):
         return 2
     return 1 if failed else 0
@@ -667,10 +688,14 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     trace, the scheduler policy sweep fails its gate (every queue
     policy drains a 100-job trace deterministically under a 60 s
     wall-time cap, with backfill strictly beating FCFS queueing delay
-    on the head-of-line-blocking trace), or the failure-storm
+    on the head-of-line-blocking trace), the failure-storm
     scenario fails its gate (every recovery policy drains the trace
     through a correlated fault storm, deterministically, with zero
-    scheduler-invariant violations and >= 20 applied fault events).
+    scheduler-invariant violations and >= 20 applied fault events), or
+    the service-throughput gate trips (the warm store-backed drain of
+    the Zipf request mix must be >= 5x cold specs/sec, the cold drain
+    must compute each unique spec exactly once, and store-served
+    results must be byte-identical to fresh computes).
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -767,6 +792,25 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
               f"the chaos gate is no longer exercising recovery",
               file=sys.stderr)
         return 1
+    service = next(iter(results["service_throughput"].values()))
+    if not service["dedup_exact"]:
+        print(f"SERVICE REGRESSION: cold drain launched "
+              f"{service['computed']} computations for "
+              f"{service['unique_requested']} unique specs (in-flight "
+              f"dedup must coalesce duplicates onto one computation)",
+              file=sys.stderr)
+        return 1
+    if not service["byte_identical"]:
+        print("SERVICE REGRESSION: a store-served result's JSON "
+              "differs from a freshly computed one (content-addressed "
+              "memoization must be byte-identical)", file=sys.stderr)
+        return 1
+    if service["warm_speedup"] < 5.0:
+        print(f"SERVICE REGRESSION: warm drain only "
+              f"{service['warm_speedup']}x cold specs/sec (floor 5x) "
+              f"-- the result store is no longer paying for itself",
+              file=sys.stderr)
+        return 1
     print("bench-smoke ok")
     return 0
 
@@ -778,7 +822,10 @@ def cmd_bench(argv: Sequence[str] = ()) -> int:
     and prints its record as JSON.  ``--profile 25`` reruns the entry
     under :mod:`cProfile` and prints the top 25 functions by cumulative
     time -- the first tool to reach for when a bench-smoke speedup
-    floor trips and you need to see where the hot loop went.
+    floor trips and you need to see where the hot loop went -- followed
+    by the process-wide warm-cache counters
+    (:func:`repro.perf.warmcache.stats`), so a cold cache shows up next
+    to the profile that suffered from it.
     """
     from repro.perf.bench import BENCH_ENTRIES
 
@@ -799,7 +846,9 @@ def cmd_bench(argv: Sequence[str] = ()) -> int:
     args = parser.parse_args(list(argv))
     n = args.n
     if n is None:
-        n = 200 if args.entry == "scenario_fleet" else 64
+        n = {"scenario_fleet": 200, "service_throughput": 16}.get(
+            args.entry, 64
+        )
     runner = BENCH_ENTRIES[args.entry]
     record = runner(n)
     print(json.dumps(record, indent=2, sort_keys=True))
@@ -816,6 +865,169 @@ def cmd_bench(argv: Sequence[str] = ()) -> int:
         stats = pstats.Stats(profiler, stream=stream)
         stats.sort_stats("cumulative").print_stats(args.profile)
         print(stream.getvalue(), end="")
+        from repro.perf import warmcache
+
+        print("warm caches:")
+        for name, cache_stats in sorted(warmcache.stats().items()):
+            print(f"  {name:<10}: " + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(cache_stats.items())
+            ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve-batch / cache (optimization-as-a-service; docs/service.md)
+# ----------------------------------------------------------------------
+
+def cmd_serve_batch(argv: Sequence[str] = ()) -> int:
+    """Drain a JSONL file of spec requests through the batch executor.
+
+    Each line of ``--requests`` is one spec JSON object -- an
+    :class:`~repro.api.ExperimentSpec` or a
+    :class:`repro.cluster.ScenarioSpec`, recognized structurally --
+    and the whole file is submitted to a
+    :class:`repro.service.BatchExecutor`: duplicate requests coalesce
+    (in-flight dedup), previously computed specs come straight from
+    the ``--store`` directory, and everything else fans out over the
+    worker pool with per-request ``--point-timeout``/``--retries``
+    containment.  Prints one line per request (route + outcome) and
+    the :class:`~repro.service.ServiceReport`; ``--json`` writes both.
+    """
+    from repro.service import BatchExecutor, ResultStore, spec_from_request
+
+    parser = argparse.ArgumentParser(prog="repro serve-batch")
+    parser.add_argument(
+        "--requests", required=True, metavar="PATH",
+        help="JSONL file: one spec JSON object per line",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed result store directory "
+             "(default: in-memory only, gone after the run)",
+    )
+    parser.add_argument(
+        "--executor", default="process",
+        choices=("process", "thread", "serial"),
+    )
+    parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="max concurrently admitted computations; further submits "
+             "block (backpressure) rather than queue unboundedly",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request compute timeout (pool executors only)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="resubmit a crashed or timed-out request this many extra "
+             "times before failing it",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write {requests, report} JSON to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        specs = []
+        with open(args.requests) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    specs.append(spec_from_request(json.loads(line)))
+                except Exception as error:
+                    raise SpecError(
+                        f"{args.requests}:{lineno}: bad request: {error}"
+                    )
+        if not specs:
+            raise SpecError(f"{args.requests}: no requests found")
+        store = ResultStore(args.store) if args.store else ResultStore()
+        with BatchExecutor(
+            store=store,
+            max_workers=args.max_workers,
+            executor=args.executor,
+            queue_depth=args.queue_depth,
+            point_timeout_s=args.point_timeout,
+            retries=args.retries,
+        ) as service:
+            requests = service.drain(specs)
+            report = service.report()
+    except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for index, request in enumerate(requests):
+        error = request.future.exception()
+        rows.append({
+            "index": index,
+            "key": request.key,
+            "route": request.route,
+            "error": str(error) if error is not None else None,
+        })
+        status = "ok" if error is None else f"ERROR {error}"
+        print(f"  {index:>4}  {request.key[:12]}  "
+              f"{request.route:<8} {status}")
+    print()
+    for line in report.format_lines():
+        print(line)
+    if args.json and not _write_json(
+        args.json, {"requests": rows, "report": report.to_dict()}
+    ):
+        return 2
+    return 1 if report.errors else 0
+
+
+def cmd_cache(argv: Sequence[str] = ()) -> int:
+    """Inspect or clear a content-addressed result store directory.
+
+    ``repro cache stats --store DIR`` prints the store's entry count
+    and layout; ``clear`` drops every entry; ``lookup SPEC.json``
+    reports whether the fully-resolved spec would be served from the
+    store, and under which key.  Output is line-oriented and
+    deterministic, so the docs can doctest it.
+    """
+    from repro.service import STORE_VERSION, ResultStore, spec_from_request
+
+    parser = argparse.ArgumentParser(prog="repro cache")
+    parser.add_argument(
+        "action", choices=("stats", "clear", "lookup"),
+        help="what to do with the store",
+    )
+    parser.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC.json",
+        help="spec file to look up (lookup only)",
+    )
+    parser.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result store directory (created on first write)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        store = ResultStore(args.store)
+        if args.action == "lookup":
+            if not args.spec:
+                raise SpecError("cache lookup needs a SPEC.json argument")
+            with open(args.spec) as handle:
+                spec = spec_from_request(json.load(handle))
+            key = store.key_for(spec)
+            verdict = "hit" if store.contains(spec) else "miss"
+            print(f"{verdict} {key}")
+            return 0
+        if args.action == "clear":
+            dropped = store.clear()
+            print(f"cleared {dropped} entries")
+            return 0
+        stats = store.stats()
+        print(f"store         : {store.root}")
+        print(f"entries       : {stats['disk_entries']}")
+        print(f"version       : v{STORE_VERSION}")
+    except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -831,6 +1043,8 @@ DOCTEST_MODULES = (
     "repro.cluster.spec",
     "repro.network.topology",
     "repro.perf.fairshare",
+    "repro.perf.warmcache",
+    "repro.service.metrics",
     "repro.sim.fluid",
 )
 
@@ -1042,6 +1256,8 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "scenario": cmd_scenario,
+    "serve-batch": cmd_serve_batch,
+    "cache": cmd_cache,
     "bench": cmd_bench,
     "bench-smoke": bench_smoke,
     "chaos-smoke": chaos_smoke,

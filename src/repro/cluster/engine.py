@@ -1705,16 +1705,29 @@ class ScenarioEngine:
 def run_scenario(
     spec: ScenarioSpec,
     failures: Sequence[FailureInjection] = (),
+    store=None,
 ) -> ScenarioResult:
     """Simulate one scenario end to end; see the module docstring.
 
     The returned result's ``to_dict()`` is deterministic for a given
     (spec, seed); ``wall_time_s`` is measured and stays off-JSON.
+
+    A :class:`repro.service.store.ResultStore` passed as ``store``
+    memoizes the run under the spec's content hash -- but only when
+    ``failures`` is empty: legacy :class:`FailureInjection` schedules
+    live outside the spec, so they are not part of its hash and caching
+    them would alias distinct runs.  (Spec-level ``faults`` hash fine.)
     """
+    if store is not None and not failures:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
     started = time.perf_counter()
     engine = ScenarioEngine(spec, failures)
     result = engine.run()
     object.__setattr__(
         result, "wall_time_s", time.perf_counter() - started
     )
+    if store is not None and not failures:
+        store.put(spec, result)
     return result

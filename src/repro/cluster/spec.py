@@ -574,6 +574,29 @@ class ScenarioSpec:
             )
         return cls(**kwargs)
 
+    # -- content addressing --------------------------------------------
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical (spec, seed) JSON -- the store key.
+
+        Same contract as :meth:`repro.api.spec.ExperimentSpec.
+        content_hash`: equal specs hash equal however they were built,
+        and any field change -- including ``seed`` -- changes the
+        hash.  Because ``to_dict`` omits the fault plane at its
+        defaults, a no-fault scenario keeps the same hash across
+        releases that predate faults.
+
+        >>> spec = ScenarioSpec.preset("shared")
+        >>> spec.content_hash() == ScenarioSpec.from_dict(
+        ...     spec.to_dict()).content_hash()
+        True
+        >>> spec.content_hash() == spec.with_overrides(
+        ...     {"seed": 1}).content_hash()
+        False
+        """
+        from repro.api.spec import spec_content_hash
+
+        return spec_content_hash(self)
+
     # -- overrides -----------------------------------------------------
     def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
         """A copy with dotted-path (or shorthand) fields replaced.

@@ -30,6 +30,10 @@ against the vectorized kernel on identical inputs:
   (:mod:`repro.cluster`) on a contended Fat-tree -- pure-Python
   reference allocator vs. the sparse progressive-filling kernel --
   doubling as the same-(spec, seed)-identical-JSON determinism gate.
+- ``service_throughput``: the optimization-as-a-service loop
+  (:mod:`repro.service`) draining a Zipf-distributed request mix cold
+  (empty store) and warm (populated store) -- gates warm >= 5x cold
+  specs/sec, exact dedup, and store-vs-fresh byte identity.
 
 Used by ``benchmarks/bench_perf_kernels.py`` (full sizes, writes
 ``BENCH_kernels.json``) and ``python -m repro.cli bench-smoke`` (quick
@@ -701,6 +705,102 @@ def bench_scenario_storm(n: int = 64) -> Dict:
     return record
 
 
+def bench_service_throughput(n: int = 16) -> Dict:
+    """Serving-loop throughput gate: Zipf request mix, cold vs warm.
+
+    Models the optimization-as-a-service workload (``docs/service.md``):
+    a fixed universe of 8 cheap experiment specs (fixed-strategy, no
+    baselines, ``n`` servers) receives 64 requests drawn
+    Zipf-distributed over popularity rank (weight of rank ``r`` is
+    ``1/r^1.1``, seeded ``default_rng`` -- deterministic), the mix real
+    request streams show: a few hot specs dominate, a long tail stays
+    cold.  The **cold** drain starts from an empty
+    :class:`~repro.service.store.ResultStore` (thread pool, in-flight
+    dedup does the coalescing); the **warm** drain replays the same 64
+    requests against the now-populated store.
+
+    Three gates ride on the record: ``warm_speedup`` (warm specs/sec
+    over cold; floor 5x, enforced by ``bench-smoke`` and the full
+    harness), ``dedup_exact`` (the cold drain launched exactly one
+    computation per *unique* spec -- the dedup counter's proof
+    obligation), and ``byte_identical`` (a store-served result's JSON
+    equals a freshly computed one's, byte for byte).
+    """
+    from repro.api.runner import run_experiment
+    from repro.api.spec import (
+        ClusterSpec, ExperimentSpec, FabricSpec, OptimizerSpec,
+        WorkloadSpec,
+    )
+    from repro.service import BatchExecutor, ResultStore
+
+    universe_size, request_count, zipf_s = 8, 64, 1.1
+    models = ("DLRM", "BERT", "CANDLE", "VGG16")
+    universe = [
+        ExperimentSpec(
+            name=f"bench-service-{i}",
+            seed=i,
+            workload=WorkloadSpec(
+                model=models[i % len(models)], scale="testbed"
+            ),
+            cluster=ClusterSpec(servers=n, degree=4, bandwidth_gbps=100.0),
+            fabric=FabricSpec(kind="fattree"),
+            optimizer=OptimizerSpec(strategy="auto"),
+            baselines=(),
+        )
+        for i in range(universe_size)
+    ]
+    ranks = np.arange(1, universe_size + 1, dtype=float)
+    weights = 1.0 / ranks ** zipf_s
+    weights /= weights.sum()
+    rng = np.random.default_rng(7)
+    draws = rng.choice(universe_size, size=request_count, p=weights)
+    requests = [universe[i] for i in draws]
+    unique = len(set(draws.tolist()))
+
+    store = ResultStore()
+    start = time.perf_counter()
+    with BatchExecutor(
+        store=store, executor="thread", max_workers=8
+    ) as service:
+        service.drain(requests)
+        cold_wall = time.perf_counter() - start
+        cold = service.report(wall_s=cold_wall)
+    start = time.perf_counter()
+    with BatchExecutor(
+        store=store, executor="thread", max_workers=8
+    ) as service:
+        service.drain(requests)
+        warm_wall = time.perf_counter() - start
+        warm = service.report(wall_s=warm_wall)
+
+    probe = requests[0]
+    byte_identical = (
+        json.dumps(store.get(probe).to_dict(), sort_keys=True)
+        == json.dumps(run_experiment(probe).to_dict(), sort_keys=True)
+    )
+    return {
+        "servers": n,
+        "universe": universe_size,
+        "requests": request_count,
+        "unique_requested": unique,
+        "computed": cold.computed,
+        "deduplicated": cold.deduplicated,
+        "cold_store_hits": cold.store_hits,
+        "dedup_exact": bool(
+            cold.computed == unique and cold.errors == 0
+        ),
+        "byte_identical": bool(byte_identical),
+        "cold_specs_per_s": cold.specs_per_s,
+        "warm_specs_per_s": warm.specs_per_s,
+        "cold_p99_ms": cold.latency_p99_ms,
+        "warm_p99_ms": warm.latency_p99_ms,
+        "warm_speedup": round(
+            warm.specs_per_s / max(cold.specs_per_s, 1e-12), 2
+        ),
+        "wall_s": round(cold_wall + warm_wall, 3),
+    }
+
+
 #: Sizes the staggered-phase scenario runs at: the batch baseline is
 #: quadratic-ish in events x flows, so n=128 would dominate the whole
 #: suite without changing the verdict (the acceptance gate is n=64).
@@ -731,6 +831,12 @@ SCHEDULER_SWEEP_SIZES = (64,)
 #: violations, the storm actually biting), not a speedup curve.
 STORM_SIZES = (64,)
 
+#: Service-throughput size (servers per spec; the request mix is
+#: always 64 Zipf draws over an 8-spec universe).  One size at both
+#: scales: the gates are behavioral (warm >= 5x cold, dedup exactness,
+#: byte identity), not a scaling curve.
+SERVICE_SIZES = (16,)
+
 #: Sizes the search-plane scenarios run at (fixed, per the acceptance
 #: criteria): the full-rebuild baseline re-routes all n^2 pairs per
 #: proposal, so n=128 would dominate the suite without changing the
@@ -750,6 +856,7 @@ BENCH_ENTRIES = {
     "scenario_fleet": bench_scenario_fleet,
     "scheduler_sweep": bench_scheduler_sweep,
     "scenario_storm": bench_scenario_storm,
+    "service_throughput": bench_service_throughput,
 }
 
 
@@ -758,7 +865,7 @@ def run_benchmarks(
     scenarios: Sequence[str] = (
         "phase_sim", "routing", "lp_assembly", "staggered_phase",
         "mcmc_steps", "alternating", "scenario", "scenario_fleet",
-        "scheduler_sweep", "scenario_storm",
+        "scheduler_sweep", "scenario_storm", "service_throughput",
     ),
 ) -> Dict:
     """Run the kernel micro-benchmarks and return the results tree."""
@@ -781,6 +888,8 @@ def run_benchmarks(
             scenario_sizes = SCHEDULER_SWEEP_SIZES
         elif scenario == "scenario_storm":
             scenario_sizes = STORM_SIZES
+        elif scenario == "service_throughput":
+            scenario_sizes = SERVICE_SIZES
         elif scenario in ("mcmc_steps", "alternating"):
             scenario_sizes = SEARCH_SIZES
         for n in scenario_sizes:

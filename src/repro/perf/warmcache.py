@@ -41,6 +41,7 @@ class WarmCache:
         self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_build(
         self, key: Hashable, builder: Callable[[], Any]
@@ -54,6 +55,7 @@ class WarmCache:
             self._store[key] = value
             while len(self._store) > self.maxsize:
                 self._store.popitem(last=False)
+                self.evictions += 1
             return value
         self.hits += 1
         self._store.move_to_end(key)
@@ -63,15 +65,27 @@ class WarmCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     def stats(self) -> Dict[str, int]:
+        """Counters plus current occupancy.
+
+        >>> cache = WarmCache(maxsize=2)
+        >>> for key in ("a", "b", "a", "c"):
+        ...     _ = cache.get_or_build(key, lambda: key.upper())
+        >>> cache.stats() == {"size": 2, "maxsize": 2, "hits": 1,
+        ...                   "misses": 3, "evictions": 1}
+        True
+        """
         return {
             "size": len(self._store),
+            "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 
@@ -115,6 +129,23 @@ def kernel_for(fabric):
         key, lambda: (result, CostModelKernel(fabric))
     )
     return kernel
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Counters for every process-wide warm cache, by cache name.
+
+    This is what ``repro bench --profile`` prints and what the service
+    layer's per-worker cache export aggregates.
+
+    >>> sorted(stats())
+    ['costmodel', 'pipeline']
+    >>> sorted(stats()["pipeline"])
+    ['evictions', 'hits', 'maxsize', 'misses', 'size']
+    """
+    return {
+        "pipeline": PIPELINE_CACHE.stats(),
+        "costmodel": COSTMODEL_CACHE.stats(),
+    }
 
 
 def clear_all() -> None:

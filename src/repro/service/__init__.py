@@ -1,0 +1,41 @@
+"""Optimization-as-a-service: memoized, concurrent spec serving.
+
+The service layer turns the one-shot experiment API into a serving
+loop: a content-addressed :class:`~repro.service.store.ResultStore`
+memoizes every (spec, seed) result, and a
+:class:`~repro.service.executor.BatchExecutor` multiplexes thousands
+of submissions over a worker pool with store-first admission,
+in-flight deduplication, bounded-queue backpressure, and per-request
+timeout/retry.  See ``docs/service.md`` for the full tour.
+"""
+
+from repro.service.executor import (
+    EXECUTOR_KINDS,
+    BatchExecutor,
+    ServiceError,
+    ServiceRequest,
+    spec_from_request,
+)
+from repro.service.metrics import (
+    COUNTER_NAMES,
+    LatencyRecorder,
+    ServiceCounters,
+    ServiceReport,
+    percentile,
+)
+from repro.service.store import STORE_VERSION, ResultStore
+
+__all__ = [
+    "BatchExecutor",
+    "COUNTER_NAMES",
+    "EXECUTOR_KINDS",
+    "LatencyRecorder",
+    "ResultStore",
+    "STORE_VERSION",
+    "ServiceCounters",
+    "ServiceError",
+    "ServiceReport",
+    "ServiceRequest",
+    "percentile",
+    "spec_from_request",
+]

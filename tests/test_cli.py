@@ -145,10 +145,107 @@ class TestDeclarativeCommands:
 
     def test_subcommands_cover_the_dispatch_table(self):
         assert set(SUBCOMMANDS) == {
-            "run", "sweep", "compare", "scenario", "bench",
-            "bench-smoke", "chaos-smoke", "check-docs",
-            "check-examples",
+            "run", "sweep", "compare", "scenario", "serve-batch",
+            "cache", "bench", "bench-smoke", "chaos-smoke",
+            "check-docs", "check-examples",
         }
+
+
+def _cheap_spec_dict():
+    """A fixed-strategy, baseline-free spec for service CLI tests."""
+    from test_service_store import cheap_spec
+
+    return cheap_spec().to_dict()
+
+
+class TestServiceCommands:
+    def test_serve_batch_dedups_then_serves_from_store(
+        self, tmp_path, capsys
+    ):
+        spec = _cheap_spec_dict()
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(json.dumps(spec) for _ in range(3)) + "\n"
+        )
+        store = tmp_path / "store"
+        code = main([
+            "serve-batch", "--requests", str(requests),
+            "--store", str(store), "--executor", "thread",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 computed" in out
+        assert "2 deduplicated" in out
+
+        # Replay: everything is a store hit now.
+        code = main([
+            "serve-batch", "--requests", str(requests),
+            "--store", str(store), "--executor", "serial",
+            "--json", str(tmp_path / "report.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 store hits" in out
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["report"]["store_hits"] == 3
+        assert [r["route"] for r in payload["requests"]] == ["store"] * 3
+
+    def test_serve_batch_rejects_bad_request_file(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("this is not json\n")
+        code = main(["serve-batch", "--requests", str(requests)])
+        assert code == 2
+        assert "bad request" in capsys.readouterr().err
+
+    def test_cache_stats_lookup_clear(self, tmp_path, capsys):
+        spec = _cheap_spec_dict()
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(spec))
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps(spec) + "\n")
+        store = tmp_path / "store"
+        assert main([
+            "serve-batch", "--requests", str(requests),
+            "--store", str(store), "--executor", "serial",
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "entries       : 1" in out
+
+        assert main([
+            "cache", "lookup", str(spec_file), "--store", str(store),
+        ]) == 0
+        assert capsys.readouterr().out.startswith("hit ")
+
+        assert main(["cache", "clear", "--store", str(store)]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+
+        assert main([
+            "cache", "lookup", str(spec_file), "--store", str(store),
+        ]) == 0
+        assert capsys.readouterr().out.startswith("miss ")
+
+    def test_cache_lookup_requires_a_spec(self, capsys):
+        assert main(["cache", "lookup", "--store", "/tmp/x"]) == 2
+        assert "SPEC.json" in capsys.readouterr().err
+
+    def test_sweep_store_flag_makes_the_replay_hit(
+        self, tmp_path, capsys
+    ):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(_cheap_spec_dict()))
+        store = tmp_path / "store"
+        argv = [
+            "sweep", "--spec", str(spec_file),
+            "--vary", "seed=0,1", "--executor", "serial",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        assert "0 cache hits" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "2 cache hits" in capsys.readouterr().out
 
 
 class TestChaosSmoke:
