@@ -92,6 +92,13 @@ def main() -> None:
     assert service["byte_identical"], (
         "store-served result JSON differs from a fresh computation"
     )
+    obs = results["obs_overhead"]["n=64"]
+    assert obs["byte_identical"], (
+        "tracing perturbed the simulated result"
+    )
+    assert obs["overhead_pct"] < 10.0, (
+        f"enabled-tracing overhead {obs['overhead_pct']}% >= 10%"
+    )
 
 
 def test_bench_perf_kernels():

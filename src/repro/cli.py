@@ -21,6 +21,12 @@ JSONL file of spec requests through the memoized, deduplicating
 :class:`repro.service.BatchExecutor`; ``cache`` inspects or clears a
 content-addressed result store directory.
 
+Observability (``docs/observability.md``): ``trace`` replays one
+scenario under a live :class:`repro.obs.TraceRecorder` and exports it
+as Chrome trace-event JSON plus an :class:`repro.obs.ObsReport`;
+``scenario``, ``sweep``, and ``serve-batch`` accept ``--trace-out`` to
+record their own runs the same way.
+
 Tooling subcommands: ``bench-smoke`` (kernel micro-benchmarks, <60 s),
 ``bench`` (one benchmark entry at a chosen size, ``--profile N`` for a
 cProfile breakdown plus warm-cache counters), ``check-docs`` (doctests
@@ -287,6 +293,32 @@ def _write_json(path: str, payload: Dict[str, Any]) -> bool:
     return True
 
 
+def _trace_context(path: Optional[str]):
+    """Recording context for ``--trace-out``: a recorder, or a no-op.
+
+    Yields the installed :class:`repro.obs.TraceRecorder` when ``path``
+    is set (the caller writes the Chrome trace there afterwards) and
+    ``None`` otherwise, so commands can wrap their run section
+    unconditionally.
+    """
+    import contextlib
+
+    if not path:
+        return contextlib.nullcontext(None)
+    from repro.obs import TRACER, TraceRecorder
+
+    return TRACER.recording(TraceRecorder())
+
+
+def _add_trace_out_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the run under the observability plane and write "
+             "it as Chrome trace-event JSON (chrome://tracing; see "
+             "docs/observability.md)",
+    )
+
+
 def _format_rows(headers: Sequence[str], rows) -> List[str]:
     widths = [
         max(len(str(h)), *(len(str(r[i])) for r in rows))
@@ -370,6 +402,7 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
         "--json", default=None, metavar="PATH",
         help="write the SweepResult JSON to PATH ('-' for stdout)",
     )
+    _add_trace_out_argument(parser)
     args = parser.parse_args(list(argv))
     try:
         spec = _load_spec(args)
@@ -399,12 +432,20 @@ def cmd_sweep(argv: Sequence[str] = ()) -> int:
             from repro.service import ResultStore
 
             store = ResultStore(args.store)
-        sweep = run_sweep(
-            spec, grid,
-            max_workers=args.max_workers, executor=args.executor,
-            point_timeout_s=args.point_timeout, retries=args.retries,
-            store=store,
-        )
+        # Points traced in-process (serial and thread executors) land
+        # in the recorder; process-pool points run outside it.
+        with _trace_context(args.trace_out) as recorder:
+            sweep = run_sweep(
+                spec, grid,
+                max_workers=args.max_workers, executor=args.executor,
+                point_timeout_s=args.point_timeout, retries=args.retries,
+                store=store,
+            )
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, recorder)
+            print(f"trace written to {args.trace_out}")
     except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -546,6 +587,7 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
              "with --fabrics a {kind: result} object, with a "
              "multi-policy --scheduler a {queue: result} object",
     )
+    _add_trace_out_argument(parser)
     args = parser.parse_args(list(argv))
     try:
         spec = _load_spec(args, spec_cls=ScenarioSpec)
@@ -571,21 +613,28 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
             kinds = [k.strip() for k in args.fabrics.split(",") if k.strip()]
             if not kinds:
                 raise SpecError("--fabrics needs at least one fabric name")
-            results = {
-                kind: run_scenario(
-                    spec.with_overrides({"fabric.kind": kind})
-                )
-                for kind in kinds
-            }
-        elif schedulers:
-            results = {
-                queue: run_scenario(
-                    spec.with_overrides({"queue": queue})
-                )
-                for queue in schedulers
-            }
-        else:
-            results = {spec.fabric.kind: run_scenario(spec)}
+        with _trace_context(args.trace_out) as recorder:
+            if args.fabrics:
+                results = {
+                    kind: run_scenario(
+                        spec.with_overrides({"fabric.kind": kind})
+                    )
+                    for kind in kinds
+                }
+            elif schedulers:
+                results = {
+                    queue: run_scenario(
+                        spec.with_overrides({"queue": queue})
+                    )
+                    for queue in schedulers
+                }
+            else:
+                results = {spec.fabric.kind: run_scenario(spec)}
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, recorder)
+            print(f"trace written to {args.trace_out}")
     except (SpecError, RegistryError, KeyError, ValueError, OSError,
             RuntimeError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -669,6 +718,88 @@ def cmd_scenario(argv: Sequence[str] = ()) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+
+def cmd_trace(argv: Sequence[str] = ()) -> int:
+    """Run one scenario under the observability plane and export traces.
+
+    ``repro trace --preset shared --out trace.json`` replays the
+    scenario with a live :class:`repro.obs.TraceRecorder` installed --
+    engine event-loop steps, pipeline builds (MCMC chains,
+    TopologyFinder solves, LP assembly), flow solves, scheduler
+    decisions, and per-link utilization timelines all record -- and
+    writes the run as Chrome trace-event JSON (load it in
+    ``chrome://tracing`` or https://ui.perfetto.dev).  ``--metrics-out``
+    additionally writes every span/counter/gauge/timeline as flat
+    JSONL; ``--json`` writes the merged :class:`repro.obs.ObsReport`.
+    The simulated result itself is byte-identical to an untraced run
+    (``bench-smoke`` enforces this), so tracing is always safe to add.
+    """
+    from repro.cluster import SCENARIO_PRESETS, ScenarioSpec, run_scenario
+    from repro.obs import (
+        ObsReport,
+        TraceRecorder,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
+    parser = argparse.ArgumentParser(prog="repro trace")
+    parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="ScenarioSpec JSON file (see docs/scenarios.md)",
+    )
+    parser.add_argument(
+        "--preset", default=None, choices=tuple(SCENARIO_PRESETS),
+        help="start from a named scenario preset",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        dest="overrides",
+        help="override a spec field (dotted path or shorthand); "
+             "repeatable",
+    )
+    parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="also write every metric as one JSON object per line",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the ObsReport JSON to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        spec = _load_spec(args, spec_cls=ScenarioSpec)
+        recorder = TraceRecorder()
+        result = run_scenario(spec, recorder=recorder)
+        write_chrome_trace(args.out, recorder)
+        if args.metrics_out:
+            write_metrics_jsonl(args.metrics_out, recorder)
+    except (SpecError, RegistryError, KeyError, ValueError, OSError,
+            RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = ObsReport.build(recorder)
+    print(f"scenario      : {spec.name or '(unnamed)'} "
+          f"(seed {spec.seed}, {len(result.jobs)} jobs)")
+    print(f"trace         : {args.out} "
+          f"({len(recorder.spans)} spans, "
+          f"{len(recorder.timelines)} timelines)")
+    if args.metrics_out:
+        print(f"metrics       : {args.metrics_out}")
+    print()
+    for line in report.format_lines():
+        print(line)
+    if args.json and not _write_json(args.json, report.to_dict()):
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
 # bench-smoke
 # ----------------------------------------------------------------------
 
@@ -695,7 +826,10 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
     the service-throughput gate trips (the warm store-backed drain of
     the Zipf request mix must be >= 5x cold specs/sec, the cold drain
     must compute each unique spec exactly once, and store-served
-    results must be byte-identical to fresh computes).
+    results must be byte-identical to fresh computes), or the
+    observability gate trips (a traced scenario run must produce
+    byte-identical result JSON to an untraced one, with tracing
+    overhead under 10%).
     """
     from repro.perf.bench import SMOKE_SIZES, format_results, run_benchmarks
 
@@ -811,6 +945,18 @@ def bench_smoke(argv: Sequence[str] = ()) -> int:
               f"-- the result store is no longer paying for itself",
               file=sys.stderr)
         return 1
+    obs = next(iter(results["obs_overhead"].values()))
+    if not obs["byte_identical"]:
+        print("OBSERVABILITY REGRESSION: a traced scenario run's "
+              "result JSON differs from the untraced run's "
+              "(instrumentation must never perturb simulation "
+              "results)", file=sys.stderr)
+        return 1
+    if obs["overhead_pct"] >= 10.0:
+        print(f"PERF REGRESSION: tracing overhead "
+              f"{obs['overhead_pct']}% on the scenario engine "
+              f"(cap 10%)", file=sys.stderr)
+        return 1
     print("bench-smoke ok")
     return 0
 
@@ -843,6 +989,11 @@ def cmd_bench(argv: Sequence[str] = ()) -> int:
         help="rerun under cProfile and print the TOP functions by "
              "cumulative time",
     )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the profile rows and warm-cache counters as JSON "
+             "('-' for stdout; implies --profile)",
+    )
     args = parser.parse_args(list(argv))
     n = args.n
     if n is None:
@@ -852,27 +1003,53 @@ def cmd_bench(argv: Sequence[str] = ()) -> int:
     runner = BENCH_ENTRIES[args.entry]
     record = runner(n)
     print(json.dumps(record, indent=2, sort_keys=True))
-    if args.profile:
+    if args.profile or args.profile_out:
         import cProfile
         import io
         import pstats
 
+        top = args.profile or 25
         profiler = cProfile.Profile()
         profiler.enable()
         runner(n)
         profiler.disable()
         stream = io.StringIO()
         stats = pstats.Stats(profiler, stream=stream)
-        stats.sort_stats("cumulative").print_stats(args.profile)
-        print(stream.getvalue(), end="")
+        stats.sort_stats("cumulative").print_stats(top)
         from repro.perf import warmcache
 
-        print("warm caches:")
-        for name, cache_stats in sorted(warmcache.stats().items()):
-            print(f"  {name:<10}: " + ", ".join(
-                f"{key}={value}"
-                for key, value in sorted(cache_stats.items())
-            ))
+        cache_stats = warmcache.stats()
+        if args.profile:
+            print(stream.getvalue(), end="")
+            print("warm caches:")
+            for name, counters in sorted(cache_stats.items()):
+                print(f"  {name:<10}: " + ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(counters.items())
+                ))
+        if args.profile_out:
+            rows = [
+                {
+                    "function": f"{filename}:{lineno}({funcname})",
+                    "ncalls": ncalls,
+                    "primitive_calls": primitive,
+                    "tottime_s": round(tottime, 6),
+                    "cumtime_s": round(cumtime, 6),
+                }
+                for (filename, lineno, funcname),
+                    (primitive, ncalls, tottime, cumtime, _callers)
+                in stats.stats.items()
+            ]
+            rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+            payload = {
+                "entry": args.entry,
+                "n": n,
+                "record": record,
+                "profile": rows[:top],
+                "warm_caches": cache_stats,
+            }
+            if not _write_json(args.profile_out, payload):
+                return 2
     return 0
 
 
@@ -929,6 +1106,7 @@ def cmd_serve_batch(argv: Sequence[str] = ()) -> int:
         "--json", default=None, metavar="PATH",
         help="write {requests, report} JSON to PATH ('-' for stdout)",
     )
+    _add_trace_out_argument(parser)
     args = parser.parse_args(list(argv))
     try:
         specs = []
@@ -946,16 +1124,24 @@ def cmd_serve_batch(argv: Sequence[str] = ()) -> int:
         if not specs:
             raise SpecError(f"{args.requests}: no requests found")
         store = ResultStore(args.store) if args.store else ResultStore()
-        with BatchExecutor(
-            store=store,
-            max_workers=args.max_workers,
-            executor=args.executor,
-            queue_depth=args.queue_depth,
-            point_timeout_s=args.point_timeout,
-            retries=args.retries,
-        ) as service:
-            requests = service.drain(specs)
-            report = service.report()
+        # Request spans (route, latency) record in the parent process;
+        # pool workers' pipeline spans do only for --executor serial.
+        with _trace_context(args.trace_out) as recorder:
+            with BatchExecutor(
+                store=store,
+                max_workers=args.max_workers,
+                executor=args.executor,
+                queue_depth=args.queue_depth,
+                point_timeout_s=args.point_timeout,
+                retries=args.retries,
+            ) as service:
+                requests = service.drain(specs)
+                report = service.report()
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, recorder)
+            print(f"trace written to {args.trace_out}")
     except (SpecError, RegistryError, KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -1042,6 +1228,7 @@ DOCTEST_MODULES = (
     "repro.cluster.faults",
     "repro.cluster.spec",
     "repro.network.topology",
+    "repro.obs.tracer",
     "repro.perf.fairshare",
     "repro.perf.warmcache",
     "repro.service.metrics",
@@ -1256,6 +1443,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "scenario": cmd_scenario,
+    "trace": cmd_trace,
     "serve-batch": cmd_serve_batch,
     "cache": cmd_cache,
     "bench": cmd_bench,

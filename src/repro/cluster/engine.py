@@ -72,6 +72,7 @@ from repro.cluster.scheduler import (
 from repro.cluster.spec import FAMILY_MODELS, ScenarioSpec
 from repro.models.compute import compute_time_seconds
 from repro.models.configs import CONFIG_FAMILIES
+from repro.obs import TRACER, ObsReport, TraceRecorder
 from repro.parallel.traffic import extract_traffic
 from repro.sim.cluster import JobSpec, SharedClusterSimulator, remap_traffic
 
@@ -405,9 +406,15 @@ class ScenarioEngine:
             spec.cluster.gpus_per_server, self.shardable,
             tuple(sorted(spec.optimizer.to_dict().items())),
         )
-        return PIPELINE_CACHE.get_or_build(
-            key, lambda: self._build_pipeline(plan, resolved)
-        )
+        def build() -> _Prepared:
+            # Only cache misses pay the pipeline, so only misses get a
+            # span; warm hits stay O(dict lookup).
+            with TRACER.span("engine.pipeline_build", cat="engine",
+                             model=plan.model, servers=plan.servers,
+                             strategy=resolved):
+                return self._build_pipeline(plan, resolved)
+
+        return PIPELINE_CACHE.get_or_build(key, build)
 
     def _build_pipeline(self, plan: _JobPlan, resolved: str) -> _Prepared:
         spec = self.spec
@@ -591,8 +598,10 @@ class ScenarioEngine:
             dirty.discard(id(substrate))
 
         def sample(now: float) -> None:
-            utilization.append((now, self._allocator.busy_count))
+            busy = self._allocator.busy_count
+            utilization.append((now, busy))
             fragmentation.append((now, self._allocator.fragmentation()))
+            TRACER.sample("cluster.busy_servers", now, busy)
 
         def flush_log(entry: _Running) -> List[Tuple[float, int]]:
             """Bring the RLE log up to date with the simulated record."""
@@ -623,6 +632,7 @@ class ScenarioEngine:
             }
             record.update(extra)
             self.scheduler_log.append(record)
+            TRACER.count(f"scheduler.{event}")
 
         def job_horizon(index: int) -> float:
             """Earliest pending routing change relevant to job ``index``.
@@ -848,6 +858,7 @@ class ScenarioEngine:
             log_event(
                 now, "admit", plan.index, servers, backfilled=backfilled
             )
+            TRACER.count("engine.admission_latency_s", start - now)
             sample(now)
 
         def preempt_entry(entry: _Running, now: float) -> None:
@@ -876,6 +887,10 @@ class ScenarioEngine:
             manager.forget(life.plan.index)
             requeue(life)
             log_event(now, "preempt", life.plan.index, entry.servers)
+            TRACER.count(
+                "engine.preemption_overhead_s",
+                sched_spec.checkpoint_s + sched_spec.restart_s,
+            )
             sample(now)
 
         def resize_entry(
@@ -937,6 +952,9 @@ class ScenarioEngine:
             by_state[id(state)] = entry
             mark_dirty(substrate)
             log_event(now, "resize", plan.index, block)
+            TRACER.count(
+                "engine.resize_latency_s", sched_spec.resize_latency_s
+            )
             sample(now)
 
         def control(now: float) -> None:
@@ -1111,6 +1129,8 @@ class ScenarioEngine:
             log_event(
                 now, "suspend", plan.index, entry.servers, reason=reason
             )
+            TRACER.count("engine.fault_lost_work_s", lost_work)
+            TRACER.count("engine.fault_restart_latency_s", recovery.restart_s)
             sample(now)
             return {
                 "lost_iterations": int(lost_iters),
@@ -1429,6 +1449,10 @@ class ScenarioEngine:
             else:  # storm
                 apply_storm(payload, now)
 
+        # One reusable batching span for the per-event step: hot enough
+        # that allocating a live span per event would blow the
+        # obs_overhead budget; a shared no-op when tracing is off.
+        step_span = TRACER.batch_span("engine.step", cat="engine")
         while pending or queue or running:
             candidates: List[float] = []
             if pending:
@@ -1486,67 +1510,81 @@ class ScenarioEngine:
                     f"{spec.max_sim_time_s:g} with {unfinished} job(s) "
                     f"unfinished; raise the cap or shrink the workload"
                 )
-            # 1. substrate events (iteration completions -> departures)
-            departures: List[_Running] = []
-            for substrate, event in substrate_events:
-                if event is None or event > now + _TIME_EPS:
-                    continue
-                iterated = substrate.advance_to(now)
-                mark_dirty(substrate)
-                for state in iterated:
-                    entry = by_state.get(id(state))
-                    if entry is None:
+            with step_span:
+                TRACER.gauge("engine.sim_now_s", now)
+                # 1. substrate events (iteration completions ->
+                # departures)
+                departures: List[_Running] = []
+                for substrate, event in substrate_events:
+                    if event is None or event > now + _TIME_EPS:
                         continue
-                    if entry.deadline_s is not None:
-                        due = now + _TIME_EPS >= entry.deadline_s
-                    else:
-                        due = total_done(entry) >= entry.plan.iterations
-                    if due:
-                        departures.append(entry)
-                    elif spec.fast_forward and self.shardable:
-                        fast_forward(entry, now)
-            #: Whether this event can change a scheduling decision.
-            #: Admission/backfill/preemption/growth opportunities only
-            #: improve when servers free up, the queue changes, or
-            #: routing changes -- never from time passing alone (a
-            #: backfill window only shrinks as ``now`` approaches the
-            #: head's reservation), so plain iteration completions skip
-            #: the control pass.  This keeps the O(queue) reservation
-            #: walk off the per-iteration hot path.
-            control_due = bool(departures)
-            for entry in departures:
-                del running[entry.plan.index]
-                depart(entry, now)
-                makespan = max(makespan, now)
-            # 1b. analytic departures of fast-forwarded jobs
-            while analytic and analytic[0][0] <= now + _TIME_EPS:
-                _, index = heapq.heappop(analytic)
-                depart(running.pop(index), now)
-                makespan = max(makespan, now)
-                control_due = True
-            # 2. failures due at now
-            while failure_events and failure_events[0][0] <= now + _TIME_EPS:
-                _, action, injection = failure_events.popleft()
-                self._apply_failure(
-                    action, injection, running, now,
-                    on_disconnect=crash_suspend,
-                )
-                control_due = True
-            # 2b. fault-plane events due at now
-            if plane is not None and plane.next_time() <= now + _TIME_EPS:
-                for tag, payload in plane.pop_due(now, _TIME_EPS):
-                    apply_fault(tag, payload, now)
-                control_due = True
-            # 3. arrivals due at now
-            while pending and pending[0].arrival_s <= now + _TIME_EPS:
-                plan = pending.popleft()
-                life = _JobLife(plan=plan)
-                lives[plan.index] = life
-                queue.append(life)
-                control_due = True
-            # 4. scheduling decisions (after departures freed ports)
-            if control_due:
-                control(now)
+                    # No span here: ``flow.solve`` inside the advance
+                    # already captures the expensive part, and a third
+                    # span per event would eat the overhead budget.
+                    iterated = substrate.advance_to(now)
+                    mark_dirty(substrate)
+                    for state in iterated:
+                        entry = by_state.get(id(state))
+                        if entry is None:
+                            continue
+                        if entry.deadline_s is not None:
+                            due = now + _TIME_EPS >= entry.deadline_s
+                        else:
+                            due = total_done(entry) >= entry.plan.iterations
+                        if due:
+                            departures.append(entry)
+                        elif spec.fast_forward and self.shardable:
+                            fast_forward(entry, now)
+                #: Whether this event can change a scheduling decision.
+                #: Admission/backfill/preemption/growth opportunities only
+                #: improve when servers free up, the queue changes, or
+                #: routing changes -- never from time passing alone (a
+                #: backfill window only shrinks as ``now`` approaches the
+                #: head's reservation), so plain iteration completions
+                #: skip the control pass.  This keeps the O(queue)
+                #: reservation walk off the per-iteration hot path.
+                control_due = bool(departures)
+                for entry in departures:
+                    del running[entry.plan.index]
+                    depart(entry, now)
+                    makespan = max(makespan, now)
+                # 1b. analytic departures of fast-forwarded jobs
+                while analytic and analytic[0][0] <= now + _TIME_EPS:
+                    _, index = heapq.heappop(analytic)
+                    depart(running.pop(index), now)
+                    makespan = max(makespan, now)
+                    control_due = True
+                # 2. failures due at now
+                while (
+                    failure_events
+                    and failure_events[0][0] <= now + _TIME_EPS
+                ):
+                    _, action, injection = failure_events.popleft()
+                    with TRACER.span("engine.fault", cat="engine",
+                                     kind=action):
+                        self._apply_failure(
+                            action, injection, running, now,
+                            on_disconnect=crash_suspend,
+                        )
+                    control_due = True
+                # 2b. fault-plane events due at now
+                if plane is not None and plane.next_time() <= now + _TIME_EPS:
+                    for tag, payload in plane.pop_due(now, _TIME_EPS):
+                        with TRACER.span("engine.fault", cat="engine",
+                                         kind=tag):
+                            apply_fault(tag, payload, now)
+                    control_due = True
+                # 3. arrivals due at now
+                while pending and pending[0].arrival_s <= now + _TIME_EPS:
+                    plan = pending.popleft()
+                    life = _JobLife(plan=plan)
+                    lives[plan.index] = life
+                    queue.append(life)
+                    control_due = True
+                # 4. scheduling decisions (after departures freed ports)
+                if control_due:
+                    with TRACER.span("engine.control", cat="engine"):
+                        control(now)
 
         # Injections scheduled past the last departure never fired;
         # record them so the log accounts for every requested failure.
@@ -1706,6 +1744,8 @@ def run_scenario(
     spec: ScenarioSpec,
     failures: Sequence[FailureInjection] = (),
     store=None,
+    *,
+    recorder: Optional[TraceRecorder] = None,
 ) -> ScenarioResult:
     """Simulate one scenario end to end; see the module docstring.
 
@@ -1717,17 +1757,38 @@ def run_scenario(
     ``failures`` is empty: legacy :class:`FailureInjection` schedules
     live outside the spec, so they are not part of its hash and caching
     them would alias distinct runs.  (Spec-level ``faults`` hash fine.)
+
+    Observation: passing a :class:`repro.obs.tracer.TraceRecorder` as
+    ``recorder`` (or setting ``spec.observe`` -- which creates one when
+    no recorder is already active process-wide) runs the engine under
+    that recorder and attaches the merged
+    :meth:`repro.obs.report.ObsReport.to_dict` to the result's
+    off-JSON ``obs`` field.  Simulated results are byte-identical with
+    and without observation; a store hit returns the cached result as
+    is (no trace, since nothing ran).
     """
     if store is not None and not failures:
         cached = store.get(spec)
         if cached is not None:
             return cached
+    if recorder is None and spec.observe and not TRACER.enabled:
+        recorder = TraceRecorder()
     started = time.perf_counter()
     engine = ScenarioEngine(spec, failures)
-    result = engine.run()
+    if recorder is not None:
+        with TRACER.recording(recorder):
+            with TRACER.span("engine.run_scenario", cat="engine",
+                             scenario=spec.name or "unnamed"):
+                result = engine.run()
+    else:
+        result = engine.run()
     object.__setattr__(
         result, "wall_time_s", time.perf_counter() - started
     )
+    if recorder is not None:
+        object.__setattr__(
+            result, "obs", ObsReport.build(recorder).to_dict()
+        )
     if store is not None and not failures:
         store.put(spec, result)
     return result

@@ -204,6 +204,11 @@ class ScenarioResult:
     #: every scenario that drains.
     unfinished_jobs: Tuple[int, ...] = ()
     wall_time_s: Optional[float] = field(default=None, compare=False)
+    #: Merged observability report (``ObsReport.to_dict()``) attached by
+    #: an *observed* ``run_scenario``.  Like ``wall_time_s`` it lives
+    #: only on the in-memory object -- never in the JSON -- so observed
+    #: and unobserved runs of one (spec, seed) serialize byte-identically.
+    obs: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     # -- aggregate metrics ---------------------------------------------
     def iteration_samples(self, skip_first: int = 0) -> List[float]:

@@ -455,6 +455,15 @@ class ScenarioSpec:
     #: to a full simulation.  Requires the shardable ``topoopt`` fabric
     #: (shared-fabric jobs contend, so no steady state exists).
     fast_forward: bool = False
+    #: Opt into the observability plane: ``run_scenario`` installs a
+    #: :class:`repro.obs.tracer.TraceRecorder` for the run (unless one
+    #: is already active) and attaches the merged
+    #: :class:`repro.obs.report.ObsReport` dict to the result's
+    #: off-JSON ``obs`` field.  Purely additive -- simulated results
+    #: are byte-identical either way, and the key is omitted from
+    #: ``to_dict`` at its default so golden snapshots and content
+    #: hashes predating the obs plane are untouched.
+    observe: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "jobs", tuple(self.jobs))
@@ -524,10 +533,11 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native dict; exact inverse of :meth:`from_dict`.
 
-        The fault plane's keys (``faults``, ``recovery``) are omitted
-        at their defaults so no-fault scenarios -- including every
-        committed golden snapshot -- serialize byte-identically to
-        releases that predate the fault plane.
+        The fault plane's keys (``faults``, ``recovery``) and the obs
+        plane's ``observe`` flag are omitted at their defaults so
+        no-fault, unobserved scenarios -- including every committed
+        golden snapshot -- serialize byte-identically to releases that
+        predate those planes.
         """
         data = {
             "name": self.name,
@@ -546,6 +556,8 @@ class ScenarioSpec:
             data["faults"] = self.faults.to_dict()
         if self.recovery != RecoverySpec():
             data["recovery"] = self.recovery.to_dict()
+        if self.observe:
+            data["observe"] = True
         return data
 
     @classmethod
@@ -613,6 +625,7 @@ class ScenarioSpec:
         data = self.to_dict()
         data.setdefault("faults", FaultScheduleSpec().to_dict())
         data.setdefault("recovery", RecoverySpec().to_dict())
+        data.setdefault("observe", False)
         data = apply_overrides(data, overrides, SCENARIO_SHORTHANDS)
         return ScenarioSpec.from_dict(data)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.topology_finder import TopologyFinderResult, topology_finder
+from repro.obs import TRACER
 
 
 @dataclass
@@ -123,34 +124,43 @@ class AlternatingOptimizer:
         previous_cost = float("inf")
 
         for round_index in range(self.max_rounds):
-            mcmc = self.search.search(
-                fabric,
-                iterations=self.mcmc_iterations,
-                incremental=self.incremental,
-                restarts=self.mcmc_restarts,
-                kernel=kernel,
-            )
-            traffic = mcmc.traffic
-            topology_result = topology_finder(
-                self.num_servers,
-                self.degree,
-                traffic.allreduce_groups,
-                traffic.mp_matrix,
-                primes_only=self.primes_only,
-            )
-            fabric = self._fabric_for(topology_result)
-            # Score the strategy on its own optimized topology; the
-            # kernel carries over to the next round's search.
-            if self.incremental:
-                kernel = kernel_for(fabric)
-                cost_model = IterationCostModel(
-                    fabric, self.search.compute_s, kernel=kernel
-                )
-            else:
-                cost_model = ReferenceIterationCostModel(
-                    fabric, self.search.compute_s
-                )
-            cost = cost_model.cost(traffic)
+            with TRACER.span("pipeline.round", cat="pipeline",
+                             round=round_index):
+                with TRACER.span("pipeline.mcmc_search", cat="pipeline",
+                                 round=round_index):
+                    mcmc = self.search.search(
+                        fabric,
+                        iterations=self.mcmc_iterations,
+                        incremental=self.incremental,
+                        restarts=self.mcmc_restarts,
+                        kernel=kernel,
+                    )
+                traffic = mcmc.traffic
+                with TRACER.span("pipeline.topology_solve", cat="pipeline",
+                                 round=round_index):
+                    topology_result = topology_finder(
+                        self.num_servers,
+                        self.degree,
+                        traffic.allreduce_groups,
+                        traffic.mp_matrix,
+                        primes_only=self.primes_only,
+                    )
+                fabric = self._fabric_for(topology_result)
+                # Score the strategy on its own optimized topology; the
+                # kernel carries over to the next round's search.
+                with TRACER.span("pipeline.lp_assembly", cat="pipeline",
+                                 round=round_index):
+                    if self.incremental:
+                        kernel = kernel_for(fabric)
+                        cost_model = IterationCostModel(
+                            fabric, self.search.compute_s, kernel=kernel
+                        )
+                    else:
+                        cost_model = ReferenceIterationCostModel(
+                            fabric, self.search.compute_s
+                        )
+                cost = cost_model.cost(traffic)
+            TRACER.count("pipeline.rounds")
             rounds.append(
                 AlternatingRound(
                     round_index=round_index,

@@ -1,0 +1,36 @@
+"""Unified observability plane: tracing, metrics, timeline exporters.
+
+``from repro.obs import TRACER`` is the only import an instrumented
+module needs; everything is a no-op until a recorder is installed (see
+:mod:`repro.obs.tracer` for the zero-overhead contract).  Exporters and
+the merged :class:`ObsReport` schema live in :mod:`repro.obs.export`
+and :mod:`repro.obs.report`.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_jsonl,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.obs.report import ObsReport
+from repro.obs.tracer import (
+    TRACER,
+    RleTimeline,
+    SpanEvent,
+    TraceRecorder,
+    Tracer,
+)
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "TraceRecorder",
+    "SpanEvent",
+    "RleTimeline",
+    "ObsReport",
+    "chrome_trace",
+    "metrics_jsonl",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,122 @@
+"""Exporters turning a :class:`~repro.obs.tracer.TraceRecorder` into files.
+
+Two formats:
+
+* :func:`chrome_trace` -- the Chrome trace-event JSON object format
+  (load the written file in ``chrome://tracing`` or https://ui.perfetto.dev).
+  Wall-clock spans become ``ph: "X"`` complete events under pid 0;
+  simulated-time RLE timelines (e.g. per-link utilization) become
+  ``ph: "C"`` counter tracks under pid 1, so the two clock domains
+  never share an axis.
+* :func:`metrics_jsonl` -- a flat JSON-lines stream (one object per
+  span / counter / gauge / timeline point) for ad-hoc ``jq``-style
+  analysis and for feeding later adaptive-controller experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.tracer import TraceRecorder
+
+#: ``pid`` of the wall-clock span rows in the Chrome trace.
+WALL_PID = 0
+#: ``pid`` of the simulated-time counter tracks in the Chrome trace.
+SIM_PID = 1
+
+
+def chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
+    """The recorder as a Chrome trace-event JSON object.
+
+    Timestamps are microseconds (the format's unit).  Span rows sit
+    under pid 0 keyed by recording thread; timeline counters sit under
+    pid 1 with their simulated time mapped onto the ``ts`` axis.
+    """
+    recorder.flush()
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": WALL_PID, "tid": 0,
+         "args": {"name": "wall-clock spans"}},
+        {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": 0,
+         "args": {"name": "simulated-time counters"}},
+    ]
+    for span in sorted(recorder.spans, key=lambda s: (s.start_s, s.seq)):
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": round(span.start_s * 1e6, 3),
+            "dur": round(span.dur_s * 1e6, 3),
+            "pid": WALL_PID,
+            "tid": span.tid,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    for name in sorted(recorder.timelines):
+        for t, value in recorder.timelines[name].points:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": round(t * 1e6, 3),
+                "pid": SIM_PID,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(sorted(recorder.counters.items())),
+            "gauges": dict(sorted(recorder.gauges.items())),
+        },
+    }
+
+
+def write_chrome_trace(path: str, recorder: TraceRecorder) -> None:
+    """Write :func:`chrome_trace` output as a loadable ``.json`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(recorder), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def metrics_jsonl(recorder: TraceRecorder) -> str:
+    """The recorder flattened into one JSON object per line.
+
+    Lines carry a ``kind`` discriminator: ``span`` (one per completed
+    span, in start order), ``counter``, ``gauge``, and ``timeline``
+    (one per RLE point).
+    """
+    recorder.flush()
+    lines: List[str] = []
+
+    def emit(payload: Dict[str, Any]) -> None:
+        lines.append(json.dumps(payload, sort_keys=True))
+
+    for span in sorted(recorder.spans, key=lambda s: (s.start_s, s.seq)):
+        payload: Dict[str, Any] = {
+            "kind": "span",
+            "name": span.name,
+            "cat": span.cat,
+            "start_s": span.start_s,
+            "dur_s": span.dur_s,
+            "depth": span.depth,
+            "seq": span.seq,
+        }
+        if span.args:
+            payload["args"] = dict(span.args)
+        emit(payload)
+    for name, value in sorted(recorder.counters.items()):
+        emit({"kind": "counter", "name": name, "value": value})
+    for name, value in sorted(recorder.gauges.items()):
+        emit({"kind": "gauge", "name": name, "value": value})
+    for name in sorted(recorder.timelines):
+        for t, value in recorder.timelines[name].points:
+            emit({"kind": "timeline", "name": name, "t": t, "value": value})
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_jsonl(path: str, recorder: TraceRecorder) -> None:
+    """Write :func:`metrics_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_jsonl(recorder))

@@ -1,0 +1,142 @@
+"""A typed roll-up merging the repo's fragmented telemetry dialects.
+
+Before the obs plane, "where did this scenario spend its time?" meant
+stitching together ``scheduler_log`` events, ``warmcache.stats()``,
+``ServiceCounters`` snapshots, and ``bench --profile`` prints by hand.
+:class:`ObsReport` is the one schema they all land in: span aggregates
+and counters from a :class:`~repro.obs.tracer.TraceRecorder`, the
+process-wide warm-cache counters, scheduler event counts (recorded as
+``scheduler.*`` counters by the engine), per-link utilization RLE
+timelines from the fluid substrate, and -- when a service run is being
+observed -- the executor's counter snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.tracer import TraceRecorder
+
+_REPORT_KEYS = ("spans", "counters", "gauges", "warmcache", "timelines",
+                "service")
+
+
+@dataclass(frozen=True)
+class ObsReport:
+    """One observed run, merged into a single JSON-native schema."""
+
+    #: Per-span-name aggregates: ``{"count", "total_s", "max_s"}``.
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Flat counters (``scheduler.admit``, ``mcmc.accepted``, ...).
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Last-value gauges (``engine.sim_now_s``, ...).
+    gauges: Dict[str, float] = field(default_factory=dict)
+    #: ``repro.perf.warmcache.stats()`` snapshot at report time.
+    warmcache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: RLE timelines as ``[[t, value], ...]`` point lists.
+    timelines: Dict[str, List[List[float]]] = field(default_factory=dict)
+    #: ``ServiceCounters`` snapshot when a service run was observed.
+    service: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def build(
+        cls,
+        recorder: TraceRecorder,
+        service: Optional[Dict[str, Any]] = None,
+    ) -> "ObsReport":
+        """Snapshot ``recorder`` plus the process-wide warm caches."""
+        from repro.perf import warmcache
+
+        recorder.flush()
+        return cls(
+            spans=recorder.span_summary(),
+            counters=dict(recorder.counters),
+            gauges=dict(recorder.gauges),
+            warmcache=warmcache.stats(),
+            timelines={
+                name: timeline.to_list()
+                for name, timeline in recorder.timelines.items()
+            },
+            service=dict(service) if service is not None else None,
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "spans": {
+                name: dict(entry) for name, entry in sorted(self.spans.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "warmcache": {
+                name: dict(entry)
+                for name, entry in sorted(self.warmcache.items())
+            },
+            "timelines": {
+                name: [list(point) for point in points]
+                for name, points in sorted(self.timelines.items())
+            },
+        }
+        if self.service is not None:
+            data["service"] = dict(self.service)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObsReport":
+        unknown = sorted(set(data) - set(_REPORT_KEYS))
+        if unknown:
+            raise ValueError(f"ObsReport: unknown keys {unknown}")
+        return cls(
+            spans={k: dict(v) for k, v in data.get("spans", {}).items()},
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            warmcache={
+                k: dict(v) for k, v in data.get("warmcache", {}).items()
+            },
+            timelines={
+                k: [list(p) for p in v]
+                for k, v in data.get("timelines", {}).items()
+            },
+            service=(dict(data["service"])
+                     if data.get("service") is not None else None),
+        )
+
+    # -- human-readable summary ---------------------------------------
+    def format_lines(self) -> List[str]:
+        """A compact terminal summary, hottest spans first."""
+        lines = ["observability report"]
+        ranked = sorted(
+            self.spans.items(),
+            key=lambda item: item[1]["total_s"],
+            reverse=True,
+        )
+        for name, entry in ranked:
+            lines.append(
+                f"  span {name:<28s} count={int(entry['count']):>6d} "
+                f"total={entry['total_s'] * 1e3:9.2f}ms "
+                f"max={entry['max_s'] * 1e3:8.3f}ms"
+            )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"  counter {name:<25s} {value:g}")
+        for name, value in sorted(self.gauges.items()):
+            lines.append(f"  gauge {name:<27s} {value:g}")
+        for cache, entry in sorted(self.warmcache.items()):
+            lines.append(
+                f"  warmcache {cache:<23s} "
+                + " ".join(f"{k}={entry[k]}" for k in sorted(entry))
+            )
+        if self.timelines:
+            points = sum(len(p) for p in self.timelines.values())
+            lines.append(
+                f"  timelines {len(self.timelines)} series, "
+                f"{points} RLE points"
+            )
+        if self.service is not None:
+            lines.append(
+                "  service "
+                + " ".join(
+                    f"{k}={self.service[k]}" for k in sorted(self.service)
+                )
+            )
+        return lines

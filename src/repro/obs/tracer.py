@@ -1,0 +1,363 @@
+"""Zero-overhead-when-disabled structured tracing core.
+
+The process-wide :data:`TRACER` is the single instrumentation point the
+rest of the codebase talks to.  By default no recorder is installed and
+every call degenerates to one attribute load plus a ``None`` check --
+``span()`` hands back a shared no-op context manager, ``count()`` /
+``gauge()`` / ``sample()`` return immediately -- so instrumented code
+paths stay byte-identical to their un-instrumented selves: no RNG
+draws, no container mutations, no float arithmetic happen on the
+disabled path.
+
+Enable it by installing a :class:`TraceRecorder`, almost always through
+the :meth:`Tracer.recording` context manager::
+
+    >>> from repro.obs.tracer import TRACER
+    >>> with TRACER.recording() as rec:
+    ...     with TRACER.span("outer", cat="demo"):
+    ...         with TRACER.span("inner", cat="demo"):
+    ...             TRACER.count("demo.widgets")
+    ...         TRACER.gauge("demo.level", 3.5)
+    >>> [(s.name, s.depth) for s in sorted(rec.spans, key=lambda s: s.seq)]
+    [('outer', 0), ('inner', 1)]
+    >>> (rec.counters["demo.widgets"], rec.gauges["demo.level"])
+    (1, 3.5)
+    >>> TRACER.enabled
+    False
+
+Recorded spans carry wall-clock ``start_s``/``dur_s`` (relative to the
+recorder's creation), a nesting ``depth``, and a monotonically
+increasing ``seq`` stamped at *enter* time, so both the call order and
+the parent/child structure are recoverable.  Simulated-time series go
+into run-length-encoded :class:`RleTimeline` objects via
+:meth:`Tracer.sample` -- a sample is stored only when the value
+changes, which is what keeps per-link utilization tracking cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class RleTimeline:
+    """A run-length-encoded ``(time, value)`` series.
+
+    ``sample`` appends only when the value differs from the last stored
+    one, so a step function sampled at every event costs storage
+    proportional to its *changes*:
+
+    >>> tl = RleTimeline()
+    >>> for t, v in [(0.0, 1.0), (1.0, 1.0), (2.0, 0.5), (3.0, 0.5)]:
+    ...     tl.sample(t, v)
+    >>> tl.to_list()
+    [[0.0, 1.0], [2.0, 0.5]]
+    """
+
+    __slots__ = ("points",)
+
+    def __init__(self) -> None:
+        self.points: List[Tuple[float, float]] = []
+
+    def sample(self, t: float, value: float) -> None:
+        if self.points and self.points[-1][1] == value:
+            return
+        self.points.append((t, value))
+
+    def to_list(self) -> List[List[float]]:
+        return [[float(t), float(v)] for t, v in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class SpanEvent:
+    """One completed span: what ran, when, for how long, how deep."""
+
+    __slots__ = ("name", "cat", "start_s", "dur_s", "depth", "tid", "seq",
+                 "args")
+
+    def __init__(self, name: str, cat: str, start_s: float, dur_s: float,
+                 depth: int, tid: int, seq: int,
+                 args: Optional[Dict[str, Any]]):
+        self.name = name
+        self.cat = cat
+        self.start_s = start_s
+        self.dur_s = dur_s
+        self.depth = depth
+        self.tid = tid
+        self.seq = seq
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanEvent({self.name!r}, cat={self.cat!r}, "
+                f"start_s={self.start_s:.6f}, dur_s={self.dur_s:.6f}, "
+                f"depth={self.depth}, seq={self.seq})")
+
+
+class TraceRecorder:
+    """Collects spans, counters, gauges, and RLE timelines for one run.
+
+    Timestamps are wall-clock seconds relative to the recorder's
+    creation (``now()``).  The hot entry points (``next_seq``,
+    ``add_span``, ``set_gauge``, ``timeline``) rely on operations the
+    CPython runtime already makes atomic -- ``itertools.count``,
+    ``list.append``, dict assignment and ``dict.setdefault`` -- so the
+    single-threaded engine pays no lock per event while the service
+    layer's worker threads can still record concurrently.  Only
+    ``bump`` (a read-modify-write) takes the lock.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[SpanEvent] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timelines: Dict[str, RleTimeline] = {}
+        self._seq = itertools.count()
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._flush_hooks: List[Any] = []
+
+    # -- clocks and identifiers ---------------------------------------
+    def now(self) -> float:
+        """Seconds of wall-clock time since this recorder was created."""
+        return time.perf_counter() - self._t0
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    # -- recording ----------------------------------------------------
+    def add_span(self, span: SpanEvent) -> None:
+        self.spans.append(span)
+
+    def bump(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def timeline(self, name: str) -> RleTimeline:
+        timeline = self.timelines.get(name)
+        if timeline is None:
+            timeline = self.timelines.setdefault(name, RleTimeline())
+        return timeline
+
+    # -- deferred producers -------------------------------------------
+    def add_flush_hook(self, hook) -> None:
+        """Register ``hook(recorder)`` to run before the data is read.
+
+        Hot-path producers that batch raw samples (e.g. the fluid
+        substrate's per-solve utilization snapshots) register a hook
+        and do the expensive conversion into timelines only when an
+        exporter or report asks, via :meth:`flush`.  Hooks must be
+        idempotent across calls (convert-and-clear).
+        """
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Run every registered flush hook (exporters call this)."""
+        for hook in self._flush_hooks:
+            hook(self)
+
+    # -- summaries ----------------------------------------------------
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregates: count, total and max duration."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            entry = summary.get(span.name)
+            if entry is None:
+                entry = summary[span.name] = {
+                    "count": 0, "total_s": 0.0, "max_s": 0.0,
+                }
+            entry["count"] += 1
+            entry["total_s"] += span.dur_s
+            if span.dur_s > entry["max_s"]:
+                entry["max_s"] = span.dur_s
+        return summary
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: measures wall time between ``__enter__``/``__exit__``.
+
+    On exit it records *itself* -- it carries the same attribute set as
+    :class:`SpanEvent`, so appending the span object skips one
+    allocation per span on the hottest instrumentation path.
+    """
+
+    __slots__ = ("_recorder", "_local", "name", "cat", "args", "start_s",
+                 "dur_s", "depth", "tid", "seq")
+
+    def __init__(self, recorder: TraceRecorder, local: threading.local,
+                 name: str, cat: str, args: Optional[Dict[str, Any]]):
+        # start_s/dur_s/depth/tid/seq are assigned in __enter__/__exit__;
+        # skipping the placeholder writes here keeps the span cheap.
+        self._recorder = recorder
+        self._local = local
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        local = self._local
+        try:
+            depth = local.depth
+        except AttributeError:
+            depth = 0
+        self.depth = depth
+        local.depth = depth + 1
+        self.seq = next(self._recorder._seq)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        recorder = self._recorder
+        self.dur_s = end - self.start_s
+        self.start_s -= recorder._t0
+        self._local.depth = self.depth
+        self.tid = threading.get_ident()
+        recorder.spans.append(self)
+        return False
+
+
+class _BatchSpan:
+    """A reusable context manager batching many spans of one name.
+
+    For loops hot enough that even one object allocation per span
+    matters (the scenario engine's per-event step, the flow kernel's
+    per-solve timing): entering/exiting only appends a raw
+    ``(start, end)`` ``perf_counter`` pair; the pairs are materialized
+    into ordinary :class:`SpanEvent` records by the recorder's flush
+    hook, so exporters and reports see full span fidelity.  Not
+    reentrant -- one instance times one site, never nested with itself.
+    """
+
+    __slots__ = ("name", "cat", "depth", "tid", "raw", "_start")
+
+    def __init__(self, recorder: TraceRecorder, name: str, cat: str,
+                 depth: int):
+        self.name = name
+        self.cat = cat
+        self.depth = depth
+        self.tid = threading.get_ident()
+        self.raw: List[Tuple[float, float]] = []
+        recorder.add_flush_hook(self._flush)
+
+    def __enter__(self) -> "_BatchSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.raw.append((self._start, time.perf_counter()))
+        return False
+
+    def _flush(self, recorder: TraceRecorder) -> None:
+        raw, self.raw = self.raw, []
+        t0 = recorder._t0
+        for start, end in raw:
+            recorder.spans.append(SpanEvent(
+                self.name, self.cat, start - t0, end - start, self.depth,
+                self.tid, recorder.next_seq(), None,
+            ))
+
+
+class Tracer:
+    """The process-wide instrumentation facade.
+
+    ``enabled`` is ``False`` until a recorder is installed; every
+    recording method checks that first and bails out without touching
+    anything, which is the whole zero-overhead contract.
+    """
+
+    def __init__(self) -> None:
+        self._recorder: Optional[TraceRecorder] = None
+        self._local = threading.local()
+
+    @property
+    def enabled(self) -> bool:
+        return self._recorder is not None
+
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        return self._recorder
+
+    # -- recording lifecycle ------------------------------------------
+    def set_recorder(
+        self, recorder: Optional[TraceRecorder]
+    ) -> Optional[TraceRecorder]:
+        """Install (or clear) the active recorder; returns the previous."""
+        previous = self._recorder
+        self._recorder = recorder
+        return previous
+
+    @contextmanager
+    def recording(
+        self, recorder: Optional[TraceRecorder] = None
+    ) -> Iterator[TraceRecorder]:
+        """Scope a recorder: installed on entry, restored on exit."""
+        active = TraceRecorder() if recorder is None else recorder
+        previous = self.set_recorder(active)
+        try:
+            yield active
+        finally:
+            self.set_recorder(previous)
+
+    # -- instrumentation entry points ---------------------------------
+    def span(self, name: str, cat: str = "repro", **args: Any):
+        """A context manager timing ``name``; a shared no-op when off."""
+        recorder = self._recorder
+        if recorder is None:
+            return _NULL_SPAN
+        return _Span(recorder, self._local, name, cat, args or None)
+
+    def batch_span(self, name: str, cat: str = "repro"):
+        """A reusable batching span context for very hot loops.
+
+        Create once outside the loop, enter/exit per iteration; a
+        shared no-op when tracing is off.  See :class:`_BatchSpan` for
+        the cost model and the not-reentrant caveat.
+        """
+        recorder = self._recorder
+        if recorder is None:
+            return _NULL_SPAN
+        depth = getattr(self._local, "depth", 0)
+        return _BatchSpan(recorder, name, cat, depth)
+
+    def count(self, name: str, value: float = 1) -> None:
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.bump(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.set_gauge(name, value)
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        """Append to the RLE timeline ``name`` (stored only on change)."""
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.timeline(name).sample(t, value)
+
+
+#: The process-wide tracer every instrumented module imports.
+TRACER = Tracer()

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.models.base import DNNModel
+from repro.obs import TRACER
 from repro.models.compute import GPUSpec, A100, compute_time_seconds
 from repro.parallel.strategy import (
     LayerPlacement,
@@ -467,10 +468,20 @@ class MCMCSearch:
             scorer = _IncrementalScorer(self, fabric, kernel)
         else:
             scorer = _FullRebuildScorer(self, fabric)
-        results = [
-            self._run_chain(iterations, initial, self._chain_rng(c), scorer)
-            for c in range(restarts)
-        ]
+        results = []
+        for c in range(restarts):
+            # Spans time the chain; counters come from the chain's own
+            # tallies afterwards, so the Metropolis RNG stream is never
+            # touched by instrumentation.
+            with TRACER.span("mcmc.chain", cat="pipeline", chain=c,
+                             iterations=iterations, model=self.model.name):
+                result = self._run_chain(
+                    iterations, initial, self._chain_rng(c), scorer
+                )
+            results.append(result)
+            if TRACER.enabled:
+                TRACER.count("mcmc.proposed", result.proposed_moves)
+                TRACER.count("mcmc.accepted", result.accepted_moves)
         best = min(results, key=lambda result: result.cost_s)
         best.chains = restarts
         best.chain_best_costs = [result.cost_s for result in results]

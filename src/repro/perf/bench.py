@@ -34,6 +34,9 @@ against the vectorized kernel on identical inputs:
   (:mod:`repro.service`) draining a Zipf-distributed request mix cold
   (empty store) and warm (populated store) -- gates warm >= 5x cold
   specs/sec, exact dedup, and store-vs-fresh byte identity.
+- ``obs_overhead``: the same scenario with the observability plane
+  (:mod:`repro.obs`) off vs on -- gates the tracing overhead under 10%
+  and the traced result JSON byte-identical to the untraced one.
 
 Used by ``benchmarks/bench_perf_kernels.py`` (full sizes, writes
 ``BENCH_kernels.json``) and ``python -m repro.cli bench-smoke`` (quick
@@ -43,6 +46,7 @@ pre-merge sanity check).
 from __future__ import annotations
 
 import json
+import statistics
 import time
 from typing import Dict, List, Sequence, Tuple
 
@@ -801,6 +805,129 @@ def bench_service_throughput(n: int = 16) -> Dict:
     }
 
 
+def bench_obs_overhead(n: int = 64, iterations: int = 4,
+                       pairs: int = 40) -> Dict:
+    """Observability overhead gate: the scenario engine, tracing off vs on.
+
+    Runs a shared Fat-tree scenario (one 16-server shard per job, as
+    many jobs as fit ``n`` servers) with the observability plane
+    disabled and again under a live
+    :class:`repro.obs.TraceRecorder` -- engine-step spans, pipeline
+    spans, scheduler counters, and per-link utilization timelines all
+    recording.
+
+    The enabled side measures the *hot path* under an ambient recorder
+    (tracing left on in development), so the one-time ObsReport/export
+    cost at the end of an observed run is not charged against the
+    per-event budget.  Overhead is estimated from ``pairs`` adjacent
+    disabled/enabled run pairs -- order flipped every pair so periodic
+    background load cannot alias onto one side -- as the *median of
+    the paired differences*: pairing cancels CPU-frequency drift, and
+    a median over many short pairs resolves sub-noise overheads that a
+    min-vs-min comparison of a few long runs cannot (single-run
+    scheduler jitter here is routinely larger than the overhead being
+    measured).  The ``noise_floor_s`` record field -- the median
+    absolute difference between *consecutive disabled* runs -- says
+    what resolution the estimate actually had.
+
+    Two gates ride on the record, enforced by ``bench-smoke``:
+    ``byte_identical`` -- the traced run's result JSON must equal the
+    untraced run's byte for byte (instrumentation must never perturb
+    simulation state, RNG draws, or serialization) -- and
+    ``overhead_pct`` under 10% (the spans and counters on the hot path
+    must stay cheap enough to leave on in development).
+    """
+    from repro.cluster import ArrivalSpec, JobTemplateSpec, ScenarioSpec
+    from repro.cluster.engine import run_scenario
+    from repro.obs import TRACER, TraceRecorder
+    from repro.api.spec import ClusterSpec, FabricSpec
+
+    models = ("DLRM", "BERT", "CANDLE", "VGG16")
+    num_jobs = max(n // 16, 2)
+    spec = ScenarioSpec(
+        name=f"bench-obs-n{n}",
+        cluster=ClusterSpec(servers=n, degree=4, bandwidth_gbps=100.0),
+        fabric=FabricSpec(kind="fattree"),
+        arrivals=ArrivalSpec(
+            process="explicit", times=tuple(0.0 for _ in range(num_jobs))
+        ),
+        jobs=tuple(
+            JobTemplateSpec(
+                model=models[i % len(models)], servers=16,
+                iterations=iterations,
+            )
+            for i in range(min(num_jobs, len(models)))
+        ),
+    )
+    run_scenario(spec)  # warm-up: pipeline/kernel caches off the clock
+    # GC pauses would land disproportionately on the enabled side
+    # (spans and snapshots are allocations), so collection is off for
+    # the whole measurement.
+    import gc
+
+    recorder = TraceRecorder()
+    baseline = traced = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        def run_disabled() -> float:
+            nonlocal baseline
+            start = time.perf_counter()
+            baseline = run_scenario(spec)
+            return time.perf_counter() - start
+
+        def run_enabled() -> float:
+            nonlocal recorder, traced
+            recorder = TraceRecorder()
+            with TRACER.recording(recorder):
+                start = time.perf_counter()
+                traced = run_scenario(spec)
+                return time.perf_counter() - start
+
+        diffs: List[float] = []
+        offs: List[float] = []
+        nulls: List[float] = []
+        prev_off = None
+        for k in range(pairs):
+            if k % 2 == 0:
+                off_s = run_disabled()
+                on_s = run_enabled()
+            else:
+                on_s = run_enabled()
+                off_s = run_disabled()
+            offs.append(off_s)
+            diffs.append(on_s - off_s)
+            if prev_off is not None:
+                nulls.append(abs(off_s - prev_off))
+            prev_off = off_s
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    byte_identical = (
+        json.dumps(baseline.to_dict(), sort_keys=True)
+        == json.dumps(traced.to_dict(), sort_keys=True)
+    )
+    recorder.flush()  # deferred producers (e.g. utilization timelines)
+    median = statistics.median
+    disabled_s = median(offs)
+    overhead_s = median(diffs)
+    return {
+        "servers": n,
+        "jobs": num_jobs,
+        "pairs": pairs,
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(disabled_s + overhead_s, 6),
+        "noise_floor_s": round(median(nulls), 6),
+        "overhead_pct": round(
+            overhead_s / max(disabled_s, 1e-12) * 100.0, 2
+        ),
+        "byte_identical": bool(byte_identical),
+        "spans": len(recorder.spans),
+        "counters": len(recorder.counters),
+        "timelines": len(recorder.timelines),
+    }
+
+
 #: Sizes the staggered-phase scenario runs at: the batch baseline is
 #: quadratic-ish in events x flows, so n=128 would dominate the whole
 #: suite without changing the verdict (the acceptance gate is n=64).
@@ -837,6 +964,11 @@ STORM_SIZES = (64,)
 #: byte identity), not a scaling curve.
 SERVICE_SIZES = (16,)
 
+#: Observability-overhead size (servers).  One size at both scales:
+#: the gates are behavioral (byte identity, overhead under the 10%
+#: cap), not a scaling curve.
+OBS_SIZES = (64,)
+
 #: Sizes the search-plane scenarios run at (fixed, per the acceptance
 #: criteria): the full-rebuild baseline re-routes all n^2 pairs per
 #: proposal, so n=128 would dominate the suite without changing the
@@ -857,6 +989,7 @@ BENCH_ENTRIES = {
     "scheduler_sweep": bench_scheduler_sweep,
     "scenario_storm": bench_scenario_storm,
     "service_throughput": bench_service_throughput,
+    "obs_overhead": bench_obs_overhead,
 }
 
 
@@ -866,6 +999,7 @@ def run_benchmarks(
         "phase_sim", "routing", "lp_assembly", "staggered_phase",
         "mcmc_steps", "alternating", "scenario", "scenario_fleet",
         "scheduler_sweep", "scenario_storm", "service_throughput",
+        "obs_overhead",
     ),
 ) -> Dict:
     """Run the kernel micro-benchmarks and return the results tree."""
@@ -890,6 +1024,8 @@ def run_benchmarks(
             scenario_sizes = STORM_SIZES
         elif scenario == "service_throughput":
             scenario_sizes = SERVICE_SIZES
+        elif scenario == "obs_overhead":
+            scenario_sizes = OBS_SIZES
         elif scenario in ("mcmc_steps", "alternating"):
             scenario_sizes = SEARCH_SIZES
         for n in scenario_sizes:

@@ -67,11 +67,33 @@ class WarmCache:
         self.misses = 0
         self.evictions = 0
 
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping cached entries warm.
+
+        Tests and the obs plane read counters around a region of
+        interest; resetting must not throw away the (expensive) cached
+        values themselves.
+
+        >>> cache = WarmCache(maxsize=2)
+        >>> _ = cache.get_or_build("a", lambda: "A")
+        >>> cache.reset_stats()
+        >>> (len(cache), cache.stats()["misses"])
+        (1, 0)
+        """
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def __len__(self) -> int:
         return len(self._store)
 
     def stats(self) -> Dict[str, int]:
-        """Counters plus current occupancy.
+        """Counters plus current occupancy, as a *deep snapshot*.
+
+        The returned dict is built fresh on every call and holds only
+        plain ``int`` values, so callers (tests, the obs plane's
+        :class:`~repro.obs.report.ObsReport`) can stash it without any
+        risk of later cache activity mutating it under them.
 
         >>> cache = WarmCache(maxsize=2)
         >>> for key in ("a", "b", "a", "c"):
@@ -79,6 +101,10 @@ class WarmCache:
         >>> cache.stats() == {"size": 2, "maxsize": 2, "hits": 1,
         ...                   "misses": 3, "evictions": 1}
         True
+        >>> before = cache.stats()
+        >>> _ = cache.get_or_build("c", lambda: "C")
+        >>> before["hits"]
+        1
         """
         return {
             "size": len(self._store),
@@ -135,7 +161,10 @@ def stats() -> Dict[str, Dict[str, int]]:
     """Counters for every process-wide warm cache, by cache name.
 
     This is what ``repro bench --profile`` prints and what the service
-    layer's per-worker cache export aggregates.
+    layer's per-worker cache export and the obs plane's
+    :class:`~repro.obs.report.ObsReport` aggregate.  Like
+    :meth:`WarmCache.stats`, the result is a deep snapshot -- fresh
+    dicts of plain ints, detached from the live caches.
 
     >>> sorted(stats())
     ['costmodel', 'pipeline']
@@ -146,6 +175,16 @@ def stats() -> Dict[str, Dict[str, int]]:
         "pipeline": PIPELINE_CACHE.stats(),
         "costmodel": COSTMODEL_CACHE.stats(),
     }
+
+
+def reset_stats() -> None:
+    """Zero every process-wide cache's counters, keeping entries warm.
+
+    The read-modify-reset pattern tests and the obs plane use to scope
+    counters to a region without paying cold rebuilds afterwards.
+    """
+    PIPELINE_CACHE.reset_stats()
+    COSTMODEL_CACHE.reset_stats()
 
 
 def clear_all() -> None:

@@ -49,6 +49,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import TRACER, SpanEvent
 from repro.service.metrics import (
     LatencyRecorder,
     ServiceCounters,
@@ -286,7 +287,9 @@ class BatchExecutor:
             cached = self._store.get(spec)
             if cached is not None:
                 self.counters.bump("store_hits")
-                self.latencies.record(time.monotonic() - started)
+                elapsed = time.monotonic() - started
+                self.latencies.record(elapsed)
+                self._trace_request(key, "store", elapsed)
                 future: Future = Future()
                 future.set_result(cached)
                 return ServiceRequest(key=key, route="store", future=future)
@@ -389,17 +392,62 @@ class BatchExecutor:
             self._store.put(comp.spec, result)
         waiters = self._detach(comp)
         now = time.monotonic()
-        for future, started in waiters:
-            self.latencies.record(now - started)
+        for index, (future, started) in enumerate(waiters):
+            elapsed = now - started
+            self.latencies.record(elapsed)
+            self._trace_request(
+                comp.key, "compute" if index == 0 else "dedup", elapsed
+            )
             future.set_result(result)
 
     def _fail(self, comp: _Computation, message: str) -> None:
         self.counters.bump("errors")
         waiters = self._detach(comp)
         now = time.monotonic()
-        for future, started in waiters:
-            self.latencies.record(now - started)
+        for index, (future, started) in enumerate(waiters):
+            elapsed = now - started
+            self.latencies.record(elapsed)
+            self._trace_request(
+                comp.key,
+                "compute" if index == 0 else "dedup",
+                elapsed,
+                error=True,
+            )
             future.set_exception(ServiceError(message))
+
+    def _trace_request(
+        self,
+        key: str,
+        route: str,
+        elapsed_s: float,
+        error: bool = False,
+    ) -> None:
+        """Mirror one finished request into the active trace, if any.
+
+        Requests resolve asynchronously, so the span is recorded whole
+        at completion: the duration is exactly what went into the
+        :class:`LatencyRecorder`, and the start is back-dated from the
+        recorder's clock.  No-op (no allocation) when tracing is off.
+        """
+        recorder = TRACER.recorder
+        if recorder is None:
+            return
+        end = recorder.now()
+        recorder.add_span(
+            SpanEvent(
+                name="service.request",
+                cat="service",
+                start_s=max(end - elapsed_s, 0.0),
+                dur_s=elapsed_s,
+                depth=0,
+                tid=threading.get_ident(),
+                seq=recorder.next_seq(),
+                args={"route": route, "key": key[:12], "error": error},
+            )
+        )
+        recorder.bump(f"service.route.{route}")
+        if error:
+            recorder.bump("service.errors")
 
     def _detach(self, comp: _Computation) -> List[Tuple[Future, float]]:
         """Retire a computation; late duplicates go to the store."""

@@ -71,7 +71,8 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
     Deterministic and exact on small sample sets (no interpolation), so
     reports are reproducible down to the byte.  ``samples`` need not be
-    sorted; an empty sequence maps to 0.0.
+    sorted; an empty sequence maps to 0.0.  NaN samples are rejected --
+    they would sort unpredictably and silently poison the rank.
 
     >>> percentile([4.0, 1.0, 3.0, 2.0], 0.5)
     2.0
@@ -79,11 +80,19 @@ def percentile(samples: Sequence[float], q: float) -> float:
     4.0
     >>> percentile([], 0.5)
     0.0
+    >>> percentile([7.5], 1.0)
+    7.5
+    >>> percentile([1.0, float("nan")], 0.5)
+    Traceback (most recent call last):
+        ...
+    ValueError: samples must not contain NaN
     """
     if not samples:
         return 0.0
     if not 0.0 < q <= 1.0:
         raise ValueError(f"quantile must be in (0, 1], got {q}")
+    if any(math.isnan(sample) for sample in samples):
+        raise ValueError("samples must not contain NaN")
     ordered = sorted(samples)
     rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
     return ordered[rank]

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import TRACER
 from repro.parallel.traffic import TrafficSummary
 from repro.perf.fairshare import (
     IncrementalFairShare,
@@ -211,6 +212,13 @@ class _SubstrateFlowKernel:
         self._solver: Optional[IncrementalFairShare] = None
         self._dead_nnz = 0
         self._live_nnz = 0
+        # Observability sampler state (see _sample_utilization):
+        # per-recorder timeline cache, previous utilization vector, and
+        # a solve generation so sampling skips no-change events.
+        self._util_sampler = None
+        self._solve_batch = None
+        self._last_util: Optional[np.ndarray] = None
+        self.sim_now = 0.0
 
     # -- registration --------------------------------------------------
     def register(
@@ -334,11 +342,7 @@ class _SubstrateFlowKernel:
             self._rates = self._solver.rates_view().copy()
             self._rates_dirty = False
 
-    def _solve_if_dirty(self) -> None:
-        if self._stale_structure:
-            self._rebuild_structure()
-        if not self._rates_dirty:
-            return
+    def _resolve_rates(self) -> None:
         if self._solver is not None:
             self._rates = self._solver.rates_view().copy()
         else:
@@ -348,7 +352,110 @@ class _SubstrateFlowKernel:
                 self._active,
                 incidence_t=self._incidence_t,
             )
-        self._rates_dirty = False
+
+    def _solve_if_dirty(self) -> None:
+        solved = self._stale_structure
+        if self._stale_structure:
+            self._rebuild_structure()
+        if self._rates_dirty:
+            recorder = TRACER.recorder
+            if recorder is None:
+                self._resolve_rates()
+            else:
+                # Solves are per-event-loop-step frequent: time them
+                # through one cached batching span, not a fresh live
+                # span per solve.
+                cached = self._solve_batch
+                if cached is None or cached[0] is not recorder:
+                    cached = (
+                        recorder,
+                        TRACER.batch_span("flow.solve", cat="flow"),
+                    )
+                    self._solve_batch = cached
+                with cached[1]:
+                    self._resolve_rates()
+            self._rates_dirty = False
+            solved = True
+        if solved:
+            recorder = TRACER.recorder
+            if recorder is not None:
+                self._sample_utilization(recorder)
+
+    def link_utilization(self) -> Dict[Link, float]:
+        """Per-link used fraction of capacity under the current rates.
+
+        Read-only observability: forces the lazy solve (idempotent) and
+        projects the active flows' rates back onto the links.
+        """
+        self._solve_if_dirty()
+        if self._incidence is None or self._col_count == 0:
+            return {link: 0.0 for link in self._link_index}
+        used = self._incidence @ (self._rates * self._active)
+        return {
+            link: float(used[row] / self._cap_vec[row])
+            for link, row in self._link_index.items()
+        }
+
+    def _sample_utilization(self, recorder) -> None:
+        """Queue a per-link utilization sample for ``recorder``.
+
+        Invoked from :meth:`_solve_if_dirty` right after every actual
+        solve -- utilization can only change when rates do, so sampling
+        there is both exact and free of forced solves.  The hot path
+        only snapshots ``(sim_now, rates * active, incidence)`` (the
+        incidence reference pins the link/flow structure the rates were
+        solved under, which a later rebuild would otherwise replace);
+        the matvec projection onto links and the RLE appends are
+        deferred to :meth:`_flush_utilization`, which the recorder runs
+        via its flush hook when a report or exporter reads the data.
+        """
+        cache = self._util_sampler
+        if cache is None or cache[0] is not recorder:
+            cache = (recorder, [])
+            self._util_sampler = cache
+            self._last_util = None
+            recorder.add_flush_hook(self._flush_utilization)
+        if self._incidence is None or self._col_count == 0:
+            cache[1].append((self.sim_now, None, None))
+        else:
+            cache[1].append(
+                (self.sim_now, self._rates * self._active, self._incidence)
+            )
+
+    def _flush_utilization(self, recorder) -> None:
+        """Convert queued snapshots into the recorder's RLE timelines.
+
+        Runs off the hot path (recorder flush time): one sparse matvec
+        per snapshot, values rounded to 1e-4 so float jitter does not
+        defeat the RLE, change detection via one vectorized compare
+        against the previous utilization vector.  Idempotent: the
+        snapshot queue is drained as it is converted.
+        """
+        cache = self._util_sampler
+        if cache is None or cache[0] is not recorder or not cache[1]:
+            return
+        timelines = [
+            recorder.timeline(f"link_util.{src}->{dst}")
+            for src, dst in self._link_index
+        ]
+        snaps, cache[1][:] = list(cache[1]), []
+        last = self._last_util
+        for now, flow_vec, incidence in snaps:
+            if flow_vec is None:
+                util = np.zeros(self.num_links)
+            else:
+                util = incidence @ flow_vec
+                np.divide(util, self._cap_vec, out=util)
+                np.round(util, 4, out=util)
+            values = util.tolist()
+            if last is None:
+                for row, value in enumerate(values):
+                    timelines[row].points.append((now, value))
+            else:
+                for row in np.flatnonzero(util != last).tolist():
+                    timelines[row].points.append((now, values[row]))
+            last = util
+        self._last_util = last
 
     # -- time stepping -------------------------------------------------
     def time_to_next_completion(self) -> Optional[float]:
@@ -603,6 +710,9 @@ class SharedClusterSimulator:
         dt = max(target - self.now, 0.0) + 1e-12
         self.now = target
         if self._kernel is not None:
+            # Keep the kernel's simulated clock current: its lazy
+            # solves stamp utilization-timeline samples with it.
+            self._kernel.sim_now = target
             done_cols = self._kernel.advance(dt)
             finishers: List[_JobState] = []
             for col in done_cols:

@@ -116,6 +116,42 @@ class TestLinkDistribution:
         assert load_imbalance(matrix, direct_paths) == pytest.approx(0.0)
 
 
+class TestMetricsEdgeCases:
+    def test_empty_matrix_imbalance_zero(self):
+        assert load_imbalance(np.zeros((3, 3)), direct_paths) == 0.0
+
+    def test_empty_matrix_tax_one(self):
+        assert bandwidth_tax(np.zeros((3, 3)), direct_paths) == 1.0
+
+    def test_bandwidth_tax_missing_path_raises(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 5.0
+        with pytest.raises(ValueError, match="no path"):
+            bandwidth_tax(matrix, lambda src, dst: [])
+
+    def test_path_length_cdf_missing_path_raises(self):
+        with pytest.raises(ValueError, match="no path"):
+            path_length_cdf(lambda src, dst: [], 2)
+
+    def test_diagonal_demand_ignored(self):
+        matrix = np.eye(3) * 100.0
+        assert routed_link_bytes(matrix, direct_paths) == {}
+        assert bandwidth_tax(matrix, direct_paths) == 1.0
+
+    def test_average_path_length_empty(self):
+        assert average_path_length(direct_paths, 1) == 0.0
+
+    def test_all_switch_path_counts_one_segment(self):
+        # A path that never touches a second server still carries the
+        # logical transfer once (the max(..., 1) floor).
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 10.0
+        tax = bandwidth_tax(
+            matrix, lambda s, d: [[s, 5, 6, 7]], server_count=2
+        )
+        assert tax == pytest.approx(1.0)
+
+
 class TestCdf:
     def test_fractions_monotone(self):
         cdf = empirical_cdf([3, 1, 2])

@@ -143,10 +143,48 @@ class TestDeclarativeCommands:
         assert code == 2
         assert "torus" in capsys.readouterr().err
 
+    def test_trace_writes_chrome_trace_and_report(self, capsys, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        report_out = tmp_path / "report.json"
+        code = main([
+            "trace", "--preset", "shared",
+            "--set", "jobs.0.iterations=2", "--set", "jobs.1.iterations=2",
+            "--set", "jobs.2.iterations=2", "--set", "jobs.3.iterations=2",
+            "--out", str(trace_out), "--json", str(report_out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "observability report" in stdout
+        trace = json.loads(trace_out.read_text())
+        span_names = {
+            e["name"] for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert "engine.run_scenario" in span_names
+        assert "engine.step" in span_names
+        assert "flow.solve" in span_names
+        counter_names = {
+            e["name"] for e in trace["traceEvents"] if e["ph"] == "C"
+        }
+        assert any(n.startswith("link_util.") for n in counter_names)
+        report = json.loads(report_out.read_text())
+        assert "engine.step" in report["spans"]
+
+    def test_scenario_trace_out_rides_along(self, capsys, tmp_path):
+        trace_out = tmp_path / "trace.json"
+        code = main([
+            "scenario", "--preset", "shared",
+            "--set", "jobs.0.iterations=2", "--set", "jobs.1.iterations=2",
+            "--set", "jobs.2.iterations=2", "--set", "jobs.3.iterations=2",
+            "--trace-out", str(trace_out),
+        ])
+        assert code == 0
+        trace = json.loads(trace_out.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
     def test_subcommands_cover_the_dispatch_table(self):
         assert set(SUBCOMMANDS) == {
             "run", "sweep", "compare", "scenario", "serve-batch",
-            "cache", "bench", "bench-smoke", "chaos-smoke",
+            "cache", "trace", "bench", "bench-smoke", "chaos-smoke",
             "check-docs", "check-examples",
         }
 
